@@ -1,0 +1,100 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§5) plus the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	experiments                  # everything, with default budgets
+//	experiments -only fig10      # one artifact
+//	experiments -budget 30s      # per-run budget for the heavy artifacts
+//	experiments -list            # list artifact names
+//
+// Artifact names: fig10 fig11 fig12 fig13 transitions scalability
+// soundness paxosbug onepaxosbug online tree chain dupes parallel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lmc/internal/bench"
+)
+
+type artifact struct {
+	name string
+	desc string
+	run  func(budget time.Duration) (*bench.Table, error)
+}
+
+func artifacts() []artifact {
+	return []artifact{
+		{"fig10", "elapsed time vs depth (B-DFS, LMC-GEN, LMC-OPT)", func(b time.Duration) (*bench.Table, error) {
+			return bench.Fig10(b), nil
+		}},
+		{"fig11", "explored states vs depth", func(b time.Duration) (*bench.Table, error) {
+			return bench.Fig11(b), nil
+		}},
+		{"fig12", "memory growth vs depth", func(b time.Duration) (*bench.Table, error) {
+			return bench.Fig12(b), nil
+		}},
+		{"fig13", "LMC overhead breakdown on buggy Paxos", bench.Fig13},
+		{"transitions", "§5.1 transition counts", func(b time.Duration) (*bench.Table, error) {
+			return bench.Transitions(b), nil
+		}},
+		{"scalability", "§5.2 two-proposal scalability limits", func(b time.Duration) (*bench.Table, error) {
+			return bench.Scalability(b), nil
+		}},
+		{"soundness", "§5.4 soundness-verification cost", bench.Soundness},
+		{"paxosbug", "§5.5 Paxos bug from the crafted live state", bench.PaxosBug},
+		{"onepaxosbug", "§5.6 1Paxos ++ bug", bench.OnePaxosBug},
+		{"online", "§5.5 full online pipeline (live lossy run + restarts)", func(b time.Duration) (*bench.Table, error) {
+			return bench.OnlinePaxos(11, b, 4*3600), nil
+		}},
+		{"tree", "§2 primer numbers", func(time.Duration) (*bench.Table, error) {
+			return bench.TreePrimer(), nil
+		}},
+		{"chain", "A1: chain vs broadcast ablation", func(b time.Duration) (*bench.Table, error) {
+			return bench.ChainAblation(b), nil
+		}},
+		{"dupes", "A2: duplicate-message limit ablation", func(b time.Duration) (*bench.Table, error) {
+			return bench.DupAblation(b), nil
+		}},
+		{"parallel", "A3: parallel system-state checking", func(b time.Duration) (*bench.Table, error) {
+			return bench.ParallelAblation(b, []int{1, 2, 4, 8}), nil
+		}},
+	}
+}
+
+func main() {
+	only := flag.String("only", "", "run a single artifact by name")
+	budget := flag.Duration("budget", 20*time.Second, "wall-clock budget per heavy run")
+	list := flag.Bool("list", false, "list artifact names and exit")
+	flag.Parse()
+
+	arts := artifacts()
+	if *list {
+		for _, a := range arts {
+			fmt.Printf("%-12s %s\n", a.name, a.desc)
+		}
+		return
+	}
+	ran := false
+	for _, a := range arts {
+		if *only != "" && a.name != *only {
+			continue
+		}
+		ran = true
+		fmt.Printf("-- %s: %s\n", a.name, a.desc)
+		tbl, err := a.run(*budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", a.name, err)
+			os.Exit(1)
+		}
+		tbl.Fprint(os.Stdout)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown artifact %q; use -list\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,108 @@
+// Command lmc runs a model checker over one of the bundled protocol
+// workloads and prints the statistics and any confirmed bugs with their
+// witness schedules.
+//
+// Usage:
+//
+//	lmc -workload paxos                    # LMC-OPT over correct Paxos
+//	lmc -workload paxos-bug -v             # rediscover the §5.5 bug
+//	lmc -workload 1paxos-bug -checker lmc  # LMC-GEN
+//	lmc -workload paxos -checker global    # the B-DFS baseline
+//	lmc -list                              # list workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lmc/internal/bench"
+	"lmc/internal/core"
+	"lmc/internal/mc/global"
+)
+
+func main() {
+	workload := flag.String("workload", "paxos", "workload name (see -list)")
+	checker := flag.String("checker", "lmc-opt", "checker: lmc-opt, lmc, global, bfs")
+	budget := flag.Duration("budget", 30*time.Second, "wall-clock budget")
+	depth := flag.Int("depth", 0, "depth bound (0 = unbounded)")
+	stopFirst := flag.Bool("first", true, "stop at the first confirmed bug")
+	boundStep := flag.Int("deepen", 0, "iterative local-event bound deepening step (LMC)")
+	maxBound := flag.Int("maxbound", 4, "maximum local-event bound when deepening (LMC)")
+	verbose := flag.Bool("v", false, "print witness schedules")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range bench.Workloads() {
+			fmt.Printf("%-14s %s\n", w.Name, w.Description)
+		}
+		return
+	}
+
+	w, err := bench.Lookup(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	start, err := w.StartState()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building start state: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload %s (%s), checker %s\n", w.Name, w.Machine.Name(), *checker)
+
+	switch *checker {
+	case "global", "bfs":
+		if w.Invariant == nil {
+			fmt.Fprintln(os.Stderr, "the global checker needs a system invariant; this workload has only local invariants")
+			os.Exit(1)
+		}
+		strat := global.DFS
+		if *checker == "bfs" {
+			strat = global.BFS
+		}
+		res := global.Check(w.Machine, start, global.Options{
+			Invariant:      w.Invariant,
+			Strategy:       strat,
+			MaxDepth:       *depth,
+			Budget:         *budget,
+			StopAtFirstBug: *stopFirst,
+		})
+		fmt.Println(res.Stats.String())
+		fmt.Printf("complete=%v bugs=%d\n", res.Complete, len(res.Bugs))
+		for _, b := range res.Bugs {
+			fmt.Printf("BUG: %v\n", b.Violation)
+			if *verbose {
+				fmt.Print(b.Schedule.String())
+			}
+		}
+	case "lmc", "lmc-opt":
+		opt := core.Options{
+			Invariant:       w.Invariant,
+			LocalInvariants: w.Locals,
+			MaxPathDepth:    *depth,
+			Budget:          *budget,
+			StopAtFirstBug:  *stopFirst,
+			LocalBoundStep:  *boundStep,
+			MaxLocalBound:   *maxBound,
+		}
+		if *checker == "lmc-opt" {
+			opt.Reduction = w.Reduction
+		}
+		res := core.Check(w.Machine, start, opt)
+		fmt.Println(res.Stats.String())
+		fmt.Printf("complete=%v bugs=%d\n", res.Complete, len(res.Bugs))
+		for _, b := range res.Bugs {
+			fmt.Printf("BUG: %v\n", b.Violation)
+			if *verbose {
+				fmt.Print(b.Schedule.String())
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown checker %q\n", *checker)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,3 @@
+module lmc
+
+go 1.22

@@ -1,0 +1,215 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§5) — the elapsed-time, state-count and
+// memory curves of Figures 10–12, the overhead breakdown of Figure 13, the
+// transition-count and scalability comparisons, and the two online
+// bug-finding experiments — plus the ablations DESIGN.md calls out. Both
+// cmd/experiments and the root benchmark suite drive these entry points.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"lmc/internal/model"
+	"lmc/internal/protocols/chain"
+	"lmc/internal/protocols/onepaxos"
+	"lmc/internal/protocols/paxos"
+	"lmc/internal/protocols/randtree"
+	"lmc/internal/protocols/tree"
+	"lmc/internal/protocols/twophase"
+	"lmc/internal/spec"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carry paper-vs-measured commentary.
+	Notes []string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Addf appends a row formatting each value with %v.
+func (t *Table) Addf(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = fmt.Sprintf("%v", v)
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// Workload bundles a machine with everything a checker needs to run it.
+type Workload struct {
+	Name        string
+	Description string
+	Machine     model.Machine
+	Invariant   spec.Invariant
+	Reduction   spec.Reduction
+	Locals      []spec.LocalInvariant
+	// Start builds the start system state; nil means the initial state.
+	Start func() (model.SystemState, error)
+}
+
+// StartState resolves the workload's start system state.
+func (w Workload) StartState() (model.SystemState, error) {
+	if w.Start != nil {
+		return w.Start()
+	}
+	return model.InitialSystem(w.Machine), nil
+}
+
+// Workloads returns the registry of named workloads available to cmd/lmc
+// and the experiments.
+func Workloads() []Workload {
+	paxosCorrect := paxos.New(3, paxos.NoBug, paxos.OnceAt{Node: 0, Index: 0, Value: 7})
+	paxosBug := paxos.New(3, paxos.LastResponseBug, paxos.ActiveIndex{MaxPerNode: 1})
+	paxosTwo := paxos.New(3, paxos.NoBug, paxos.EachOnce{Nodes: []model.NodeID{0, 1}, Index: 0})
+	onepaxosBug := onepaxos.New(3, onepaxos.PlusPlusBug, onepaxos.Driver{})
+	onepaxosOK := onepaxos.New(3, onepaxos.NoBug, onepaxos.Driver{})
+	treeM := tree.NewPaperTree()
+	chainM := chain.New(5)
+	rtOK := randtree.New(5, 2, randtree.NoBug)
+	rtBug := randtree.New(5, 2, randtree.SelfSiblingBug)
+	tpOK := twophase.New(4, twophase.NoBug, 2)
+	tpBug := twophase.New(4, twophase.MajorityBug, 2)
+
+	return []Workload{
+		{
+			Name:        "paxos",
+			Description: "correct Paxos, 3 nodes, one proposal (the §5.1 benchmark space)",
+			Machine:     paxosCorrect,
+			Invariant:   paxos.Agreement(),
+			Reduction:   paxos.Reduction{},
+		},
+		{
+			Name:        "paxos-bug",
+			Description: "Paxos with the §5.5 last-response value bug, from the paper's live state",
+			Machine:     paxosBug,
+			Invariant:   paxos.Agreement(),
+			Reduction:   paxos.Reduction{},
+			Start:       func() (model.SystemState, error) { return paxos.PaperLiveState(paxosBug) },
+		},
+		{
+			Name:        "paxos-two",
+			Description: "correct Paxos, two competing proposals (the §5.2 scalability space)",
+			Machine:     paxosTwo,
+			Invariant:   paxos.Agreement(),
+			Reduction:   paxos.Reduction{},
+		},
+		{
+			Name:        "1paxos",
+			Description: "correct 1Paxos over PaxosUtility, from the §5.6 live state",
+			Machine:     onepaxosOK,
+			Invariant:   onepaxos.Agreement(),
+			Reduction:   onepaxos.Reduction{},
+			Start:       func() (model.SystemState, error) { return onepaxos.PaperLiveState(onepaxosOK) },
+		},
+		{
+			Name:        "1paxos-bug",
+			Description: "1Paxos with the §5.6 ++ initialization bug, from the paper's live state",
+			Machine:     onepaxosBug,
+			Invariant:   onepaxos.Agreement(),
+			Reduction:   onepaxos.Reduction{},
+			Locals:      []spec.LocalInvariant{onepaxos.Separation()},
+			Start:       func() (model.SystemState, error) { return onepaxos.PaperLiveState(onepaxosBug) },
+		},
+		{
+			Name:        "tree",
+			Description: "the §2 primer: 5-node tree forwarding",
+			Machine:     treeM,
+			Invariant:   treeM.CausalityInvariant(),
+		},
+		{
+			Name:        "chain",
+			Description: "serial token chain — the protocol LMC cannot help (§4.3)",
+			Machine:     chainM,
+			Invariant:   chainM.Causality(),
+		},
+		{
+			Name:        "randtree",
+			Description: "RandTree-style overlay with the disjoint children/siblings local invariant (§4)",
+			Machine:     rtOK,
+			Locals:      []spec.LocalInvariant{randtree.Structure()},
+		},
+		{
+			Name:        "randtree-bug",
+			Description: "RandTree overlay with the self-sibling off-by-one bug",
+			Machine:     rtBug,
+			Locals:      []spec.LocalInvariant{randtree.Structure()},
+		},
+		{
+			Name:        "twophase",
+			Description: "two-phase commit, 4 nodes, one scripted no-voter",
+			Machine:     tpOK,
+			Invariant:   twophase.Atomicity(),
+			Reduction:   twophase.Reduction{},
+		},
+		{
+			Name:        "twophase-bug",
+			Description: "two-phase commit deciding on a majority instead of unanimity",
+			Machine:     tpBug,
+			Invariant:   twophase.Atomicity(),
+			Reduction:   twophase.Reduction{},
+		},
+	}
+}
+
+// Lookup finds a workload by name.
+func Lookup(name string) (Workload, error) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	var names []string
+	for _, w := range Workloads() {
+		names = append(names, w.Name)
+	}
+	return Workload{}, fmt.Errorf("unknown workload %q (have: %s)", name, strings.Join(names, ", "))
+}

@@ -1,0 +1,218 @@
+// Package codec provides a deterministic binary encoding for protocol
+// states, messages and events, plus 64-bit fingerprints over the encoded
+// form.
+//
+// The local model checker (and the global baseline) detect duplicate states
+// by comparing hashes of serialized node states, mirroring the MaceMC
+// mechanics the paper builds on (§4.2: "To efficiently check for duplicate
+// states, we use the hashes of the serialized states"). For hashing to be
+// meaningful the encoding must be canonical: two semantically equal values
+// must encode to the same bytes. Encoders therefore must write collections
+// in a deterministic (sorted) order; the helpers here give protocols the
+// primitives to do that without reflection.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Writer accumulates a canonical binary encoding. The zero value is ready to
+// use. Writers are not safe for concurrent use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with capacity preallocated for n bytes.
+func NewWriter(n int) *Writer {
+	return &Writer{buf: make([]byte, 0, n)}
+}
+
+// Reset discards the accumulated encoding, retaining the buffer.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Len reports the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Bytes returns the accumulated encoding. The slice aliases the Writer's
+// internal buffer and is invalidated by further writes or Reset.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Clone returns a copy of the accumulated encoding that remains valid after
+// the Writer is reused.
+func (w *Writer) Clone() []byte {
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	return out
+}
+
+// Bool writes a boolean as a single byte (0 or 1).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Byte writes a single raw byte.
+func (w *Writer) Byte(v byte) { w.buf = append(w.buf, v) }
+
+// Uint32 writes a fixed-width big-endian uint32.
+func (w *Writer) Uint32(v uint32) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+
+// Uint64 writes a fixed-width big-endian uint64.
+func (w *Writer) Uint64(v uint64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+}
+
+// Int writes a signed integer as a 64-bit two's-complement value.
+func (w *Writer) Int(v int) { w.Uint64(uint64(v)) }
+
+// Int64 writes a signed 64-bit integer.
+func (w *Writer) Int64(v int64) { w.Uint64(uint64(v)) }
+
+// Float64 writes an IEEE-754 bit pattern. NaNs are canonicalized so that
+// all NaN payloads encode identically.
+func (w *Writer) Float64(v float64) {
+	if v != v { // NaN
+		w.Uint64(0x7ff8000000000001)
+		return
+	}
+	w.Uint64(math.Float64bits(v))
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uint32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Bytes32 writes a length-prefixed byte slice.
+func (w *Writer) Bytes32(b []byte) {
+	w.Uint32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Ints writes a length-prefixed slice of ints in the order given.
+func (w *Writer) Ints(vs []int) {
+	w.Uint32(uint32(len(vs)))
+	for _, v := range vs {
+		w.Int(v)
+	}
+}
+
+// SortedInts writes a length-prefixed slice of ints in ascending order,
+// without mutating the argument. Use it to encode sets kept in maps.
+func (w *Writer) SortedInts(vs []int) {
+	sorted := make([]int, len(vs))
+	copy(sorted, vs)
+	sort.Ints(sorted)
+	w.Ints(sorted)
+}
+
+// IntSet writes a canonical encoding of a set of ints represented as map
+// keys: length prefix followed by the keys in ascending order.
+func (w *Writer) IntSet(set map[int]bool) {
+	keys := make([]int, 0, len(set))
+	for k, ok := range set {
+		if ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	w.Ints(keys)
+}
+
+// IntMap writes a canonical encoding of an int→int map: length prefix
+// followed by key/value pairs in ascending key order.
+func (w *Writer) IntMap(m map[int]int) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	w.Uint32(uint32(len(keys)))
+	for _, k := range keys {
+		w.Int(k)
+		w.Int(m[k])
+	}
+}
+
+// StringSet writes a canonical encoding of a set of strings represented as
+// map keys: length prefix followed by the keys in ascending order.
+func (w *Writer) StringSet(set map[string]bool) {
+	keys := make([]string, 0, len(set))
+	for k, ok := range set {
+		if ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	w.Uint32(uint32(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+	}
+}
+
+// Encoder is implemented by values that have a canonical binary encoding.
+// Implementations must be deterministic: equal values produce equal bytes.
+type Encoder interface {
+	Encode(w *Writer)
+}
+
+// Fingerprint is a 64-bit hash of a canonical encoding. It is the currency
+// of duplicate detection throughout the checkers: node states, messages and
+// events are all identified by their fingerprints.
+type Fingerprint uint64
+
+// String formats the fingerprint as fixed-width hex, convenient in traces.
+func (f Fingerprint) String() string { return fmt.Sprintf("%016x", uint64(f)) }
+
+// Hash fingerprints raw bytes with FNV-1a.
+func Hash(b []byte) Fingerprint {
+	h := fnv.New64a()
+	h.Write(b)
+	return Fingerprint(h.Sum64())
+}
+
+// HashOf encodes v into a scratch Writer and fingerprints the result.
+func HashOf(v Encoder) Fingerprint {
+	var w Writer
+	v.Encode(&w)
+	return Hash(w.Bytes())
+}
+
+// Combine mixes fingerprints into one, order-sensitively. It is used to
+// derive composite identities (for example an event identity from the
+// handler kind plus the consumed message).
+func Combine(fps ...Fingerprint) Fingerprint {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, fp := range fps {
+		binary.BigEndian.PutUint64(b[:], uint64(fp))
+		h.Write(b[:])
+	}
+	return Fingerprint(h.Sum64())
+}
+
+// CombineUnordered mixes fingerprints into one, insensitively to order, via
+// commutative addition. It identifies multisets such as "the messages
+// generated by this event".
+func CombineUnordered(fps []Fingerprint) Fingerprint {
+	var sum uint64
+	for _, fp := range fps {
+		// Pre-mix each element so that {a,a} and {b} with b=2a collide less.
+		h := fnv.New64a()
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(fp))
+		h.Write(b[:])
+		sum += h.Sum64()
+	}
+	return Fingerprint(sum)
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"lmc/internal/mc/global"
+	"lmc/internal/model"
+	"lmc/internal/protocols/paxos"
+)
+
+// TestPaxosContentionNoFalsePositive is the strongest soundness regression
+// test: the two-proposal space (§5.2) floods the local checker with
+// invalid node-state combinations — states that chose different values but
+// could never coexist in a real run. Correct Paxos guarantees agreement,
+// so every preliminary violation must be refuted; a single confirmed bug
+// here would be a false positive, which the a-posteriori soundness
+// verification exists to rule out (§3.2).
+func TestPaxosContentionNoFalsePositive(t *testing.T) {
+	m := paxos.New(3, paxos.NoBug, paxos.EachOnce{Nodes: []model.NodeID{0, 1}, Index: 0})
+	res := Check(m, model.InitialSystem(m), Options{
+		Invariant: paxos.Agreement(),
+		Reduction: paxos.Reduction{},
+		Budget:    8 * time.Second,
+	})
+	if len(res.Bugs) != 0 {
+		t.Fatalf("FALSE POSITIVE on correct Paxos under contention:\n%v\n%s",
+			res.Bugs[0].Violation, res.Bugs[0].Schedule)
+	}
+	t.Logf("refuted %d preliminary violations across %d soundness calls",
+		res.Stats.PreliminaryViolations, res.Stats.SoundnessCalls)
+}
+
+// TestPaxosContentionGlobalAgrees cross-checks with the global baseline,
+// which is sound by construction.
+func TestPaxosContentionGlobalAgrees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded global exploration")
+	}
+	m := paxos.New(3, paxos.NoBug, paxos.EachOnce{Nodes: []model.NodeID{0, 1}, Index: 0})
+	res := global.Check(m, model.InitialSystem(m), global.Options{
+		Invariant: paxos.Agreement(),
+		Strategy:  global.BFS,
+		Budget:    8 * time.Second,
+	})
+	if len(res.Bugs) != 0 {
+		t.Fatalf("global checker found a bug in correct Paxos: %v", res.Bugs[0].Violation)
+	}
+}

@@ -1,0 +1,342 @@
+// Package core implements LMC, the paper's local model-checking approach
+// (§4, Figures 7–9): the network element is removed from the checker's
+// states a priori; each node's local state space is explored independently
+// against a single shared, monotonically growing network object I+; system
+// states are only materialized temporarily — by Cartesian combination of
+// visited node states — for invariant checking; and a preliminary invariant
+// violation is confirmed a posteriori by a soundness-verification phase
+// that searches the predecessor DAG for a real schedule realizing the
+// combination.
+//
+// The package provides both the general algorithm (LMC-GEN) and the
+// invariant-specific optimization (LMC-OPT) selected by supplying a
+// spec.Reduction.
+package core
+
+import (
+	"time"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+	"lmc/internal/spec"
+	"lmc/internal/stats"
+	"lmc/internal/trace"
+)
+
+// Options configures a run of the local checker.
+type Options struct {
+	// Invariant is the system-wide safety property. May be nil when only
+	// LocalInvariants are checked.
+	Invariant spec.Invariant
+	// LocalInvariants are node-local properties checked directly on every
+	// newly visited node state, with no Cartesian combination (§4,
+	// RandTree's disjoint children/siblings example).
+	LocalInvariants []spec.LocalInvariant
+	// Reduction, when non-nil, enables LMC-OPT: system states are only
+	// materialized for combinations whose member interests conflict.
+	Reduction spec.Reduction
+
+	// InitialMessages seeds the shared network I+ before exploration, for
+	// callers that capture in-flight messages along with the live state.
+	// The paper's online runs seed nothing (messages in flight at snapshot
+	// time are simply lost, which is safe).
+	InitialMessages []model.Message
+
+	// DupLimit is the number of duplicate copies of an identical message
+	// admitted to I+ beyond the first; the paper uses 0 (§4.2).
+	DupLimit int
+
+	// LocalBound caps the number of internal-action handler executions per
+	// node within one exploration pass (§4.2, "Local events": "in each
+	// round we put a bound on the number of local events that each node can
+	// execute"). Zero means 1. Budget is granted to node states in
+	// discovery order, which favors the live state's own local events.
+	LocalBound int
+	// LocalBoundStep, when positive, re-runs the exploration from scratch
+	// with LocalBound increased by the step whenever the bound actually
+	// suppressed an action, until MaxLocalBound or another stop criterion.
+	LocalBoundStep int
+	// MaxLocalBound caps the iterative-deepening of LocalBound; zero
+	// disables the outer loop regardless of LocalBoundStep.
+	MaxLocalBound int
+
+	// MaxPathDepth bounds the per-node path length (events executed on one
+	// node); 0 means unbounded.
+	MaxPathDepth int
+	// MaxSystemDepth bounds the total depth (sum of member path lengths)
+	// of materialized system states; 0 means unbounded.
+	MaxSystemDepth int
+	// MaxTransitions bounds handler executions; 0 means unbounded.
+	MaxTransitions int
+	// Budget bounds wall time; 0 means unbounded.
+	Budget time.Duration
+	// StopAtFirstBug ends the search at the first confirmed violation.
+	StopAtFirstBug bool
+
+	// CreateSystemStates gates system-state materialization and invariant
+	// checking; disabling it yields the "LMC-explore" configuration of
+	// Figure 13. Enabled by default (the zero Options value flips it on
+	// via Check).
+	DisableSystemStates bool
+	// DisableSoundness skips the a-posteriori soundness verification,
+	// yielding the "LMC-system-state" configuration of Figure 13.
+	// Preliminary violations are then counted but never confirmed.
+	DisableSoundness bool
+	// DisableReplay skips the final schedule replay that double-checks a
+	// sound violation against the real handlers before reporting.
+	DisableReplay bool
+
+	// MaxPathsPerNode caps the predecessor paths enumerated per node during
+	// soundness verification (the combinatorial cost the paper identifies
+	// in §5.2). Zero means DefaultMaxPathsPerNode.
+	MaxPathsPerNode int
+	// MaxSequencesPerCheck caps the path combinations examined per
+	// soundness call. Zero means DefaultMaxSequencesPerCheck.
+	MaxSequencesPerCheck int
+	// MaxPredecessors caps predecessor edges recorded per node state; 0
+	// means DefaultMaxPredecessors.
+	MaxPredecessors int
+
+	// SoundnessShare bounds the fraction of elapsed wall time spent in
+	// witness searches while exploration is still making progress; searches
+	// beyond the share are queued and drained between rounds and at the
+	// exploration fixpoint. §4.3 observes that "the cost of soundness
+	// verification dominates" when preliminary violations are plentiful —
+	// the share keeps the checker exploring toward the states that make
+	// witnesses valid instead of exhaustively refuting early junk. Zero
+	// means the default of 0.5; negative disables deferral.
+	SoundnessShare float64
+
+	// Workers parallelizes system-state invariant checking across
+	// goroutines ("the model checking process can be embarrassingly
+	// parallelized", §1). Values <2 run sequentially.
+	Workers int
+
+	// RecordSeries collects per-round progress samples (Figures 10–13).
+	RecordSeries bool
+
+	// AssertionPolicy selects how handler rejections are treated; both
+	// policies discard the successor state (§4.2, "Local assertions").
+	AssertionPolicy spec.AssertionPolicy
+}
+
+// Defaults for the soundness-verification caps. The caps trade completeness
+// of the a-posteriori check for bounded cost; the paper accepts the same
+// kind of incompleteness ("the search in the limited time budget is
+// incomplete anyway", §4.2).
+const (
+	DefaultMaxPathsPerNode      = 512
+	DefaultMaxSequencesPerCheck = 1 << 14
+	DefaultMaxPredecessors      = 64
+
+	// witnessPairPathCap bounds the alternate paths tried per member of the
+	// conflicting pair during a witness search; witnessCompletionPathCap
+	// does the same for completion nodes. A state can be reachable by
+	// several routes (its predecessor DAG), and a witness may need a route
+	// other than the discovery one — e.g. one that includes the handler
+	// execution that generated a message the pair consumed.
+	witnessPairPathCap       = 8
+	witnessCompletionPathCap = 8
+)
+
+// Bug is a violation confirmed by soundness verification. Schedule is a
+// realizable total order of events from the start system state whose final
+// state violates the invariant; it has been validated by isSequenceValid
+// and (unless DisableReplay) replayed against the real handlers.
+type Bug struct {
+	Violation *spec.Violation
+	Schedule  trace.Schedule
+	// System is the violating system state.
+	System model.SystemState
+	// Depth is the total depth (sum of member path lengths).
+	Depth int
+}
+
+// Result reports a finished run.
+type Result struct {
+	Stats  stats.Counters
+	Series *stats.Series
+	Bugs   []Bug
+	// Complete is true when exploration reached a fixpoint (no new node
+	// states, all messages applied everywhere) within the configured
+	// bounds, without hitting a transition/time cutoff.
+	Complete bool
+	// FinalLocalBound is the local-event bound of the last pass.
+	FinalLocalBound int
+}
+
+// nodeState is one visited local state of one node, the unit the local
+// checker stores (the LS sets of Figure 7).
+type nodeState struct {
+	node  model.NodeID
+	state model.State
+	fp    codec.Fingerprint
+	// seq is the state's index in its node's visited list; the shared
+	// network's per-message Applied counters refer to these indexes.
+	seq int
+	// depth is the length of the first path that reached this state.
+	depth int
+	// history is the persistent set of delivery-event fingerprints executed
+	// along the first path (§4.2, "Duplicate messages": a message is never
+	// re-executed on a state whose history already contains it).
+	history *historyNode
+	// preds records every immediate predecessor edge (Figure 9 line 14);
+	// soundness verification walks them backward to enumerate the event
+	// sequences that could lead here.
+	preds []pred
+	// interest caches the Reduction projection (LMC-OPT).
+	interest    spec.Interest
+	interesting bool
+	// creation memoizes the state's creation path (the chain of first
+	// predecessor edges back to the node's start state).
+	creation     []pred
+	creationDone bool
+	// gen is the persistent chain of message fingerprints generated along
+	// the creation path; witness searches use it to rank and prune
+	// completion candidates by what they can supply.
+	gen *genNode
+	// actionsDone marks that this state's enabled internal actions have
+	// been executed (subject to the local bound).
+	actionsDone bool
+	// suppressed marks that the local bound suppressed at least one action
+	// at this state, so a higher bound could reach more states.
+	suppressed bool
+}
+
+// pred is a predecessor edge: the event that produced a state from a prior
+// state of the same node, plus exactly the data isSequenceValid needs — the
+// consumed message fingerprint (network events) and the fingerprints of
+// the generated messages (§4.2, "the input to Procedure isSequenceValid is
+// the set of sequenced events as well as the set of generated messages by
+// each event").
+type pred struct {
+	prev      *nodeState // nil when the edge leaves the start state
+	kind      model.EventKind
+	event     model.Event // retained for counterexample reporting
+	eventFP   codec.Fingerprint
+	msgFP     codec.Fingerprint // consumed message (network events)
+	generated []codec.Fingerprint
+}
+
+// historyNode is a persistent (shared-tail) list of delivered message
+// event fingerprints.
+type historyNode struct {
+	parent *historyNode
+	fp     codec.Fingerprint
+}
+
+// genNode is a persistent (shared-tail) list of the message fingerprints
+// one creation-path event generated.
+type genNode struct {
+	parent *genNode
+	fps    []codec.Fingerprint
+}
+
+// contains walks the chain looking for fp.
+func (g *genNode) contains(fp codec.Fingerprint) bool {
+	for n := g; n != nil; n = n.parent {
+		for _, f := range n.fps {
+			if f == fp {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (h *historyNode) contains(fp codec.Fingerprint) bool {
+	for n := h; n != nil; n = n.parent {
+		if n.fp == fp {
+			return true
+		}
+	}
+	return false
+}
+
+// space is the set of visited states of a single node.
+type space struct {
+	states []*nodeState
+	byFP   map[codec.Fingerprint]*nodeState
+
+	// groups buckets interesting states by their canonical interest key
+	// (LMC-OPT with a spec.Keyer reduction); rest holds the non-interesting
+	// states. A conflicting pair must come from two groups, but the other
+	// nodes of the combination range over all their states — their events
+	// are what generated the messages the pair consumed, so restricting
+	// them would starve soundness verification of every valid witness.
+	groups     map[string]*interestGroup
+	groupOrder []string
+	rest       []*nodeState
+}
+
+// witnessKey identifies one witness search: the new node state, the peer
+// node index, and the conflicting group (or "all" for keyless reductions).
+type witnessKey struct {
+	fp    codec.Fingerprint
+	node  int
+	group string
+}
+
+// pendingSearch is a witness search deferred by the soundness share.
+type pendingSearch struct {
+	ns    *nodeState
+	node  int
+	group string
+}
+
+// searchQueue is a min-heap of deferred witness searches ordered by the
+// depth of the triggering node state: shallow states are more likely to be
+// valid (junk combinations accumulate with depth), so their searches run
+// first when the soundness share frees up.
+type searchQueue []pendingSearch
+
+func (q searchQueue) Len() int           { return len(q) }
+func (q searchQueue) Less(i, j int) bool { return q[i].ns.depth < q[j].ns.depth }
+func (q searchQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *searchQueue) Push(x any)        { *q = append(*q, x.(pendingSearch)) }
+func (q *searchQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// interestGroup is the bucket of node states sharing one interest key.
+type interestGroup struct {
+	key      string
+	interest spec.Interest
+	members  []*nodeState
+}
+
+func newSpace() *space {
+	return &space{
+		byFP:   make(map[codec.Fingerprint]*nodeState),
+		groups: make(map[string]*interestGroup),
+	}
+}
+
+func (sp *space) add(ns *nodeState) {
+	ns.seq = len(sp.states)
+	sp.states = append(sp.states, ns)
+	sp.byFP[ns.fp] = ns
+}
+
+// classify registers ns in its interest group (or among the non-interesting
+// rest) under a Keyer reduction.
+func (sp *space) classify(ns *nodeState, keyer spec.Keyer) {
+	if !ns.interesting {
+		sp.rest = append(sp.rest, ns)
+		return
+	}
+	key := keyer.InterestKey(ns.interest)
+	g := sp.groups[key]
+	if g == nil {
+		g = &interestGroup{key: key, interest: ns.interest}
+		sp.groups[key] = g
+		sp.groupOrder = append(sp.groupOrder, key)
+	}
+	g.members = append(g.members, ns)
+}
+
+func (sp *space) lookup(fp codec.Fingerprint) *nodeState { return sp.byFP[fp] }

@@ -1,0 +1,464 @@
+package core
+
+import (
+	"container/heap"
+	"time"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+	"lmc/internal/netstate"
+	"lmc/internal/spec"
+	"lmc/internal/stats"
+)
+
+// checker carries one run's mutable state.
+type checker struct {
+	m     model.Machine
+	opt   Options
+	start model.SystemState
+
+	spaces []*space
+	net    *netstate.Shared
+
+	// initialNet lists message fingerprints available before any event
+	// executes (Options.InitialMessages); soundness verification seeds its
+	// generated-message set with them.
+	initialNet []codec.Fingerprint
+
+	res        *Result
+	probe      stats.MemProbe
+	begin      time.Time
+	deadline   time.Time
+	localBound int
+
+	// keyer is non-nil when the reduction supports canonical interest keys
+	// (the grouped LMC-OPT path).
+	keyer spec.Keyer
+
+	// verdicts caches soundness outcomes per system-state fingerprint so a
+	// combination is never verified twice (§4.2 discusses caching violated
+	// system states).
+	verdicts map[codec.Fingerprint]bool
+	// reported guards against duplicate bug reports for one system state.
+	reported map[codec.Fingerprint]bool
+	// witnessed marks (state, node, group) witness searches already run;
+	// like the paper's predecessor-update simplification, completed
+	// searches are not redone when later states extend the completion
+	// space — new states trigger their own searches instead.
+	witnessed map[witnessKey]struct{}
+	// pending queues witness searches deferred by the soundness share,
+	// prioritized by the triggering state's depth.
+	pending searchQueue
+
+	stopped        bool // a stop criterion (budget/transitions/first-bug) fired
+	passSuppressed bool // the local bound suppressed an action this pass
+	// localExecuted counts internal-action handler executions per node in
+	// the current pass, charged against localBound.
+	localExecuted []int
+}
+
+// Check runs the local model checker on machine m from the given start
+// system state — the live state in online use, or model.InitialSystem(m)
+// for offline checking — under opt.
+func Check(m model.Machine, start model.SystemState, opt Options) *Result {
+	if opt.LocalBound <= 0 {
+		opt.LocalBound = 1
+	}
+	if opt.MaxPathsPerNode <= 0 {
+		opt.MaxPathsPerNode = DefaultMaxPathsPerNode
+	}
+	if opt.MaxSequencesPerCheck <= 0 {
+		opt.MaxSequencesPerCheck = DefaultMaxSequencesPerCheck
+	}
+	if opt.MaxPredecessors <= 0 {
+		opt.MaxPredecessors = DefaultMaxPredecessors
+	}
+	c := &checker{
+		m:         m,
+		opt:       opt,
+		start:     start.Clone(),
+		res:       &Result{},
+		verdicts:  make(map[codec.Fingerprint]bool),
+		reported:  make(map[codec.Fingerprint]bool),
+		witnessed: make(map[witnessKey]struct{}),
+	}
+	if k, ok := opt.Reduction.(spec.Keyer); ok {
+		c.keyer = k
+	}
+	if opt.RecordSeries {
+		c.res.Series = stats.NewSeries()
+	}
+	c.probe.Baseline()
+	c.begin = time.Now()
+	if opt.Budget > 0 {
+		c.deadline = c.begin.Add(opt.Budget)
+	}
+
+	// Iterative deepening on the local-event bound (§4.2, "Local events"):
+	// run a pass; if the bound suppressed any action and deepening is
+	// configured, restart from scratch with a larger bound.
+	c.localBound = opt.LocalBound
+	for {
+		complete := c.pass()
+		c.res.Complete = complete && !c.stopped
+		c.res.FinalLocalBound = c.localBound
+		if c.stopped || !c.passSuppressed ||
+			opt.LocalBoundStep <= 0 || opt.MaxLocalBound <= 0 ||
+			c.localBound >= opt.MaxLocalBound {
+			break
+		}
+		c.localBound += opt.LocalBoundStep
+		if c.localBound > opt.MaxLocalBound {
+			c.localBound = opt.MaxLocalBound
+		}
+	}
+	c.res.Stats.Elapsed = time.Since(c.begin)
+	return c.res
+}
+
+// pass explores to a fixpoint under the current local bound, starting from
+// scratch (fresh LS sets and fresh I+). It reports whether the fixpoint was
+// reached (as opposed to a stop criterion firing).
+func (c *checker) pass() bool {
+	c.passSuppressed = false
+	c.net = netstate.NewShared(c.opt.DupLimit)
+	c.localExecuted = make([]int, c.m.NumNodes())
+	c.spaces = make([]*space, c.m.NumNodes())
+	for n := range c.spaces {
+		c.spaces[n] = newSpace()
+	}
+
+	// Seed the shared network with any captured in-flight messages. Their
+	// fingerprints count as available from the start during soundness
+	// verification.
+	c.initialNet = nil
+	for _, msg := range c.opt.InitialMessages {
+		if e := c.net.Add(msg); e != nil {
+			c.initialNet = append(c.initialNet, e.FP)
+		} else {
+			c.res.Stats.DuplicatesDropped++
+		}
+	}
+
+	// Lines 3–4 of Figure 9: initialize each LSn with the live state.
+	for n := 0; n < c.m.NumNodes(); n++ {
+		ns := &nodeState{
+			node:  model.NodeID(n),
+			state: c.start[n].Clone(),
+			fp:    model.StateFingerprint(c.start[n]),
+		}
+		c.project(ns)
+		c.spaces[n].add(ns)
+		if c.keyer != nil {
+			c.spaces[n].classify(ns, c.keyer)
+		}
+		c.res.Stats.NodeStates++
+	}
+	// The start system state itself is checked once, before exploration.
+	c.checkStartState()
+
+	for !c.stopped {
+		progress := false
+
+		// Internal events: execute the enabled actions of every node state
+		// that has not been processed yet (new states from the previous
+		// round included).
+		for n := range c.spaces {
+			list := c.spaces[n].states
+			for i := 0; i < len(list); i++ { // list may grow while iterating
+				list = c.spaces[n].states
+				ns := list[i]
+				if ns.actionsDone || c.stopped {
+					continue
+				}
+				ns.actionsDone = true
+				if c.opt.MaxPathDepth > 0 && ns.depth >= c.opt.MaxPathDepth {
+					continue
+				}
+				if c.runActions(ns) {
+					progress = true
+				}
+			}
+		}
+
+		// Network events (lines 6 and 8 of Figure 9): each message in I+ is
+		// executed on every visited state of its destination node; the
+		// Applied counter skips states already covered in earlier rounds.
+		// Messages appended during this round are picked up next round
+		// (snapshot of the entry count), matching the paper's rounds.
+		numEntries := c.net.Len()
+		for i := 0; i < numEntries && !c.stopped; i++ {
+			e := c.net.Entry(i)
+			dst := int(e.Msg.Dst())
+			if dst < 0 || dst >= len(c.spaces) {
+				continue
+			}
+			destList := c.spaces[dst].states
+			limit := len(destList)
+			for j := e.Applied; j < limit && !c.stopped; j++ {
+				c.deliver(e, destList[j])
+			}
+			if e.Applied < limit {
+				e.Applied = limit
+				progress = true
+			}
+		}
+
+		c.drainPending(false)
+		c.recordRound()
+		if !progress {
+			// Exploration fixpoint: run every deferred witness search.
+			c.drainPending(true)
+			return true
+		}
+	}
+	return false
+}
+
+// drainPending runs deferred witness searches: all of them when force is
+// set (the exploration fixpoint), otherwise only while the soundness share
+// allows.
+func (c *checker) drainPending(force bool) {
+	for c.pending.Len() > 0 && !c.stopped {
+		if !force && c.soundnessShareExceeded() {
+			return
+		}
+		p := heap.Pop(&c.pending).(pendingSearch)
+		c.searchWitness(p.ns, p.node, p.group, true)
+	}
+}
+
+// soundnessShareExceeded reports whether witness searching has consumed its
+// configured share of the elapsed wall time.
+func (c *checker) soundnessShareExceeded() bool {
+	share := c.opt.SoundnessShare
+	if share < 0 {
+		return false
+	}
+	if share == 0 {
+		share = 0.5
+	}
+	spent := c.res.Stats.SoundnessTime
+	if spent < 10*time.Millisecond {
+		return false
+	}
+	return float64(spent) > share*float64(time.Since(c.begin))
+}
+
+// deliver executes message entry e's handler on node state s, unless the
+// message is already in s's history.
+func (c *checker) deliver(e *netstate.Entry, s *nodeState) {
+	if c.opt.MaxPathDepth > 0 && s.depth >= c.opt.MaxPathDepth {
+		return
+	}
+	evfp := e.EventFingerprint()
+	if s.history.contains(evfp) {
+		return
+	}
+	if !c.chargeTransition() {
+		return
+	}
+	next, emitted := c.m.HandleMessage(s.node, s.state.Clone(), e.Msg)
+	if next == nil {
+		c.res.Stats.Rejections++
+		return
+	}
+	ev := model.RecvEvent(e.Msg)
+	c.addNext(s, ev, evfp, next, emitted, e.FP)
+}
+
+// runActions executes the internal actions enabled at s, subject to the
+// per-node, per-pass local-event budget of §4.2. It reports whether any
+// handler ran.
+func (c *checker) runActions(s *nodeState) bool {
+	acts := c.m.Actions(s.node, s.state)
+	if len(acts) == 0 {
+		return false
+	}
+	ran := false
+	for _, a := range acts {
+		if c.stopped {
+			break
+		}
+		if c.localExecuted[s.node] >= c.localBound {
+			s.suppressed = true
+			c.passSuppressed = true
+			break
+		}
+		if !c.chargeTransition() {
+			break
+		}
+		c.localExecuted[s.node]++
+		next, emitted := c.m.HandleAction(s.node, s.state.Clone(), a)
+		ran = true
+		if next == nil {
+			c.res.Stats.Rejections++
+			continue
+		}
+		ev := model.ActEvent(a)
+		c.addNext(s, ev, 0, next, emitted, 0)
+	}
+	return ran
+}
+
+// addNext is Procedure addNextState of Figure 9: add the generated messages
+// to I+, add the successor to LSn if new, and record the predecessor edge.
+// historyFP is the delivery-event fingerprint for network events (zero for
+// internal events); msgFP is the consumed message's content fingerprint.
+func (c *checker) addNext(prev *nodeState, ev model.Event, historyFP codec.Fingerprint,
+	next model.State, emitted []model.Message, msgFP codec.Fingerprint) {
+
+	generated := make([]codec.Fingerprint, len(emitted))
+	for i, m := range emitted {
+		generated[i] = model.MessageFingerprint(m)
+	}
+	added := c.net.AddAll(emitted)
+	c.res.Stats.DuplicatesDropped += len(emitted) - len(added)
+
+	fp := model.StateFingerprint(next)
+	sp := c.spaces[prev.node]
+	edge := pred{
+		prev:      prev,
+		kind:      ev.Kind,
+		event:     ev,
+		eventFP:   ev.Fingerprint(),
+		msgFP:     msgFP,
+		generated: generated,
+	}
+
+	if existing := sp.lookup(fp); existing != nil {
+		// The state exists: only a predecessor pointer is added (the paper
+		// keeps all immediate predecessors). The history rule (i) of §4.2
+		// is deliberately not applied to existing states, matching the
+		// paper's simplification.
+		c.addPred(existing, edge)
+		return
+	}
+
+	ns := &nodeState{
+		node:    prev.node,
+		state:   next,
+		fp:      fp,
+		depth:   prev.depth + 1,
+		history: prev.history,
+		preds:   []pred{edge},
+	}
+	if ev.Kind == model.NetworkEvent {
+		ns.history = &historyNode{parent: prev.history, fp: historyFP}
+	}
+	ns.gen = prev.gen
+	if len(generated) > 0 {
+		ns.gen = &genNode{parent: prev.gen, fps: generated}
+	}
+	c.project(ns)
+	sp.add(ns)
+	if c.keyer != nil {
+		sp.classify(ns, c.keyer)
+	}
+	c.res.Stats.NodeStates++
+	if ns.depth > c.res.Stats.MaxDepth {
+		c.res.Stats.MaxDepth = ns.depth
+	}
+
+	c.checkLocalInvariants(ns)
+	if !c.stopped {
+		c.checkNewState(ns)
+	}
+}
+
+// addPred appends a predecessor edge unless it duplicates an existing one
+// or the cap is reached.
+func (c *checker) addPred(ns *nodeState, edge pred) {
+	if len(ns.preds) >= c.opt.MaxPredecessors {
+		return
+	}
+	for _, p := range ns.preds {
+		if p.prev == edge.prev && p.eventFP == edge.eventFP {
+			return
+		}
+	}
+	ns.preds = append(ns.preds, edge)
+}
+
+// project caches the LMC-OPT interest of a node state.
+func (c *checker) project(ns *nodeState) {
+	if c.opt.Reduction == nil {
+		return
+	}
+	ns.interest, ns.interesting = c.opt.Reduction.Interest(ns.node, ns.state)
+}
+
+// chargeTransition accounts for one handler execution and evaluates the
+// global stop criteria. It returns false when the execution must not
+// proceed.
+func (c *checker) chargeTransition() bool {
+	if c.stopped {
+		return false
+	}
+	if c.opt.MaxTransitions > 0 && c.res.Stats.Transitions >= c.opt.MaxTransitions {
+		c.stopped = true
+		return false
+	}
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		c.stopped = true
+		return false
+	}
+	c.res.Stats.Transitions++
+	return true
+}
+
+// checkLocalInvariants evaluates node-local invariants directly on a newly
+// visited node state, with no Cartesian combination (§4: RandTree's
+// disjoint children/siblings). A violation still goes through soundness
+// verification — the node state must be reachable in a real run, and the
+// messages its path consumed must be generated by some completion of the
+// other nodes — via the same lazy witness search system violations use.
+func (c *checker) checkLocalInvariants(ns *nodeState) {
+	for _, li := range c.opt.LocalInvariants {
+		msg := li.CheckNode(ns.node, ns.state)
+		if msg == "" {
+			continue
+		}
+		c.res.Stats.PreliminaryViolations++
+		v := &spec.Violation{
+			Invariant: li.Name(),
+			Detail:    "node " + ns.node.String() + ": " + msg,
+		}
+		c.confirmLocalViolation(ns, v)
+		if c.stopped {
+			return
+		}
+	}
+}
+
+// recordRound samples the per-round progress series. The depth coordinate
+// is the maximum total system-state depth reachable from the states visited
+// so far (the sum over nodes of the deepest visited path), which is the
+// depth axis the paper plots for LMC (§5.1: LMC explores sequences up to
+// 25 in the 22-event space).
+func (c *checker) recordRound() {
+	if c.res.Series == nil {
+		return
+	}
+	depth := 0
+	for _, sp := range c.spaces {
+		max := 0
+		for _, ns := range sp.states {
+			if ns.depth > max {
+				max = ns.depth
+			}
+		}
+		depth += max
+	}
+	if depth > c.res.Stats.MaxDepth {
+		c.res.Stats.MaxDepth = depth
+	}
+	c.res.Series.Record(stats.Sample{
+		Depth:        depth,
+		Elapsed:      time.Since(c.begin),
+		Transitions:  c.res.Stats.Transitions,
+		NodeStates:   c.res.Stats.NodeStates,
+		SystemStates: c.res.Stats.SystemStates,
+		HeapBytes:    c.probe.Sample(),
+	})
+}

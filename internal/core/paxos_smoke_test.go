@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"lmc/internal/mc/global"
+	"lmc/internal/model"
+	"lmc/internal/protocols/paxos"
+	"lmc/internal/trace"
+)
+
+// oneProposalSpace builds the §5.1 benchmark space: three nodes, one node
+// proposes one value once, the others react.
+func oneProposalSpace(bug paxos.BugKind) *paxos.Machine {
+	return paxos.New(3, bug, paxos.OnceAt{Node: 0, Index: 0, Value: 7})
+}
+
+// TestPaxosOneProposalLMC explores the single-proposal space with LMC-GEN
+// and LMC-OPT: both must complete, find no bug, and OPT must materialize
+// zero system states (Figure 11: "The number of system states explored by
+// LMC-OPT is zero").
+func TestPaxosOneProposalLMC(t *testing.T) {
+	m := oneProposalSpace(paxos.NoBug)
+	start := model.InitialSystem(m)
+
+	gen := Check(m, start, Options{Invariant: paxos.Agreement()})
+	if !gen.Complete {
+		t.Fatalf("LMC-GEN did not complete: %s", gen.Stats.String())
+	}
+	if len(gen.Bugs) != 0 {
+		t.Fatalf("LMC-GEN reported a bug in correct Paxos:\n%v\n%s",
+			gen.Bugs[0].Violation, gen.Bugs[0].Schedule)
+	}
+	t.Logf("LMC-GEN: %s", gen.Stats.String())
+
+	opt := Check(m, start, Options{Invariant: paxos.Agreement(), Reduction: paxos.Reduction{}})
+	if !opt.Complete {
+		t.Fatalf("LMC-OPT did not complete: %s", opt.Stats.String())
+	}
+	if len(opt.Bugs) != 0 {
+		t.Fatalf("LMC-OPT reported a bug in correct Paxos: %v", opt.Bugs[0].Violation)
+	}
+	if opt.Stats.SystemStates != 0 {
+		t.Errorf("LMC-OPT materialized %d system states; want 0 (no conflicting choices exist)",
+			opt.Stats.SystemStates)
+	}
+	t.Logf("LMC-OPT: %s", opt.Stats.String())
+
+	if gen.Stats.NodeStates != opt.Stats.NodeStates {
+		t.Errorf("GEN and OPT explored different node-state counts: %d vs %d",
+			gen.Stats.NodeStates, opt.Stats.NodeStates)
+	}
+}
+
+// TestPaxosOneProposalGlobal explores the same space with the global
+// baseline; it must complete without bugs, and its transition count must
+// dwarf LMC's (§5.1 reports a ~132x gap).
+func TestPaxosOneProposalGlobal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("global exploration of the Paxos space is slow")
+	}
+	m := oneProposalSpace(paxos.NoBug)
+	start := model.InitialSystem(m)
+
+	g := global.Check(m, start, global.Options{
+		Invariant: paxos.Agreement(),
+		Budget:    120 * time.Second,
+	})
+	t.Logf("B-DFS: %s", g.Stats.String())
+	if !g.Complete {
+		t.Fatalf("B-DFS did not complete within budget: %s", g.Stats.String())
+	}
+	if len(g.Bugs) != 0 {
+		t.Fatalf("B-DFS reported a bug in correct Paxos: %v", g.Bugs[0].Violation)
+	}
+
+	l := Check(m, start, Options{Invariant: paxos.Agreement()})
+	if g.Stats.Transitions < 10*l.Stats.Transitions {
+		t.Errorf("expected B-DFS transitions (%d) to dwarf LMC's (%d)",
+			g.Stats.Transitions, l.Stats.Transitions)
+	}
+}
+
+// TestPaxosBugFound checks §5.5: starting from the paper's live state —
+// for index 0, node N1 proposed v1, N1 and N2 accepted, only N1 learned —
+// the buggy proposer variant lets LMC confirm an agreement violation, and
+// the witness schedule replays.
+func TestPaxosBugFound(t *testing.T) {
+	m := paxos.New(3, paxos.LastResponseBug, paxos.ActiveIndex{MaxPerNode: 1})
+	live := PaperLiveState(t, m)
+
+	res := Check(m, live, Options{
+		Invariant:      paxos.Agreement(),
+		Reduction:      paxos.Reduction{},
+		StopAtFirstBug: true,
+		Budget:         60 * time.Second,
+	})
+	if len(res.Bugs) == 0 {
+		t.Fatalf("LMC did not find the injected bug: %s", res.Stats.String())
+	}
+	bug := res.Bugs[0]
+	t.Logf("bug: %v", bug.Violation)
+	t.Logf("schedule:\n%s", bug.Schedule)
+	t.Logf("stats: %s", res.Stats.String())
+
+	rr := trace.Replay(m, live, bug.Schedule)
+	if rr.Err != nil {
+		t.Fatalf("witness schedule does not replay: %v", rr.Err)
+	}
+	if v := paxos.Agreement().Check(rr.Final); v == nil {
+		t.Fatalf("replayed final state does not violate agreement")
+	}
+
+	// The correct protocol must be clean from the same live state.
+	correct := paxos.New(3, paxos.NoBug, paxos.ActiveIndex{MaxPerNode: 1})
+	clean := Check(correct, live, Options{
+		Invariant: paxos.Agreement(),
+		Reduction: paxos.Reduction{},
+		Budget:    10 * time.Second,
+	})
+	if len(clean.Bugs) != 0 {
+		t.Fatalf("correct Paxos reported a bug from the live state: %v\n%s",
+			clean.Bugs[0].Violation, clean.Bugs[0].Schedule)
+	}
+}
+
+// PaperLiveState wraps paxos.PaperLiveState for tests.
+func PaperLiveState(t testing.TB, m model.Machine) model.SystemState {
+	t.Helper()
+	sys, err := paxos.PaperLiveState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+	"lmc/internal/spec"
+	"lmc/internal/trace"
+)
+
+// ppState is a tiny two-node protocol state used to unit-test soundness:
+// A sends ping (phase 1), B replies pong (phase 1), A completes (phase 2).
+type ppState struct{ Phase int }
+
+func (s *ppState) Encode(w *codec.Writer) { w.Int(s.Phase) }
+func (s *ppState) Clone() model.State     { c := *s; return &c }
+func (s *ppState) String() string         { return fmt.Sprintf("p%d", s.Phase) }
+
+type ppMsg struct {
+	Kind     string
+	From, To model.NodeID
+}
+
+func (m ppMsg) Src() model.NodeID { return m.From }
+func (m ppMsg) Dst() model.NodeID { return m.To }
+func (m ppMsg) Encode(w *codec.Writer) {
+	w.String(m.Kind)
+	w.Int(int(m.From))
+	w.Int(int(m.To))
+}
+func (m ppMsg) String() string { return fmt.Sprintf("%s{%v->%v}", m.Kind, m.From, m.To) }
+
+type ppAct struct{ On model.NodeID }
+
+func (a ppAct) Node() model.NodeID     { return a.On }
+func (a ppAct) Encode(w *codec.Writer) { w.String("send-ping"); w.Int(int(a.On)) }
+func (a ppAct) String() string         { return "SendPing{}" }
+
+type ppMachine struct{}
+
+func (ppMachine) Name() string                  { return "pingpong" }
+func (ppMachine) NumNodes() int                 { return 2 }
+func (ppMachine) Init(model.NodeID) model.State { return &ppState{} }
+
+func (ppMachine) HandleMessage(n model.NodeID, s model.State, m model.Message) (model.State, []model.Message) {
+	st := s.(*ppState)
+	msg := m.(ppMsg)
+	switch {
+	case msg.Kind == "ping" && n == 1 && st.Phase == 0:
+		st.Phase = 1
+		return st, []model.Message{ppMsg{Kind: "pong", From: 1, To: 0}}
+	case msg.Kind == "pong" && n == 0 && st.Phase == 1:
+		st.Phase = 2
+		return st, nil
+	}
+	return nil, nil
+}
+
+func (ppMachine) Actions(n model.NodeID, s model.State) []model.Action {
+	st := s.(*ppState)
+	if n == 0 && st.Phase == 0 {
+		return []model.Action{ppAct{On: 0}}
+	}
+	return nil
+}
+
+func (ppMachine) HandleAction(n model.NodeID, s model.State, a model.Action) (model.State, []model.Message) {
+	st := s.(*ppState)
+	st.Phase = 1
+	return st, []model.Message{ppMsg{Kind: "ping", From: 0, To: 1}}
+}
+
+// TestSoundnessPingPong: the invariant "A never completes" is violated by a
+// valid run; LMC must confirm it with a replayable schedule.
+func TestSoundnessPingPong(t *testing.T) {
+	m := ppMachine{}
+	inv := spec.InvariantFunc{
+		InvName: "A-never-done",
+		Fn: func(ss model.SystemState) *spec.Violation {
+			if ss[0].(*ppState).Phase == 2 {
+				return spec.Violate("A-never-done", ss, "A completed")
+			}
+			return nil
+		},
+	}
+	res := Check(m, model.InitialSystem(m), Options{Invariant: inv, StopAtFirstBug: true})
+	t.Logf("stats: %s", res.Stats.String())
+	if len(res.Bugs) == 0 {
+		t.Fatalf("no confirmed bug")
+	}
+	t.Logf("schedule:\n%s", res.Bugs[0].Schedule)
+	rr := trace.Replay(m, model.InitialSystem(m), res.Bugs[0].Schedule)
+	if rr.Err != nil {
+		t.Fatalf("schedule does not replay: %v", rr.Err)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"lmc/internal/mc/global"
+	"lmc/internal/model"
+	"lmc/internal/protocols/tree"
+)
+
+// TestTreePrimer reproduces the §2 primer: on the 5-node tree the global
+// checker explores many global states while the local checker visits only a
+// handful of node states; the "----r" combination (target received, root
+// never sent) is a preliminary violation that soundness verification must
+// reject, so no bug is reported by either checker.
+func TestTreePrimer(t *testing.T) {
+	m := tree.NewPaperTree()
+	inv := m.CausalityInvariant()
+	start := model.InitialSystem(m)
+
+	g := global.Check(m, start, global.Options{Invariant: inv})
+	if !g.Complete {
+		t.Fatalf("global search did not complete: %+v", g.Stats)
+	}
+	if len(g.Bugs) != 0 {
+		t.Fatalf("global checker reported a bug in a correct protocol: %v", g.Bugs[0].Violation)
+	}
+	t.Logf("global: %s", g.Stats.String())
+
+	l := Check(m, start, Options{Invariant: inv})
+	if !l.Complete {
+		t.Fatalf("local search did not complete: %+v", l.Stats)
+	}
+	if len(l.Bugs) != 0 {
+		t.Fatalf("local checker reported a bug in a correct protocol: %v", l.Bugs[0].Violation)
+	}
+	t.Logf("local: %s", l.Stats.String())
+
+	if l.Stats.PreliminaryViolations == 0 {
+		t.Errorf("expected the invalid ----r combination to trigger a preliminary violation")
+	}
+	if l.Stats.SoundnessCalls == 0 {
+		t.Errorf("expected at least one soundness-verification call")
+	}
+	if l.Stats.NodeStates >= g.Stats.GlobalStates {
+		t.Errorf("local node states (%d) should be fewer than global states (%d)",
+			l.Stats.NodeStates, g.Stats.GlobalStates)
+	}
+	if l.Stats.Transitions >= g.Stats.Transitions {
+		t.Errorf("local transitions (%d) should be fewer than global transitions (%d)",
+			l.Stats.Transitions, g.Stats.Transitions)
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"lmc/internal/codec"
+	"lmc/internal/model"
+	"lmc/internal/trace"
+)
+
+// isStateSound is Procedure isStateSound of Figure 9: given the node states
+// of a preliminarily violating system state, enumerate the event sequences
+// that could lead to each node state (by following predecessor pointers),
+// and search the Cartesian product of the per-node sequences for one
+// combination that admits a valid total order. The system state is valid
+// iff such a combination exists; the realizing schedule is returned as the
+// counterexample witness.
+func (c *checker) isStateSound(combo []*nodeState) (bool, trace.Schedule) {
+	budget := c.opt.MaxSequencesPerCheck
+	return c.isStateSoundBudget(combo, &budget)
+}
+
+// isStateSoundBudget is isStateSound with an externally shared sequence
+// budget, so one witness search can spread its allowance across many
+// candidate combinations.
+func (c *checker) isStateSoundBudget(combo []*nodeState, budget *int) (bool, trace.Schedule) {
+	paths := make([][][]pred, len(combo))
+	for k, ns := range combo {
+		paths[k] = c.enumeratePaths(ns)
+		if len(paths[k]) == 0 {
+			// No acyclic predecessor path within caps: cannot validate.
+			return false, nil
+		}
+	}
+
+	// Odometer over the per-node path choices, capped by the sequence
+	// budget (the exponential cost §5.2 identifies).
+	idx := make([]int, len(paths))
+	for {
+		seqs := make([][]pred, len(paths))
+		for k := range paths {
+			seqs[k] = paths[k][idx[k]]
+		}
+		*budget--
+		c.res.Stats.SequencesChecked++
+		if ok, sched := c.isSequenceValid(seqs); ok {
+			return true, sched
+		}
+		if *budget <= 0 {
+			return false, nil
+		}
+		// Advance the odometer.
+		k := 0
+		for ; k < len(idx); k++ {
+			idx[k]++
+			if idx[k] < len(paths[k]) {
+				break
+			}
+			idx[k] = 0
+		}
+		if k == len(idx) {
+			return false, nil
+		}
+	}
+}
+
+// creationPath returns (memoized) the chain of first predecessor edges from
+// the node's start state to ns — the path along which ns was discovered.
+// The chain is acyclic by construction: a creation edge always points to an
+// earlier-created state.
+func creationPath(ns *nodeState) []pred {
+	if ns.creationDone {
+		return ns.creation
+	}
+	var rev []pred
+	for cur := ns; cur.seq != 0; cur = cur.preds[0].prev {
+		rev = append(rev, cur.preds[0])
+	}
+	path := make([]pred, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	ns.creation = path
+	ns.creationDone = true
+	return path
+}
+
+// enumeratePaths lists event sequences (as predecessor-edge slices ordered
+// start→state) that lead from the node's start state to ns. Following the
+// paper's simplification, self-referencing edges are ignored and, more
+// generally, a backward walk never revisits a state already on its stack;
+// the enumeration is capped at max paths.
+func (c *checker) enumeratePaths(ns *nodeState) [][]pred {
+	return c.enumeratePathsCapped(ns, c.opt.MaxPathsPerNode)
+}
+
+func (c *checker) enumeratePathsCapped(ns *nodeState, maxPaths int) [][]pred {
+	var out [][]pred
+	var rev []pred // edges from ns backward
+	onStack := map[*nodeState]bool{ns: true}
+
+	// The backward walk is capped on visited edges, not only on completed
+	// paths: a dense predecessor DAG can wander exponentially between
+	// completions (dead ends whose predecessors are all on the stack), and
+	// the wandering budget must stay bounded regardless of DAG shape.
+	steps := 0
+	const maxSteps = 1 << 12
+
+	var walk func(cur *nodeState)
+	walk = func(cur *nodeState) {
+		steps++
+		if len(out) >= maxPaths || steps > maxSteps {
+			return
+		}
+		if cur.seq == 0 {
+			// Reached the node's start state: materialize the path in
+			// forward order.
+			path := make([]pred, len(rev))
+			for i := range rev {
+				path[i] = rev[len(rev)-1-i]
+			}
+			out = append(out, path)
+			return
+		}
+		for i := range cur.preds {
+			e := cur.preds[i]
+			if e.prev == nil || onStack[e.prev] {
+				continue
+			}
+			onStack[e.prev] = true
+			rev = append(rev, e)
+			walk(e.prev)
+			rev = rev[:len(rev)-1]
+			delete(onStack, e.prev)
+			if len(out) >= maxPaths || steps > maxSteps {
+				return
+			}
+		}
+	}
+	walk(ns)
+	return out
+}
+
+// witnessSequences validates one candidate witness combination: the two
+// conflicting pair members (indices pairA, pairB) contribute a capped set
+// of alternate paths; every completion node contributes only its creation
+// path. The shared budget caps the total sequence combinations tried.
+func (c *checker) witnessSequences(combo []*nodeState, pairA, pairB int, budget *int) (bool, trace.Schedule) {
+	paths := make([][][]pred, len(combo))
+	for k, ns := range combo {
+		if k == pairA || k == pairB {
+			paths[k] = c.enumeratePathsCapped(ns, witnessPairPathCap)
+		} else {
+			paths[k] = c.enumeratePathsCapped(ns, witnessCompletionPathCap)
+		}
+		if len(paths[k]) == 0 {
+			return false, nil
+		}
+	}
+	idx := make([]int, len(paths))
+	for {
+		seqs := make([][]pred, len(paths))
+		for k := range paths {
+			seqs[k] = paths[k][idx[k]]
+		}
+		*budget--
+		c.res.Stats.SequencesChecked++
+		if ok, sched := c.isSequenceValid(seqs); ok {
+			return true, sched
+		}
+		if *budget <= 0 {
+			return false, nil
+		}
+		k := 0
+		for ; k < len(idx); k++ {
+			idx[k]++
+			if idx[k] < len(paths[k]) {
+				break
+			}
+			idx[k] = 0
+		}
+		if k == len(idx) {
+			return false, nil
+		}
+	}
+}
+
+// isSequenceValid is Procedure isSequenceValid of Figure 9, in the
+// efficient formulation of §4.2: rather than loading a simulator, events
+// are validated by integer comparisons over message fingerprints. A local
+// event is always enabled; a network event is enabled when the fingerprint
+// of its required message is present in the set net of generated (and not
+// yet consumed) message fingerprints. Executing an event consumes its
+// required message and adds the fingerprints of the messages it generated.
+// The greedy strategy is complete: it does not matter which enabled event
+// runs next, since the order demanded by the per-node sequences is enforced
+// by only ever consuming messages that were already generated.
+func (c *checker) isSequenceValid(seqs [][]pred) (bool, trace.Schedule) {
+	net := make(map[codec.Fingerprint]int, len(c.initialNet)+8)
+	for _, fp := range c.initialNet {
+		net[fp]++
+	}
+	idx := make([]int, len(seqs))
+	var order trace.Schedule
+
+	for {
+		progressed := false
+		for k := range seqs {
+			for idx[k] < len(seqs[k]) {
+				e := seqs[k][idx[k]]
+				if e.kind == model.NetworkEvent {
+					if net[e.msgFP] <= 0 {
+						break
+					}
+					net[e.msgFP]--
+				}
+				for _, g := range e.generated {
+					net[g]++
+				}
+				order = append(order, e.event)
+				idx[k]++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	for k := range seqs {
+		if idx[k] != len(seqs[k]) {
+			return false, nil
+		}
+	}
+	return true, order
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"lmc/internal/model"
+	"lmc/internal/protocols/tree"
+	"lmc/internal/spec"
+	"lmc/internal/trace"
+)
+
+// TestSoundnessConfirmsValidState uses an invariant that a perfectly valid
+// run violates ("the target never receives"): LMC must confirm the
+// violation and produce a replayable schedule.
+func TestSoundnessConfirmsValidState(t *testing.T) {
+	m := tree.NewPaperTree()
+	inv := spec.InvariantFunc{
+		InvName: "target-never-receives",
+		Fn: func(ss model.SystemState) *spec.Violation {
+			st := ss[4].(*tree.State)
+			if st.St == tree.Received {
+				return spec.Violate("target-never-receives", ss, "target received")
+			}
+			return nil
+		},
+	}
+	res := Check(m, model.InitialSystem(m), Options{Invariant: inv, StopAtFirstBug: true})
+	t.Logf("stats: %s", res.Stats.String())
+	if len(res.Bugs) == 0 {
+		t.Fatalf("no confirmed bug; prelim=%d soundness=%d",
+			res.Stats.PreliminaryViolations, res.Stats.SoundnessCalls)
+	}
+	bug := res.Bugs[0]
+	t.Logf("schedule:\n%s", bug.Schedule)
+	rr := trace.Replay(m, model.InitialSystem(m), bug.Schedule)
+	if rr.Err != nil {
+		t.Fatalf("schedule does not replay: %v", rr.Err)
+	}
+}

@@ -1,0 +1,762 @@
+package core
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+	"lmc/internal/spec"
+	"lmc/internal/trace"
+)
+
+// parallelThreshold is the combination count above which system-state
+// invariant checking fans out to worker goroutines (when Options.Workers
+// allows it). Below it the dispatch overhead dominates any gain.
+const parallelThreshold = 64
+
+// checkStartState evaluates the invariant once on the start system state
+// itself, before exploration.
+func (c *checker) checkStartState() {
+	if c.opt.Invariant == nil || c.opt.DisableSystemStates {
+		return
+	}
+	combo := make([]*nodeState, len(c.spaces))
+	for n := range c.spaces {
+		combo[n] = c.spaces[n].states[0]
+	}
+	if c.opt.Reduction != nil && !c.comboConflicts(combo) {
+		// LMC-OPT admission applies to the start state too: with no
+		// conflicting interests it cannot violate the invariant.
+		return
+	}
+	c.res.Stats.SystemStates++
+	c.res.Stats.InvariantChecks++
+	if v := c.opt.Invariant.Check(c.comboSystem(combo)); v != nil {
+		c.res.Stats.PreliminaryViolations++
+		// The start state is the live state of a real run: trivially sound.
+		fp := c.comboSystem(combo).Fingerprint()
+		if !c.reported[fp] {
+			c.reported[fp] = true
+			c.res.Stats.ConfirmedBugs++
+			c.res.Bugs = append(c.res.Bugs, Bug{
+				Violation: v,
+				System:    c.comboSystem(combo),
+			})
+			if c.opt.StopAtFirstBug {
+				c.stopped = true
+			}
+		}
+	}
+}
+
+// checkNewState is Procedure checkSystemInvariant of Figure 9: after node
+// state ns is newly visited, materialize every system state that combines
+// ns with already-visited states of the other nodes, and evaluate the
+// invariant on each. Combinations of previously visited states were checked
+// in earlier rounds, so fixing ns avoids revisiting system states (§4.2,
+// "System states").
+func (c *checker) checkNewState(ns *nodeState) {
+	if c.opt.Invariant == nil || c.opt.DisableSystemStates {
+		return
+	}
+	t0 := time.Now()
+	defer func() { c.res.Stats.SystemStateTime += time.Since(t0) }()
+
+	if c.opt.Reduction != nil {
+		c.checkNewStateOpt(ns)
+		return
+	}
+
+	// LMC-GEN: full Cartesian product over the other nodes' visited states.
+	lists := make([][]*nodeState, len(c.spaces))
+	for n := range c.spaces {
+		if n == int(ns.node) {
+			lists[n] = []*nodeState{ns}
+		} else {
+			lists[n] = c.spaces[n].states
+		}
+	}
+	c.forEachCombo(lists, nil)
+}
+
+// checkNewStateOpt is the invariant-specific system-state creation of
+// LMC-OPT (§4.2): only node states with an invariant-relevant interest
+// participate, other nodes are represented by a non-interesting filler
+// state, and a combination is materialized only when at least one pair of
+// interests conflicts.
+//
+// With a spec.Keyer reduction, interesting states are pre-grouped by
+// interest key and conflicts are decided once per key profile — the shape
+// of the paper's Paxos mapping ("we map the node states to the values that
+// are chosen in them") — so the non-conflicting case costs a handful of key
+// comparisons instead of a scan of the whole Cartesian product.
+func (c *checker) checkNewStateOpt(ns *nodeState) {
+	if !ns.interesting {
+		return
+	}
+	// The violation, if any, lives in a pair of node states whose interests
+	// conflict; the other nodes' states only decide whether the pair is
+	// co-reachable in a real run. Materializing the full Cartesian product
+	// of completions up front would bury the checker (one invalid chooser
+	// times millions of completions); instead, for each conflicting
+	// (state, group) pair the witness search below iterates candidate
+	// members and completions lazily, invariant-checks each candidate
+	// system state, soundness-checks the violating ones, and stops at the
+	// first confirmed witness. Verdicts are cached per (state, group) —
+	// with the same deliberate staleness the paper accepts for predecessor
+	// updates (§4.2): new node states trigger fresh searches of their own.
+	for k, sp := range c.spaces {
+		if k == int(ns.node) {
+			continue
+		}
+		if c.keyer != nil {
+			for _, key := range sp.groupOrder {
+				g := sp.groups[key]
+				if !c.opt.Reduction.Conflict(ns.interest, g.interest) {
+					continue
+				}
+				c.searchWitness(ns, k, "g:"+key, false)
+				if c.stopped {
+					return
+				}
+			}
+			continue
+		}
+		c.searchWitness(ns, k, "all", false)
+		if c.stopped {
+			return
+		}
+	}
+}
+
+// resolveCandidates returns the current conflicting candidate states of
+// node k for a (deferred or immediate) witness search. Resolving at run
+// time rather than enqueue time lets a deferred search see members that
+// joined the group in the meantime.
+func (c *checker) resolveCandidates(ns *nodeState, k int, groupKey string) []*nodeState {
+	sp := c.spaces[k]
+	if g, ok := c.keyerGroup(sp, groupKey); ok {
+		return g.members
+	}
+	var cands []*nodeState
+	for _, b := range sp.states {
+		if b.interesting && c.opt.Reduction.Conflict(ns.interest, b.interest) {
+			cands = append(cands, b)
+		}
+	}
+	return cands
+}
+
+func (c *checker) keyerGroup(sp *space, groupKey string) (*interestGroup, bool) {
+	if len(groupKey) < 2 || groupKey[:2] != "g:" {
+		return nil, false
+	}
+	g := sp.groups[groupKey[2:]]
+	return g, g != nil
+}
+
+// searchWitness looks for a real run in which ns coexists with one of the
+// conflicting candidate states of node k. Other nodes are completed with
+// any visited state, iterated lazily in discovery order — their events are
+// what generated the messages the pair consumed. Each candidate system
+// state is materialized and invariant-checked; a violating one goes through
+// soundness verification; the first confirmed witness is reported and ends
+// the search. The whole search counts as one soundness-verification
+// invocation, with the sequence budget shared across candidates.
+//
+// Unless force is set, the search defers to the pending queue when the
+// soundness share is exhausted, so exploration keeps progressing.
+func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force bool) {
+	cacheKey := witnessKey{fp: ns.fp, node: k, group: groupKey}
+	if _, done := c.witnessed[cacheKey]; done {
+		return
+	}
+	if !force && c.soundnessShareExceeded() {
+		heap.Push(&c.pending, pendingSearch{ns: ns, node: k, group: groupKey})
+		return
+	}
+	c.witnessed[cacheKey] = struct{}{}
+
+	cands := c.resolveCandidates(ns, k, groupKey)
+	if len(cands) == 0 {
+		return
+	}
+
+	c.res.Stats.SoundnessCalls++
+	budget := c.opt.MaxSequencesPerCheck
+
+	completionNodes := make([]int, 0, len(c.spaces)-2)
+	for n := range c.spaces {
+		if n != int(ns.node) && n != k {
+			completionNodes = append(completionNodes, n)
+		}
+	}
+
+	combo := make([]*nodeState, len(c.spaces))
+	combo[ns.node] = ns
+	deadlineTick := 0
+
+	// Per-search caches: whether any completion state generates a given
+	// message, and the coverage-ordered completion list per (node, missing
+	// set). Completion spaces are fixed for the duration of the search.
+	coverCache := make(map[codec.Fingerprint]bool)
+	coveredByAny := func(fp codec.Fingerprint) bool {
+		if v, ok := coverCache[fp]; ok {
+			return v
+		}
+		covered := false
+		for _, n := range completionNodes {
+			for _, s := range c.spaces[n].states {
+				if s.gen.contains(fp) {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				break
+			}
+		}
+		coverCache[fp] = covered
+		return covered
+	}
+	type orderKey struct {
+		node int
+		miss codec.Fingerprint
+	}
+	orderCache := make(map[orderKey][]*nodeState)
+
+	for _, b := range cands {
+		if c.stopped || budget <= 0 {
+			return
+		}
+		// Examining a candidate costs budget even when the feasibility
+		// check refutes it without materializing anything — conflicting
+		// groups can hold thousands of members, and the walk must stay
+		// within the per-search allowance. Ordering a node's completions by
+		// coverage scans that node's whole visited list, so it is charged
+		// proportionally below.
+		budget--
+		if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+			c.stopped = true
+			return
+		}
+		combo[k] = b
+
+		// What must the completion nodes supply? Every message the pair's
+		// creation paths consume beyond what the pair itself (or the seeded
+		// network) generates. Candidates that cannot cover a missing
+		// message are tried last; a message nobody can cover refutes this
+		// pair outright (modulo alternate-path generation, the same kind of
+		// incompleteness the paper's caps accept).
+		missing := c.pairMissing(ns, b)
+		feasible := true
+		for _, fp := range missing {
+			if !coveredByAny(fp) {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		missKey := codec.CombineUnordered(missing)
+		lists := make([][]*nodeState, len(completionNodes))
+		for i, n := range completionNodes {
+			key := orderKey{node: n, miss: missKey}
+			ordered, ok := orderCache[key]
+			if !ok {
+				ordered, _ = orderByCoverage(c.spaces[n].states, missing)
+				orderCache[key] = ordered
+				// A coverage scan touches every visited state of the node.
+				budget -= len(ordered) / 64
+			}
+			lists[i] = ordered
+		}
+		if budget <= 0 {
+			return
+		}
+
+		var walk func(i int) bool
+		walk = func(i int) bool {
+			if c.stopped || budget <= 0 {
+				return false
+			}
+			if i == len(lists) {
+				deadlineTick++
+				if deadlineTick%256 == 0 && !c.deadline.IsZero() && time.Now().After(c.deadline) {
+					c.stopped = true
+					return false
+				}
+				return c.tryWitness(combo, int(ns.node), k, &budget)
+			}
+			for _, s := range lists[i] {
+				combo[completionNodes[i]] = s
+				if walk(i + 1) {
+					return true
+				}
+				if c.stopped || budget <= 0 {
+					return false
+				}
+			}
+			return false
+		}
+		if walk(0) {
+			return
+		}
+	}
+}
+
+// confirmLocalViolation runs the witness search for a node-local invariant
+// violation: the violating state alone is the "pair"; every other node is a
+// completion ranged over lazily, ordered by which missing messages its
+// creation path can supply.
+func (c *checker) confirmLocalViolation(ns *nodeState, v *spec.Violation) {
+	cacheKey := witnessKey{fp: ns.fp, node: int(ns.node), group: "local:" + v.Invariant}
+	if _, done := c.witnessed[cacheKey]; done {
+		return
+	}
+	c.witnessed[cacheKey] = struct{}{}
+	c.res.Stats.SoundnessCalls++
+	budget := c.opt.MaxSequencesPerCheck
+
+	completionNodes := make([]int, 0, len(c.spaces)-1)
+	for n := range c.spaces {
+		if n != int(ns.node) {
+			completionNodes = append(completionNodes, n)
+		}
+	}
+	missing := c.missingOf(ns)
+	lists := make([][]*nodeState, len(completionNodes))
+	for i, n := range completionNodes {
+		lists[i], _ = orderByCoverage(c.spaces[n].states, missing)
+	}
+
+	combo := make([]*nodeState, len(c.spaces))
+	combo[ns.node] = ns
+	deadlineTick := 0
+	var walk func(i int) bool
+	walk = func(i int) bool {
+		if c.stopped || budget <= 0 {
+			return false
+		}
+		if i == len(lists) {
+			deadlineTick++
+			if deadlineTick%256 == 0 && !c.deadline.IsZero() && time.Now().After(c.deadline) {
+				c.stopped = true
+				return false
+			}
+			ss := c.comboSystem(combo)
+			fp := ss.Fingerprint()
+			if verdict, cached := c.verdicts[fp]; cached {
+				return verdict && c.reported[fp]
+			}
+			t0 := time.Now()
+			sound, sched := c.witnessSequences(combo, int(ns.node), int(ns.node), &budget)
+			c.res.Stats.SoundnessTime += time.Since(t0)
+			if sound && !c.opt.DisableReplay {
+				rr := trace.ReplayWith(c.m, c.start, c.opt.InitialMessages, sched)
+				if rr.Err != nil || rr.Final.Fingerprint() != fp {
+					sound = false
+				}
+			}
+			c.verdicts[fp] = sound
+			if !sound {
+				return false
+			}
+			c.reported[fp] = true
+			c.res.Stats.ConfirmedBugs++
+			vv := *v
+			vv.System = ss.Clone()
+			c.res.Bugs = append(c.res.Bugs, Bug{
+				Violation: &vv,
+				Schedule:  sched,
+				System:    ss.Clone(),
+				Depth:     comboDepth(combo),
+			})
+			if c.opt.StopAtFirstBug {
+				c.stopped = true
+			}
+			return true
+		}
+		for _, s := range lists[i] {
+			combo[completionNodes[i]] = s
+			if walk(i + 1) {
+				return true
+			}
+			if c.stopped || budget <= 0 {
+				return false
+			}
+		}
+		return false
+	}
+	walk(0)
+}
+
+// pairMissing lists the message fingerprints the creation paths of the two
+// pair members consume but neither generates (and the seeded network does
+// not supply), counting multiplicities.
+func (c *checker) pairMissing(a, b *nodeState) []codec.Fingerprint {
+	return c.missingOf(a, b)
+}
+
+// missingOf generalizes pairMissing to any member set.
+func (c *checker) missingOf(states ...*nodeState) []codec.Fingerprint {
+	supply := make(map[codec.Fingerprint]int)
+	for _, fp := range c.initialNet {
+		supply[fp]++
+	}
+	var need []codec.Fingerprint
+	for _, ns := range states {
+		for _, e := range creationPath(ns) {
+			if e.kind == model.NetworkEvent {
+				need = append(need, e.msgFP)
+			}
+			for _, g := range e.generated {
+				supply[g]++
+			}
+		}
+	}
+	var missing []codec.Fingerprint
+	seen := make(map[codec.Fingerprint]bool)
+	for _, fp := range need {
+		if supply[fp] > 0 {
+			supply[fp]--
+			continue
+		}
+		if !seen[fp] {
+			seen[fp] = true
+			missing = append(missing, fp)
+		}
+	}
+	return missing
+}
+
+// orderByCoverage buckets states by how many of the missing fingerprints
+// their creation path generates: full coverers first, partial next, the
+// rest last; discovery order is preserved within each bucket. It also
+// reports whether any state covers at least one missing fingerprint.
+func orderByCoverage(states []*nodeState, missing []codec.Fingerprint) ([]*nodeState, bool) {
+	if len(missing) == 0 {
+		return states, true
+	}
+	var full, partial, zero []*nodeState
+	any := false
+	for _, s := range states {
+		covered := 0
+		for _, fp := range missing {
+			if s.gen.contains(fp) {
+				covered++
+			}
+		}
+		switch {
+		case covered == len(missing):
+			full = append(full, s)
+			any = true
+		case covered > 0:
+			partial = append(partial, s)
+			any = true
+		default:
+			zero = append(zero, s)
+		}
+	}
+	out := make([]*nodeState, 0, len(states))
+	out = append(out, full...)
+	out = append(out, partial...)
+	out = append(out, zero...)
+	return out, any
+}
+
+// tryWitness materializes one candidate combination, checks the invariant,
+// and — on a preliminary violation — runs the path-enumeration soundness
+// check against the shared sequence budget. It reports whether a confirmed
+// bug was found.
+func (c *checker) tryWitness(combo []*nodeState, pairA, pairB int, budget *int) bool {
+	// Every examined combination charges the search budget, so the walk
+	// terminates even when soundness verification (the other consumer of
+	// the budget) is disabled or cached away.
+	*budget--
+	ss := c.comboSystem(combo)
+	c.res.Stats.SystemStates++
+	c.res.Stats.InvariantChecks++
+	d := comboDepth(combo)
+	if d > c.res.Stats.MaxDepth {
+		c.res.Stats.MaxDepth = d
+	}
+	v := c.opt.Invariant.Check(ss)
+	if v == nil {
+		return false
+	}
+	c.res.Stats.PreliminaryViolations++
+	if c.opt.DisableSoundness {
+		return false
+	}
+	fp := ss.Fingerprint()
+	if verdict, cached := c.verdicts[fp]; cached {
+		return verdict && c.reported[fp]
+	}
+	t0 := time.Now()
+	sound, sched := c.witnessSequences(combo, pairA, pairB, budget)
+	c.res.Stats.SoundnessTime += time.Since(t0)
+	if sound && !c.opt.DisableReplay {
+		rr := trace.ReplayWith(c.m, c.start, c.opt.InitialMessages, sched)
+		if rr.Err != nil || rr.Final.Fingerprint() != fp {
+			sound = false
+		}
+	}
+	c.verdicts[fp] = sound
+	if !sound {
+		return false
+	}
+	c.reported[fp] = true
+	c.res.Stats.ConfirmedBugs++
+	c.res.Bugs = append(c.res.Bugs, Bug{
+		Violation: v,
+		Schedule:  sched,
+		System:    ss.Clone(),
+		Depth:     d,
+	})
+	if c.opt.StopAtFirstBug {
+		c.stopped = true
+	}
+	return true
+}
+
+// comboConflicts reports whether some pair of interesting members of the
+// combination conflicts under the reduction.
+func (c *checker) comboConflicts(combo []*nodeState) bool {
+	for i := 0; i < len(combo); i++ {
+		if !combo[i].interesting {
+			continue
+		}
+		for j := i + 1; j < len(combo); j++ {
+			if !combo[j].interesting {
+				continue
+			}
+			if c.opt.Reduction.Conflict(combo[i].interest, combo[j].interest) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// forEachCombo enumerates the Cartesian product of lists, applying the
+// admit filter (nil admits everything), materializing each admitted
+// combination as a system state and checking the invariant. Preliminary
+// violations are then confirmed sequentially. When the product is large and
+// Options.Workers allows, invariant evaluation fans out across goroutines
+// (§1: "the model checking process can be embarrassingly parallelized").
+func (c *checker) forEachCombo(lists [][]*nodeState, admit func([]*nodeState) bool) {
+	total := 1
+	for _, l := range lists {
+		total *= len(l)
+		if total == 0 {
+			return
+		}
+	}
+
+	type prelim struct {
+		combo []*nodeState
+		v     *spec.Violation
+	}
+	var found []prelim
+	var mu sync.Mutex
+	var halt atomic.Bool
+	if c.stopped {
+		return
+	}
+	var sinceDeadlineCheck atomic.Int64
+
+	workers := c.opt.Workers
+	parallel := workers >= 2 && total >= parallelThreshold
+
+	examine := func(combo []*nodeState) {
+		if halt.Load() {
+			return
+		}
+		// The system-state phase can dominate a run (Figure 13), so the
+		// wall-clock budget must be enforced here too, not only between
+		// handler executions.
+		if !c.deadline.IsZero() && sinceDeadlineCheck.Add(1)%1024 == 0 &&
+			time.Now().After(c.deadline) {
+			halt.Store(true)
+			return
+		}
+		if c.opt.MaxSystemDepth > 0 && comboDepth(combo) > c.opt.MaxSystemDepth {
+			return
+		}
+		if admit != nil && !admit(combo) {
+			return
+		}
+		ss := c.comboSystem(combo)
+		v := c.opt.Invariant.Check(ss)
+		mu.Lock()
+		c.res.Stats.SystemStates++
+		c.res.Stats.InvariantChecks++
+		d := comboDepth(combo)
+		if d > c.res.Stats.MaxDepth {
+			c.res.Stats.MaxDepth = d
+		}
+		if v != nil {
+			c.res.Stats.PreliminaryViolations++
+			if !parallel {
+				// Confirm inline: waiting for the full product to finish
+				// could starve soundness verification of the entire budget
+				// when conflicting groups are large.
+				mu.Unlock()
+				c.confirmAndReport(combo, v)
+				if c.stopped {
+					halt.Store(true)
+				}
+				return
+			}
+			cp := make([]*nodeState, len(combo))
+			copy(cp, combo)
+			found = append(found, prelim{combo: cp, v: v})
+		}
+		mu.Unlock()
+	}
+
+	if !parallel {
+		combo := make([]*nodeState, len(lists))
+		c.enumerate(lists, 0, combo, examine, &halt)
+	} else {
+		c.enumerateParallel(lists, workers, examine, &halt)
+	}
+	if halt.Load() && !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		c.stopped = true
+	}
+
+	for _, p := range found {
+		if c.stopped {
+			return
+		}
+		c.confirmAndReport(p.combo, p.v)
+	}
+}
+
+// enumerate walks the Cartesian product recursively (sequential path).
+func (c *checker) enumerate(lists [][]*nodeState, i int, combo []*nodeState, fn func([]*nodeState), halt *atomic.Bool) {
+	if halt.Load() {
+		return
+	}
+	if i == len(lists) {
+		fn(combo)
+		return
+	}
+	for _, s := range lists[i] {
+		combo[i] = s
+		c.enumerate(lists, i+1, combo, fn, halt)
+	}
+}
+
+// enumerateParallel splits the product along the largest dimension across a
+// worker pool. Node states are immutable once stored, so workers only need
+// synchronization when recording results (handled by the caller's mutex).
+func (c *checker) enumerateParallel(lists [][]*nodeState, workers int, fn func([]*nodeState), halt *atomic.Bool) {
+	// Split on the widest list to get balanced chunks.
+	widest := 0
+	for i, l := range lists {
+		if len(l) > len(lists[widest]) {
+			widest = i
+		}
+	}
+	items := lists[widest]
+	chunk := (len(items) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(items) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		wg.Add(1)
+		go func(part []*nodeState) {
+			defer wg.Done()
+			sub := make([][]*nodeState, len(lists))
+			copy(sub, lists)
+			sub[widest] = part
+			combo := make([]*nodeState, len(lists))
+			c.enumerate(sub, 0, combo, fn, halt)
+		}(items[lo:hi])
+	}
+	wg.Wait()
+}
+
+// comboSystem materializes the temporary system state for a combination.
+func (c *checker) comboSystem(combo []*nodeState) model.SystemState {
+	ss := make(model.SystemState, len(combo))
+	for i, ns := range combo {
+		ss[i] = ns.state
+	}
+	return ss
+}
+
+// comboDepth is the total depth of a combination: the sum of member path
+// lengths, the depth axis of the paper's LMC plots.
+func comboDepth(combo []*nodeState) int {
+	d := 0
+	for _, ns := range combo {
+		d += ns.depth
+	}
+	return d
+}
+
+// confirmAndReport runs the a-posteriori soundness verification on a
+// preliminary violation and, if the system state is confirmed valid,
+// reports the bug with its realizing schedule (Figure 9 lines 19–21).
+func (c *checker) confirmAndReport(combo []*nodeState, v *spec.Violation) {
+	ss := c.comboSystem(combo)
+	fp := ss.Fingerprint()
+	if c.reported[fp] {
+		return
+	}
+	if c.opt.DisableSoundness {
+		// Figure 13's "LMC-system-state" configuration: the preliminary
+		// violation is counted but never confirmed or reported.
+		return
+	}
+	if verdict, cached := c.verdicts[fp]; cached {
+		// Sound verdicts are reported immediately when first computed, so a
+		// cache hit of either polarity means there is nothing left to do.
+		_ = verdict
+		return
+	}
+
+	c.res.Stats.SoundnessCalls++
+	t0 := time.Now()
+	sound, sched := c.isStateSound(combo)
+	c.res.Stats.SoundnessTime += time.Since(t0)
+
+	if sound && !c.opt.DisableReplay {
+		// Final defense: replay the schedule on the real handlers with the
+		// real message-consuming network and confirm it reproduces the
+		// violating system state.
+		rr := trace.ReplayWith(c.m, c.start, c.opt.InitialMessages, sched)
+		if rr.Err != nil || rr.Final.Fingerprint() != fp {
+			sound = false
+		}
+	}
+	c.verdicts[fp] = sound
+	if !sound {
+		return
+	}
+
+	c.reported[fp] = true
+	c.res.Stats.ConfirmedBugs++
+	c.res.Bugs = append(c.res.Bugs, Bug{
+		Violation: v,
+		Schedule:  sched,
+		System:    ss.Clone(),
+		Depth:     comboDepth(combo),
+	})
+	if c.opt.StopAtFirstBug {
+		c.stopped = true
+	}
+}

@@ -1,0 +1,255 @@
+// Package global implements the classic global model-checking baseline the
+// paper compares against (§3.2): a bounded search over global states
+// (L, I) — the tuple of node local states plus the multiset of in-flight
+// messages — with duplicate detection on hashed global states and invariant
+// checking on every traversed state. The search order is pluggable: B-DFS
+// (the paper's baseline) or BFS (which yields the cumulative per-depth
+// series of Figures 10–12 in a single run).
+package global
+
+import (
+	"time"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+	"lmc/internal/netstate"
+	"lmc/internal/spec"
+	"lmc/internal/stats"
+	"lmc/internal/trace"
+)
+
+// Strategy selects the worklist discipline.
+type Strategy int
+
+const (
+	// DFS explores depth-first with a depth bound: the paper's B-DFS.
+	DFS Strategy = iota
+	// BFS explores breadth-first; depths complete in order, so one run
+	// produces the whole cumulative-by-depth series.
+	BFS
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == DFS {
+		return "B-DFS"
+	}
+	return "BFS"
+}
+
+// Options configures a run.
+type Options struct {
+	// Invariant is checked on the system part of every traversed global
+	// state. Required.
+	Invariant spec.Invariant
+	// Strategy is DFS (default) or BFS.
+	Strategy Strategy
+	// MaxDepth bounds the event depth; 0 means unbounded.
+	MaxDepth int
+	// MaxTransitions bounds handler executions; 0 means unbounded.
+	MaxTransitions int
+	// Budget bounds wall time; 0 means unbounded.
+	Budget time.Duration
+	// StopAtFirstBug ends the search at the first violation.
+	StopAtFirstBug bool
+	// RecordSeries collects per-depth progress samples (Figures 10–12).
+	RecordSeries bool
+}
+
+// Bug is a violation found by the global checker. Global search is sound by
+// construction, so every Bug is realizable; Schedule is the event path from
+// the start state that realizes it.
+type Bug struct {
+	Violation *spec.Violation
+	Schedule  trace.Schedule
+}
+
+// Result reports a finished run.
+type Result struct {
+	Stats  stats.Counters
+	Series *stats.Series
+	Bugs   []Bug
+	// Complete is true when the search exhausted the reachable state space
+	// within MaxDepth before hitting any transition/time bound.
+	Complete bool
+}
+
+// node is one traversed global state, kept for path reconstruction.
+type node struct {
+	sys    model.SystemState
+	net    *netstate.Multiset
+	depth  int
+	parent int // index into the arena; -1 for the root
+	via    model.Event
+}
+
+// Check explores the global state space of machine m from the given start
+// system state (with an empty in-flight network) under opt.
+func Check(m model.Machine, start model.SystemState, opt Options) *Result {
+	if opt.Invariant == nil {
+		panic("global: Options.Invariant is required")
+	}
+	res := &Result{Complete: true}
+	if opt.RecordSeries {
+		res.Series = stats.NewSeries()
+	}
+	var probe stats.MemProbe
+	probe.Baseline()
+	begin := time.Now()
+
+	arena := make([]node, 0, 1024)
+	root := node{sys: start.Clone(), net: netstate.NewMultiset(), depth: 0, parent: -1}
+	arena = append(arena, root)
+
+	// visited maps global fingerprint → best (smallest) depth seen. With a
+	// depth bound, a state re-reached at a strictly smaller depth must be
+	// re-expanded or bounded DFS would be incomplete.
+	visited := map[codec.Fingerprint]int{globalFP(root.sys, root.net): 0}
+	res.Stats.GlobalStates = 1
+	res.Stats.InvariantChecks++
+	if v := opt.Invariant.Check(root.sys); v != nil {
+		res.Stats.PreliminaryViolations++
+		res.Stats.ConfirmedBugs++
+		res.Bugs = append(res.Bugs, Bug{Violation: v})
+		if opt.StopAtFirstBug {
+			res.Stats.Elapsed = time.Since(begin)
+			return res
+		}
+	}
+
+	work := []int{0} // indexes into arena
+	lastLevel := 0
+	record := func(depth int) {
+		if res.Series == nil {
+			return
+		}
+		res.Series.Record(stats.Sample{
+			Depth:        depth,
+			Elapsed:      time.Since(begin),
+			Transitions:  res.Stats.Transitions,
+			GlobalStates: res.Stats.GlobalStates,
+			HeapBytes:    probe.Sample(),
+		})
+	}
+
+	deadline := time.Time{}
+	if opt.Budget > 0 {
+		deadline = begin.Add(opt.Budget)
+	}
+
+	for len(work) > 0 {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.Complete = false
+			break
+		}
+		if opt.MaxTransitions > 0 && res.Stats.Transitions >= opt.MaxTransitions {
+			res.Complete = false
+			break
+		}
+
+		var cur int
+		if opt.Strategy == BFS {
+			cur = work[0]
+			work = work[1:]
+		} else {
+			cur = work[len(work)-1]
+			work = work[:len(work)-1]
+		}
+		n := &arena[cur]
+		if n.depth > res.Stats.MaxDepth {
+			res.Stats.MaxDepth = n.depth
+		}
+		if opt.Strategy == BFS && n.depth > lastLevel {
+			// All states of depth lastLevel are fully expanded.
+			record(lastLevel)
+			lastLevel = n.depth
+		}
+		if opt.MaxDepth > 0 && n.depth >= opt.MaxDepth {
+			continue
+		}
+
+		for _, ev := range enabledEvents(m, n.sys, n.net) {
+			next, emitted := ev.Apply(m, n.sys[ev.Node])
+			res.Stats.Transitions++
+			if next == nil {
+				res.Stats.Rejections++
+				continue
+			}
+			sys2 := make(model.SystemState, len(n.sys))
+			copy(sys2, n.sys)
+			sys2[ev.Node] = next
+			net2 := n.net.Clone()
+			if ev.Kind == model.NetworkEvent {
+				net2.Remove(model.MessageFingerprint(ev.Msg))
+			}
+			net2.AddAll(emitted)
+
+			fp := globalFP(sys2, net2)
+			d2 := n.depth + 1
+			if best, seen := visited[fp]; seen && best <= d2 {
+				continue
+			}
+			visited[fp] = d2
+			res.Stats.GlobalStates = len(visited)
+			arena = append(arena, node{sys: sys2, net: net2, depth: d2, parent: cur, via: ev})
+			idx := len(arena) - 1
+
+			res.Stats.InvariantChecks++
+			if v := opt.Invariant.Check(sys2); v != nil {
+				res.Stats.PreliminaryViolations++
+				res.Stats.ConfirmedBugs++
+				res.Bugs = append(res.Bugs, Bug{Violation: v, Schedule: pathTo(arena, idx)})
+				if opt.StopAtFirstBug {
+					if d2 > res.Stats.MaxDepth {
+						res.Stats.MaxDepth = d2
+					}
+					res.Stats.Elapsed = time.Since(begin)
+					res.Complete = false
+					return res
+				}
+			}
+			work = append(work, idx)
+		}
+	}
+
+	if opt.Strategy == BFS {
+		record(lastLevel)
+	}
+	res.Stats.Elapsed = time.Since(begin)
+	return res
+}
+
+// enabledEvents enumerates the transitions enabled at a global state: one
+// delivery event per distinct in-flight message (copies are equivalent) and
+// every enabled internal action of every node.
+func enabledEvents(m model.Machine, sys model.SystemState, net *netstate.Multiset) []model.Event {
+	var evs []model.Event
+	for _, inf := range net.Messages() {
+		evs = append(evs, model.RecvEvent(inf.Msg))
+	}
+	for i, s := range sys {
+		for _, a := range m.Actions(model.NodeID(i), s) {
+			evs = append(evs, model.ActEvent(a))
+		}
+	}
+	return evs
+}
+
+// pathTo reconstructs the event schedule from the root to arena[idx].
+func pathTo(arena []node, idx int) trace.Schedule {
+	var rev []model.Event
+	for idx >= 0 && arena[idx].parent >= 0 {
+		rev = append(rev, arena[idx].via)
+		idx = arena[idx].parent
+	}
+	sc := make(trace.Schedule, len(rev))
+	for i := range rev {
+		sc[i] = rev[len(rev)-1-i]
+	}
+	return sc
+}
+
+// globalFP hashes the full global state: system part plus network part.
+func globalFP(sys model.SystemState, net *netstate.Multiset) codec.Fingerprint {
+	return codec.Combine(sys.Fingerprint(), net.Fingerprint())
+}

@@ -1,0 +1,131 @@
+package global_test
+
+import (
+	"testing"
+	"time"
+
+	"lmc/internal/mc/global"
+	"lmc/internal/model"
+	"lmc/internal/protocols/tree"
+	"lmc/internal/protocols/twophase"
+	"lmc/internal/spec"
+	"lmc/internal/trace"
+)
+
+func treeSetup() (model.Machine, spec.Invariant, model.SystemState) {
+	m := tree.NewPaperTree()
+	return m, m.CausalityInvariant(), model.InitialSystem(m)
+}
+
+// TestDFSAndBFSAgree: both strategies visit the same reachable set.
+func TestDFSAndBFSAgree(t *testing.T) {
+	m, inv, start := treeSetup()
+	dfs := global.Check(m, start, global.Options{Invariant: inv, Strategy: global.DFS})
+	bfs := global.Check(m, start, global.Options{Invariant: inv, Strategy: global.BFS})
+	if !dfs.Complete || !bfs.Complete {
+		t.Fatal("incomplete exploration")
+	}
+	if dfs.Stats.GlobalStates != bfs.Stats.GlobalStates {
+		t.Fatalf("state counts differ: dfs=%d bfs=%d",
+			dfs.Stats.GlobalStates, bfs.Stats.GlobalStates)
+	}
+	if dfs.Stats.Transitions != bfs.Stats.Transitions {
+		t.Fatalf("transition counts differ: dfs=%d bfs=%d",
+			dfs.Stats.Transitions, bfs.Stats.Transitions)
+	}
+}
+
+// TestDepthBound: bounding the depth prunes the space monotonically.
+func TestDepthBound(t *testing.T) {
+	m, inv, start := treeSetup()
+	prev := 0
+	for d := 1; d <= 5; d++ {
+		res := global.Check(m, start, global.Options{Invariant: inv, MaxDepth: d})
+		if res.Stats.GlobalStates < prev {
+			t.Fatalf("state count shrank at depth %d", d)
+		}
+		if res.Stats.MaxDepth > d {
+			t.Fatalf("depth bound %d exceeded: %d", d, res.Stats.MaxDepth)
+		}
+		prev = res.Stats.GlobalStates
+	}
+	full := global.Check(m, start, global.Options{Invariant: inv})
+	if prev != full.Stats.GlobalStates {
+		t.Fatalf("depth-5 exploration (%d) misses states of the full run (%d)",
+			prev, full.Stats.GlobalStates)
+	}
+}
+
+// TestBugWithSchedule: the checker's witness replays and violates.
+func TestBugWithSchedule(t *testing.T) {
+	m := twophase.New(4, twophase.MajorityBug, 2)
+	inv := twophase.Atomicity()
+	start := model.InitialSystem(m)
+	res := global.Check(m, start, global.Options{
+		Invariant:      inv,
+		StopAtFirstBug: true,
+		Budget:         30 * time.Second,
+	})
+	if len(res.Bugs) == 0 {
+		t.Fatal("bug not found")
+	}
+	bug := res.Bugs[0]
+	rr := trace.Replay(m, start, bug.Schedule)
+	if rr.Err != nil {
+		t.Fatalf("global witness does not replay: %v", rr.Err)
+	}
+	if inv.Check(rr.Final) == nil {
+		t.Fatal("replayed witness does not violate")
+	}
+}
+
+// TestTransitionBound stops the search.
+func TestTransitionBound(t *testing.T) {
+	m, inv, start := treeSetup()
+	res := global.Check(m, start, global.Options{Invariant: inv, MaxTransitions: 3})
+	if res.Complete {
+		t.Fatal("bounded run claims completeness")
+	}
+	if res.Stats.Transitions > 3 {
+		t.Fatalf("transition bound exceeded: %d", res.Stats.Transitions)
+	}
+}
+
+// TestSeriesMonotone: the BFS per-depth series grows monotonically in both
+// depth and cumulative counters.
+func TestSeriesMonotone(t *testing.T) {
+	m, inv, start := treeSetup()
+	res := global.Check(m, start, global.Options{
+		Invariant:    inv,
+		Strategy:     global.BFS,
+		RecordSeries: true,
+	})
+	pts := res.Series.Points()
+	if len(pts) == 0 {
+		t.Fatal("no series recorded")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].GlobalStates < pts[i-1].GlobalStates ||
+			pts[i].Transitions < pts[i-1].Transitions ||
+			pts[i].Elapsed < pts[i-1].Elapsed {
+			t.Fatalf("series not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+// TestDeterministicCounts: repeated runs agree exactly.
+func TestDeterministicCounts(t *testing.T) {
+	m, inv, start := treeSetup()
+	a := global.Check(m, start, global.Options{Invariant: inv})
+	b := global.Check(m, start, global.Options{Invariant: inv})
+	if a.Stats.GlobalStates != b.Stats.GlobalStates || a.Stats.Transitions != b.Stats.Transitions {
+		t.Fatalf("nondeterministic exploration: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+// TestStrategyString names both.
+func TestStrategyString(t *testing.T) {
+	if global.DFS.String() != "B-DFS" || global.BFS.String() != "BFS" {
+		t.Fatal("strategy names changed")
+	}
+}

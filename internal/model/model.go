@@ -1,0 +1,226 @@
+// Package model defines the distributed-system model of the paper's
+// Figure 5: a finite set of nodes, each running the same deterministic
+// state machine with two kinds of handlers — a message handler HM executed
+// in response to a network message, and an internal-action handler HA
+// executed in response to a node-local event such as a timer or an
+// application call.
+//
+// Everything above this package — the global baseline checker, the local
+// model checker (LMC), the live discrete-event runtime and the online
+// controller — executes protocols exclusively through these interfaces.
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"lmc/internal/codec"
+)
+
+// NodeID identifies a node. Nodes of an N-node system are numbered 0..N-1.
+type NodeID int
+
+// String formats the id the way the paper's scenarios do (N1, N2, ...).
+func (n NodeID) String() string { return fmt.Sprintf("N%d", int(n)+1) }
+
+// Message is a network message in flight. The paper represents an in-flight
+// message as a (destination, content) pair; the content includes the sender.
+// Messages must be immutable once emitted and must encode canonically.
+type Message interface {
+	codec.Encoder
+	// Src is the sending node.
+	Src() NodeID
+	// Dst is the destination node.
+	Dst() NodeID
+	// String renders the message for traces and bug reports.
+	String() string
+}
+
+// Action is an internal node event (timer, application call). Unlike a
+// message handler, an action handler consumes no network message.
+type Action interface {
+	codec.Encoder
+	// Node is the node on which the action executes.
+	Node() NodeID
+	// String renders the action for traces and bug reports.
+	String() string
+}
+
+// State is one node's local state. States must encode canonically: two
+// semantically equal states must produce identical bytes, because both
+// checkers identify states by the fingerprint of their encoding.
+type State interface {
+	codec.Encoder
+	// Clone returns a deep copy. Checkers clone before invoking handlers so
+	// handler implementations are free to mutate the state they receive.
+	Clone() State
+	// String renders the state compactly for traces.
+	String() string
+}
+
+// Machine is a protocol: the behavior functions HM and HA of Figure 5.
+//
+// Determinism contract: given equal (node, state, message/action) inputs,
+// handlers must produce equal outputs. Any nondeterminism (randomness,
+// wall-clock time) must be folded into the Action value itself so that a
+// re-execution of the recorded event replays identically (paper §4.1,
+// footnote 3).
+//
+// Mutation contract: the state passed to HandleMessage/HandleAction is a
+// private copy owned by the handler; it may be mutated and returned, or a
+// fresh state may be returned instead.
+//
+// Rejection contract: a handler returns a nil state to signal a node-local
+// assertion failure, e.g. receipt of a message that is impossible in the
+// handler's current state. Per §4.2 ("Local assertions"), LMC discards such
+// states: the conservative delivery policy of the shared network routinely
+// delivers messages to node states that could never receive them in a real
+// run, and the assertion marks the resulting state invalid rather than
+// buggy. The global checker treats a nil state as a disabled transition.
+type Machine interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// NumNodes is the number of nodes in the configured system.
+	NumNodes() int
+	// Init returns node n's initial state.
+	Init(n NodeID) State
+	// HandleMessage executes HM: node n in state s receives message m.
+	// It returns the successor state (nil to reject) and emitted messages.
+	HandleMessage(n NodeID, s State, m Message) (State, []Message)
+	// Actions enumerates the internal actions enabled in state s of node n.
+	// The slice must be freshly allocated or immutable.
+	Actions(n NodeID, s State) []Action
+	// HandleAction executes HA: node n in state s performs action a.
+	HandleAction(n NodeID, s State, a Action) (State, []Message)
+}
+
+// SystemState is the tuple of node local states (the paper's L): what the
+// user-specified invariants are checked against. Index i holds node i's
+// state.
+type SystemState []State
+
+// Clone deep-copies every node state.
+func (ss SystemState) Clone() SystemState {
+	out := make(SystemState, len(ss))
+	for i, s := range ss {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// Fingerprint hashes the canonical encoding of all node states in order.
+func (ss SystemState) Fingerprint() codec.Fingerprint {
+	var w codec.Writer
+	for _, s := range ss {
+		s.Encode(&w)
+	}
+	return codec.Hash(w.Bytes())
+}
+
+// String renders the system state as node states joined by " | ".
+func (ss SystemState) String() string {
+	parts := make([]string, len(ss))
+	for i, s := range ss {
+		parts[i] = fmt.Sprintf("%v:%s", NodeID(i), s.String())
+	}
+	return strings.Join(parts, " | ")
+}
+
+// InitialSystem builds the system state of all nodes' initial states.
+func InitialSystem(m Machine) SystemState {
+	ss := make(SystemState, m.NumNodes())
+	for i := range ss {
+		ss[i] = m.Init(NodeID(i))
+	}
+	return ss
+}
+
+// EventKind discriminates the two handler families of Figure 5.
+type EventKind uint8
+
+const (
+	// NetworkEvent delivers a message (HM).
+	NetworkEvent EventKind = iota + 1
+	// InternalEvent performs a node-local action (HA).
+	InternalEvent
+)
+
+// String names the kind for traces.
+func (k EventKind) String() string {
+	switch k {
+	case NetworkEvent:
+		return "recv"
+	case InternalEvent:
+		return "act"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one enabled transition of the system: either the delivery of a
+// message to its destination node, or an internal action of a node.
+type Event struct {
+	Kind EventKind
+	Node NodeID  // the node whose handler executes
+	Msg  Message // set iff Kind == NetworkEvent
+	Act  Action  // set iff Kind == InternalEvent
+}
+
+// RecvEvent builds a message-delivery event.
+func RecvEvent(m Message) Event {
+	return Event{Kind: NetworkEvent, Node: m.Dst(), Msg: m}
+}
+
+// ActEvent builds an internal-action event.
+func ActEvent(a Action) Event {
+	return Event{Kind: InternalEvent, Node: a.Node(), Act: a}
+}
+
+// Encode writes the event canonically: kind, node, then payload.
+func (e Event) Encode(w *codec.Writer) {
+	w.Byte(byte(e.Kind))
+	w.Int(int(e.Node))
+	switch e.Kind {
+	case NetworkEvent:
+		e.Msg.Encode(w)
+	case InternalEvent:
+		e.Act.Encode(w)
+	}
+}
+
+// Fingerprint identifies the event; it is what LMC stores in predecessor
+// pointers instead of the event itself (§4.2: "Instead of the actual event,
+// its hash is added into the predecessor pointers").
+func (e Event) Fingerprint() codec.Fingerprint { return codec.HashOf(e) }
+
+// String renders the event for traces: "N2 recv Prepare{...}" or
+// "N1 act Propose{...}".
+func (e Event) String() string {
+	switch e.Kind {
+	case NetworkEvent:
+		return fmt.Sprintf("%v %v %s", e.Node, e.Kind, e.Msg.String())
+	case InternalEvent:
+		return fmt.Sprintf("%v %v %s", e.Node, e.Kind, e.Act.String())
+	default:
+		return fmt.Sprintf("%v <invalid event>", e.Node)
+	}
+}
+
+// Apply executes the event's handler on a clone of s via machine m,
+// returning the successor (nil if the handler rejected) and emissions.
+func (e Event) Apply(m Machine, s State) (State, []Message) {
+	switch e.Kind {
+	case NetworkEvent:
+		return m.HandleMessage(e.Node, s.Clone(), e.Msg)
+	case InternalEvent:
+		return m.HandleAction(e.Node, s.Clone(), e.Act)
+	default:
+		return nil, nil
+	}
+}
+
+// MessageFingerprint hashes a message's canonical encoding.
+func MessageFingerprint(m Message) codec.Fingerprint { return codec.HashOf(m) }
+
+// StateFingerprint hashes a state's canonical encoding.
+func StateFingerprint(s State) codec.Fingerprint { return codec.HashOf(s) }

@@ -1,0 +1,122 @@
+package model_test
+
+import (
+	"strings"
+	"testing"
+
+	"lmc/internal/model"
+	"lmc/internal/protocols/tree"
+)
+
+// TestNodeIDString checks the paper's N1..Nk rendering.
+func TestNodeIDString(t *testing.T) {
+	if model.NodeID(0).String() != "N1" || model.NodeID(2).String() != "N3" {
+		t.Fatalf("NodeID rendering off: %v %v", model.NodeID(0), model.NodeID(2))
+	}
+}
+
+// TestInitialSystem checks per-node initial states.
+func TestInitialSystem(t *testing.T) {
+	m := tree.NewPaperTree()
+	ss := model.InitialSystem(m)
+	if len(ss) != 5 {
+		t.Fatalf("system size %d, want 5", len(ss))
+	}
+	for _, s := range ss {
+		if s.(*tree.State).St != tree.Idle {
+			t.Fatal("non-idle initial state")
+		}
+	}
+}
+
+// TestSystemStateCloneIsDeep checks clone independence.
+func TestSystemStateCloneIsDeep(t *testing.T) {
+	m := tree.NewPaperTree()
+	ss := model.InitialSystem(m)
+	c := ss.Clone()
+	c[0].(*tree.State).St = tree.Sent
+	if ss[0].(*tree.State).St != tree.Idle {
+		t.Fatal("clone shares node state with original")
+	}
+}
+
+// TestSystemFingerprint: equal contents hash equal; different contents
+// hash different; node order matters.
+func TestSystemFingerprint(t *testing.T) {
+	m := tree.NewPaperTree()
+	a := model.InitialSystem(m)
+	b := model.InitialSystem(m)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal systems hash differently")
+	}
+	b[0].(*tree.State).St = tree.Sent
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("modified system hashes equally")
+	}
+	// Swapping two equal-state nodes must not change the hash; swapping
+	// unequal ones must.
+	c := model.InitialSystem(m)
+	c[1].(*tree.State).St = tree.Sent
+	d := model.InitialSystem(m)
+	d[2].(*tree.State).St = tree.Sent
+	if c.Fingerprint() == d.Fingerprint() {
+		t.Fatal("node position does not affect the fingerprint")
+	}
+}
+
+// TestEventFingerprints: distinct kinds and payloads produce distinct
+// fingerprints; equal events agree.
+func TestEventFingerprints(t *testing.T) {
+	fwd := tree.Forward{From: 0, To: 1}
+	recv := model.RecvEvent(fwd)
+	recv2 := model.RecvEvent(tree.Forward{From: 0, To: 1})
+	if recv.Fingerprint() != recv2.Fingerprint() {
+		t.Fatal("equal events disagree")
+	}
+	act := model.ActEvent(tree.Initiate{Root: 0})
+	if recv.Fingerprint() == act.Fingerprint() {
+		t.Fatal("recv and act collide")
+	}
+	other := model.RecvEvent(tree.Forward{From: 0, To: 2})
+	if recv.Fingerprint() == other.Fingerprint() {
+		t.Fatal("different messages collide")
+	}
+}
+
+// TestEventString checks trace rendering mentions node and payload.
+func TestEventString(t *testing.T) {
+	e := model.RecvEvent(tree.Forward{From: 0, To: 1})
+	s := e.String()
+	if !strings.Contains(s, "N2") || !strings.Contains(s, "recv") {
+		t.Fatalf("unhelpful event rendering: %q", s)
+	}
+}
+
+// TestEventApplyClones: Apply must not mutate the input state.
+func TestEventApplyClones(t *testing.T) {
+	m := tree.NewPaperTree()
+	s0 := m.Init(0)
+	ev := model.ActEvent(tree.Initiate{Root: 0})
+	next, out := ev.Apply(m, s0)
+	if next == nil || len(out) != 2 {
+		t.Fatalf("initiate failed: %v %v", next, out)
+	}
+	if s0.(*tree.State).St != tree.Idle {
+		t.Fatal("Apply mutated the input state")
+	}
+}
+
+// TestMessageFingerprintMatchesHashOf checks the helper agreement.
+func TestMessageFingerprintMatchesHashOf(t *testing.T) {
+	msg := tree.Forward{From: 1, To: 3}
+	if model.MessageFingerprint(msg) != model.MessageFingerprint(tree.Forward{From: 1, To: 3}) {
+		t.Fatal("message fingerprint unstable")
+	}
+}
+
+// TestEventKindString names the kinds.
+func TestEventKindString(t *testing.T) {
+	if model.NetworkEvent.String() != "recv" || model.InternalEvent.String() != "act" {
+		t.Fatal("kind names changed")
+	}
+}

@@ -1,0 +1,184 @@
+package netstate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+)
+
+// testMsg is a minimal message for network tests.
+type testMsg struct {
+	From, To model.NodeID
+	Body     int
+}
+
+func (m testMsg) Src() model.NodeID { return m.From }
+func (m testMsg) Dst() model.NodeID { return m.To }
+func (m testMsg) Encode(w *codec.Writer) {
+	w.String("test")
+	w.Int(int(m.From))
+	w.Int(int(m.To))
+	w.Int(m.Body)
+}
+func (m testMsg) String() string { return fmt.Sprintf("test{%v->%v %d}", m.From, m.To, m.Body) }
+
+// TestMultisetAddRemove checks counting semantics.
+func TestMultisetAddRemove(t *testing.T) {
+	ms := NewMultiset()
+	m := testMsg{0, 1, 7}
+	fp := ms.Add(m)
+	ms.Add(m)
+	if ms.Len() != 2 || ms.Distinct() != 1 {
+		t.Fatalf("len=%d distinct=%d, want 2/1", ms.Len(), ms.Distinct())
+	}
+	if !ms.Remove(fp) {
+		t.Fatal("remove failed")
+	}
+	if ms.Len() != 1 || !ms.Contains(fp) {
+		t.Fatal("first remove should leave one copy")
+	}
+	if !ms.Remove(fp) || ms.Remove(fp) {
+		t.Fatal("second remove should succeed, third should fail")
+	}
+	if ms.Len() != 0 || ms.Contains(fp) {
+		t.Fatal("multiset not empty")
+	}
+}
+
+// TestMultisetFingerprintOrderInsensitive: the fingerprint must depend only
+// on contents, not on insertion or removal order — a property-based check
+// that also exercises Remove.
+func TestMultisetFingerprintOrderInsensitive(t *testing.T) {
+	f := func(bodies []int, seed int64) bool {
+		a := NewMultiset()
+		b := NewMultiset()
+		for _, body := range bodies {
+			a.Add(testMsg{0, 1, body % 5})
+		}
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(len(bodies))
+		for _, i := range perm {
+			b.Add(testMsg{0, 1, bodies[i] % 5})
+		}
+		return a.Fingerprint() == b.Fingerprint()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultisetFingerprintAfterRemove: adding then removing a message must
+// restore the fingerprint.
+func TestMultisetFingerprintAfterRemove(t *testing.T) {
+	ms := NewMultiset()
+	ms.Add(testMsg{0, 1, 1})
+	before := ms.Fingerprint()
+	fp := ms.Add(testMsg{1, 0, 2})
+	ms.Remove(fp)
+	if ms.Fingerprint() != before {
+		t.Fatal("fingerprint not restored after add+remove")
+	}
+}
+
+// TestMultisetClone checks deep independence of clones.
+func TestMultisetClone(t *testing.T) {
+	ms := NewMultiset()
+	fp := ms.Add(testMsg{0, 1, 1})
+	c := ms.Clone()
+	c.Remove(fp)
+	if !ms.Contains(fp) {
+		t.Fatal("clone shares state with the original")
+	}
+	if c.Contains(fp) {
+		t.Fatal("remove on clone had no effect")
+	}
+}
+
+// TestMultisetMessagesDeterministic checks the iteration order is stable.
+func TestMultisetMessagesDeterministic(t *testing.T) {
+	build := func() *Multiset {
+		ms := NewMultiset()
+		for i := 0; i < 10; i++ {
+			ms.Add(testMsg{0, 1, i})
+		}
+		return ms
+	}
+	a, b := build().Messages(), build().Messages()
+	for i := range a {
+		if a[i].FP != b[i].FP {
+			t.Fatal("Messages order not deterministic")
+		}
+	}
+}
+
+// TestSharedDedup checks the paper's duplicate limit of zero: an identical
+// message is stored once.
+func TestSharedDedup(t *testing.T) {
+	sh := NewShared(0)
+	if sh.Add(testMsg{0, 1, 1}) == nil {
+		t.Fatal("first add dropped")
+	}
+	if sh.Add(testMsg{0, 1, 1}) != nil {
+		t.Fatal("duplicate admitted with limit 0")
+	}
+	if sh.Len() != 1 || sh.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d", sh.Len(), sh.Dropped())
+	}
+}
+
+// TestSharedDupLimit checks tolerated duplicate copies get distinct
+// delivery identities.
+func TestSharedDupLimit(t *testing.T) {
+	sh := NewShared(1)
+	e0 := sh.Add(testMsg{0, 1, 1})
+	e1 := sh.Add(testMsg{0, 1, 1})
+	if e0 == nil || e1 == nil {
+		t.Fatal("copies within limit dropped")
+	}
+	if sh.Add(testMsg{0, 1, 1}) != nil {
+		t.Fatal("over-limit duplicate admitted")
+	}
+	if e0.EventFingerprint() == e1.EventFingerprint() {
+		t.Fatal("duplicate copies share a delivery identity")
+	}
+	if e0.FP != e1.FP {
+		t.Fatal("copies of one message have different content fingerprints")
+	}
+}
+
+// TestSharedGrowsMonotonically: entries are never removed and keep stable
+// indexes — the property completeness rests on.
+func TestSharedGrowsMonotonically(t *testing.T) {
+	sh := NewShared(0)
+	var fps []codec.Fingerprint
+	for i := 0; i < 20; i++ {
+		e := sh.Add(testMsg{0, 1, i})
+		fps = append(fps, e.FP)
+	}
+	for i, e := range sh.Entries() {
+		if e.FP != fps[i] {
+			t.Fatalf("entry %d moved", i)
+		}
+		if !sh.Contains(e.FP) {
+			t.Fatalf("entry %d not contained", i)
+		}
+	}
+	if sh.Entry(3).FP != fps[3] {
+		t.Fatal("Entry(3) mismatch")
+	}
+}
+
+// TestSharedAddAll checks batch insertion filters duplicates.
+func TestSharedAddAll(t *testing.T) {
+	sh := NewShared(0)
+	added := sh.AddAll([]model.Message{
+		testMsg{0, 1, 1}, testMsg{0, 1, 1}, testMsg{0, 2, 2},
+	})
+	if len(added) != 2 {
+		t.Fatalf("added %d entries, want 2", len(added))
+	}
+}

@@ -1,0 +1,154 @@
+// Package chain implements the token-forwarding chain the paper names as
+// the worst case for local model checking: "we could not expect much from
+// LMC in a chain system in which each node simply forwards the input
+// message to the next" (§4.3). With no parallel network activity, every
+// global state has at most one in-flight message and the global and local
+// approaches explore essentially the same space — the ablation experiment
+// A1 quantifies exactly that.
+package chain
+
+import (
+	"fmt"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+	"lmc/internal/spec"
+)
+
+// State is one node's progress marker.
+type State struct {
+	// Seen is true once the token passed through this node.
+	Seen bool
+	// Started is true on node 0 after it injected the token.
+	Started bool
+}
+
+// Encode implements codec.Encoder.
+func (s *State) Encode(w *codec.Writer) {
+	w.Bool(s.Seen)
+	w.Bool(s.Started)
+}
+
+// Clone implements model.State.
+func (s *State) Clone() model.State { c := *s; return &c }
+
+// String implements model.State.
+func (s *State) String() string {
+	switch {
+	case s.Started:
+		return "S"
+	case s.Seen:
+		return "x"
+	default:
+		return "-"
+	}
+}
+
+// Token is the single message, forwarded down the chain.
+type Token struct {
+	From, To model.NodeID
+}
+
+// Src implements model.Message.
+func (m Token) Src() model.NodeID { return m.From }
+
+// Dst implements model.Message.
+func (m Token) Dst() model.NodeID { return m.To }
+
+// Encode implements codec.Encoder.
+func (m Token) Encode(w *codec.Writer) {
+	w.String("chain.token")
+	w.Int(int(m.From))
+	w.Int(int(m.To))
+}
+
+// String implements model.Message.
+func (m Token) String() string { return fmt.Sprintf("Token{%v->%v}", m.From, m.To) }
+
+// Start is node 0's application call.
+type Start struct{}
+
+// Node implements model.Action.
+func (Start) Node() model.NodeID { return 0 }
+
+// Encode implements codec.Encoder.
+func (Start) Encode(w *codec.Writer) { w.String("chain.start") }
+
+// String implements model.Action.
+func (Start) String() string { return "Start{}" }
+
+// Machine is the chain protocol over n nodes in a line.
+type Machine struct {
+	N int
+}
+
+// New builds an n-node chain.
+func New(n int) *Machine { return &Machine{N: n} }
+
+// Name implements model.Machine.
+func (mc *Machine) Name() string { return "chain" }
+
+// NumNodes implements model.Machine.
+func (mc *Machine) NumNodes() int { return mc.N }
+
+// Init implements model.Machine.
+func (mc *Machine) Init(model.NodeID) model.State { return &State{} }
+
+// Actions implements model.Machine.
+func (mc *Machine) Actions(n model.NodeID, s model.State) []model.Action {
+	st := s.(*State)
+	if n == 0 && !st.Started {
+		return []model.Action{Start{}}
+	}
+	return nil
+}
+
+// HandleAction implements model.Machine.
+func (mc *Machine) HandleAction(n model.NodeID, s model.State, a model.Action) (model.State, []model.Message) {
+	st := s.(*State)
+	if _, ok := a.(Start); !ok || n != 0 || st.Started {
+		return nil, nil
+	}
+	st.Started = true
+	st.Seen = true
+	if mc.N == 1 {
+		return st, nil
+	}
+	return st, []model.Message{Token{From: 0, To: 1}}
+}
+
+// HandleMessage implements model.Machine.
+func (mc *Machine) HandleMessage(n model.NodeID, s model.State, m model.Message) (model.State, []model.Message) {
+	st := s.(*State)
+	if _, ok := m.(Token); !ok {
+		return nil, nil
+	}
+	if st.Seen {
+		return st, nil // duplicate token: ignore
+	}
+	st.Seen = true
+	if int(n) == mc.N-1 {
+		return st, nil
+	}
+	return st, []model.Message{Token{From: n, To: n + 1}}
+}
+
+// CausalityName names the chain invariant.
+const CausalityName = "chain-causality"
+
+// Causality is the system invariant "if the tail saw the token, the head
+// started" — trivially true, but its preliminary violations exercise the
+// local checker's soundness rejection on a serial protocol.
+func (mc *Machine) Causality() spec.Invariant {
+	return spec.InvariantFunc{
+		InvName: CausalityName,
+		Fn: func(ss model.SystemState) *spec.Violation {
+			head := ss[0].(*State)
+			tail := ss[mc.N-1].(*State)
+			if tail.Seen && !head.Started {
+				return spec.Violate(CausalityName, ss, "tail saw the token but the head never started")
+			}
+			return nil
+		},
+	}
+}

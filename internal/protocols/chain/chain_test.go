@@ -1,0 +1,75 @@
+package chain_test
+
+import (
+	"testing"
+
+	"lmc/internal/core"
+	"lmc/internal/mc/global"
+	"lmc/internal/model"
+	"lmc/internal/protocols/chain"
+	"lmc/internal/testkit"
+)
+
+// TestTokenReachesTail drives the chain end to end.
+func TestTokenReachesTail(t *testing.T) {
+	m := chain.New(5)
+	h := testkit.New(m)
+	if err := h.Act(chain.Start{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Settle(100); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 5; n++ {
+		if !h.State(model.NodeID(n)).(*chain.State).Seen {
+			t.Fatalf("node %d never saw the token", n)
+		}
+	}
+}
+
+// TestSingleNodeChain degenerates gracefully.
+func TestSingleNodeChain(t *testing.T) {
+	m := chain.New(1)
+	s, out := m.HandleAction(0, m.Init(0), chain.Start{})
+	if s == nil || len(out) != 0 {
+		t.Fatalf("single-node start wrong: %v %v", s, out)
+	}
+}
+
+// TestDuplicateTokenIgnored: a second token is a no-op, not a re-forward.
+func TestDuplicateTokenIgnored(t *testing.T) {
+	m := chain.New(3)
+	s := m.Init(1)
+	next, out := m.HandleMessage(1, s.Clone(), chain.Token{From: 0, To: 1})
+	if len(out) != 1 {
+		t.Fatalf("first token forwarded %d messages", len(out))
+	}
+	_, out = m.HandleMessage(1, next.Clone(), chain.Token{From: 0, To: 1})
+	if len(out) != 0 {
+		t.Fatal("duplicate token re-forwarded")
+	}
+}
+
+// TestSerialAblation quantifies §4.3: on a chain, LMC's transition count is
+// essentially the global one — there is no parallel network activity to
+// collapse.
+func TestSerialAblation(t *testing.T) {
+	m := chain.New(5)
+	start := model.InitialSystem(m)
+	g := global.Check(m, start, global.Options{Invariant: m.Causality()})
+	l := core.Check(m, start, core.Options{Invariant: m.Causality()})
+	if !g.Complete || !l.Complete {
+		t.Fatalf("incomplete: global=%v local=%v", g.Complete, l.Complete)
+	}
+	if len(g.Bugs)+len(l.Bugs) != 0 {
+		t.Fatal("phantom bugs on the chain")
+	}
+	// The chain's global space is linear (one in-flight message at a time),
+	// so the local approach cannot save transitions the way it does on
+	// broadcast protocols: both counts stay within a small constant factor.
+	if g.Stats.Transitions > 3*l.Stats.Transitions {
+		t.Errorf("chain should not benefit much from LMC: global=%d local=%d",
+			g.Stats.Transitions, l.Stats.Transitions)
+	}
+	t.Logf("global=%d local=%d transitions", g.Stats.Transitions, l.Stats.Transitions)
+}

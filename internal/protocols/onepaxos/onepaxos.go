@@ -1,0 +1,168 @@
+// Package onepaxos implements 1Paxos (§5.6, citing "One Acceptor is
+// Enough"): an efficient Multi-Paxos variant with a single active acceptor.
+// A global leader sends accept requests directly to the active acceptor;
+// the acceptor's Learn broadcast alone suffices for learners to choose.
+// Upon (suspected) failure, the acceptor is replaced by the global leader.
+// Leader and acceptor identities are agreed upon through a separate
+// consensus service, PaxosUtility, which — as in the paper's experiment —
+// is implemented with Paxos itself, mounted as a lower-layer module of
+// every node (the "whole service stack" of §4.2).
+//
+// The package provides the correct protocol and, behind a switch, the
+// paper's newly found bug: the initialization function computed the active
+// acceptor with `acceptor = *(members.begin()++)`, which — because postfix
+// ++ returns the original iterator — sets the acceptor to the first member,
+// the same node as the leader.
+package onepaxos
+
+import (
+	"fmt"
+	"sort"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+	"lmc/internal/protocols/paxos"
+)
+
+// BugKind selects a protocol variant.
+type BugKind int
+
+const (
+	// NoBug initializes the acceptor to the second member, as intended.
+	NoBug BugKind = iota
+	// PlusPlusBug reproduces the §5.6 initialization bug: the acceptor
+	// local variable is set to the first member — the leader itself.
+	PlusPlusBug
+)
+
+// String names the variant.
+func (b BugKind) String() string {
+	if b == PlusPlusBug {
+		return "plusplus-bug"
+	}
+	return "correct"
+}
+
+// Entry kinds stored in the PaxosUtility log. Entries are encoded into the
+// utility's integer value space as kind*1000 + node + 1.
+const (
+	entryLeader   = 1
+	entryAcceptor = 2
+)
+
+// EncodeEntry packs a configuration entry into a utility value.
+func EncodeEntry(kind int, n model.NodeID) int { return kind*1000 + int(n) + 1 }
+
+// DecodeEntry unpacks a utility value.
+func DecodeEntry(v int) (kind int, n model.NodeID) {
+	return v / 1000, model.NodeID(v%1000 - 1)
+}
+
+// acceptedVal is the acceptor role's record for one index.
+type acceptedVal struct {
+	Epoch int
+	Value int
+}
+
+// State is one 1Paxos node's local state, including its embedded
+// PaxosUtility (lower-layer Paxos) state.
+type State struct {
+	// Util is the PaxosUtility lower layer.
+	Util *paxos.State
+	// UtilApplied is the next utility log index to apply.
+	UtilApplied int
+
+	// Leader is the node's view of the global leader.
+	Leader model.NodeID
+	// Acceptor is the node's view of the active acceptor — the local
+	// variable the §5.6 bug mis-initializes.
+	Acceptor model.NodeID
+	// Epoch counts LeaderChange entries applied; accept requests from
+	// stale epochs are refused.
+	Epoch int
+
+	// Accepted is the acceptor role's per-index record.
+	Accepted map[int]acceptedVal
+	// Chosen is the learner role's decisions.
+	Chosen map[int]int
+	// ProposalsMade counts this node's value propositions (driver budget).
+	ProposalsMade int
+	// LeaderAttempts counts this node's leadership takeovers (driver
+	// budget).
+	LeaderAttempts int
+}
+
+// Clone implements model.State.
+func (s *State) Clone() model.State {
+	c := &State{
+		Util:           s.Util.Clone().(*paxos.State),
+		UtilApplied:    s.UtilApplied,
+		Leader:         s.Leader,
+		Acceptor:       s.Acceptor,
+		Epoch:          s.Epoch,
+		Accepted:       make(map[int]acceptedVal, len(s.Accepted)),
+		Chosen:         make(map[int]int, len(s.Chosen)),
+		ProposalsMade:  s.ProposalsMade,
+		LeaderAttempts: s.LeaderAttempts,
+	}
+	for i, a := range s.Accepted {
+		c.Accepted[i] = a
+	}
+	for i, v := range s.Chosen {
+		c.Chosen[i] = v
+	}
+	return c
+}
+
+// Encode implements codec.Encoder.
+func (s *State) Encode(w *codec.Writer) {
+	s.Util.Encode(w)
+	w.Int(s.UtilApplied)
+	w.Int(int(s.Leader))
+	w.Int(int(s.Acceptor))
+	w.Int(s.Epoch)
+	idxs := make([]int, 0, len(s.Accepted))
+	for i := range s.Accepted {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	w.Uint32(uint32(len(idxs)))
+	for _, i := range idxs {
+		a := s.Accepted[i]
+		w.Int(i)
+		w.Int(a.Epoch)
+		w.Int(a.Value)
+	}
+	w.IntMap(s.Chosen)
+	w.Int(s.ProposalsMade)
+	w.Int(s.LeaderAttempts)
+}
+
+// String implements model.State.
+func (s *State) String() string {
+	out := fmt.Sprintf("{L=%v A=%v e=%d", s.Leader, s.Acceptor, s.Epoch)
+	idxs := make([]int, 0, len(s.Chosen))
+	for i := range s.Chosen {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		out += fmt.Sprintf(" chosen[%d]=%d", i, s.Chosen[i])
+	}
+	return out + "}"
+}
+
+// HasChosen reports the chosen value for an index, if any.
+func (s *State) HasChosen(index int) (int, bool) {
+	v, ok := s.Chosen[index]
+	return v, ok
+}
+
+// ChosenSet returns a copy of the chosen map.
+func (s *State) ChosenSet() map[int]int {
+	out := make(map[int]int, len(s.Chosen))
+	for k, v := range s.Chosen {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package onepaxos
+
+import (
+	"testing"
+
+	"lmc/internal/model"
+	"lmc/internal/testkit"
+)
+
+// BuildPaperLiveState wraps PaperLiveState for tests.
+func BuildPaperLiveState(t testing.TB, m *Machine) model.SystemState {
+	t.Helper()
+	sys, err := PaperLiveState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestLiveScenarios checks the scripted §5.6 live run against both
+// variants: the buggy one leaves N1 with acceptor == leader == N1, the
+// correct one with acceptor N2.
+func TestLiveScenarios(t *testing.T) {
+	for _, bug := range []BugKind{NoBug, PlusPlusBug} {
+		m := New(3, bug, Driver{})
+		sys := BuildPaperLiveState(t, m)
+		n1 := sys[0].(*State)
+		wantAcceptor := model.NodeID(1)
+		if bug == PlusPlusBug {
+			wantAcceptor = 0
+		}
+		if n1.Acceptor != wantAcceptor {
+			t.Errorf("%v: N1 acceptor = %v, want %v", bug, n1.Acceptor, wantAcceptor)
+		}
+	}
+}
+
+// TestSeparationInvariant: the ++ bug makes leader == acceptor in the very
+// first state, violating the node-local separation property.
+func TestSeparationInvariant(t *testing.T) {
+	inv := Separation()
+	buggy := New(3, PlusPlusBug, Driver{})
+	if msg := inv.CheckNode(0, buggy.Init(0)); msg == "" {
+		t.Errorf("buggy init does not violate separation")
+	}
+	correct := New(3, NoBug, Driver{})
+	if msg := inv.CheckNode(0, correct.Init(0)); msg != "" {
+		t.Errorf("correct init violates separation: %s", msg)
+	}
+}
+
+// TestNormalOperation drives a full, loss-free decision through the single
+// acceptor: the initial leader proposes and every node chooses.
+func TestNormalOperation(t *testing.T) {
+	m := New(3, NoBug, Driver{})
+	h := testkit.New(m)
+	if err := h.Act(ProposeValue{On: 0, Index: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Settle(1000); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 3; n++ {
+		st := h.State(model.NodeID(n)).(*State)
+		if v, ok := st.HasChosen(0); !ok || v != 1 {
+			t.Fatalf("node %d did not choose 1: %s", n, st.String())
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package onepaxos
+
+import (
+	"fmt"
+
+	"lmc/internal/model"
+	"lmc/internal/testkit"
+)
+
+// PaperLiveState reconstructs the live state of the §5.6 experiment at the
+// moment the online checker snapshots it: node N3 has become the leader
+// through the PaxosUtility (its LeaderChange entry chosen by the N2/N3
+// majority), read N2 as the active acceptor, and proposed value 3 for
+// index 0; N2 accepted and broadcast Learn; every message to N1 was lost,
+// so N1 still believes it is the leader — with its acceptor variable
+// pointing wherever the initialization function left it.
+func PaperLiveState(m *Machine) (model.SystemState, error) {
+	h := testkit.New(m)
+	h.Drop = func(msg model.Message) bool { return msg.Dst() == 0 }
+
+	if err := h.Act(BecomeLeader{On: 2}); err != nil {
+		return nil, err
+	}
+	if err := h.Settle(10000); err != nil {
+		return nil, err
+	}
+	st := h.State(2).(*State)
+	if st.Leader != 2 || st.Acceptor != 1 {
+		return nil, fmt.Errorf("onepaxos: takeover did not converge: %s", st.String())
+	}
+	if err := h.Act(ProposeValue{On: 2, Index: 0, Value: 3}); err != nil {
+		return nil, err
+	}
+	if err := h.Settle(10000); err != nil {
+		return nil, err
+	}
+	for _, n := range []model.NodeID{1, 2} {
+		st := h.State(n).(*State)
+		if v, ok := st.HasChosen(0); !ok || v != 3 {
+			return nil, fmt.Errorf("onepaxos: %v did not choose 3: %s", n, st.String())
+		}
+	}
+	n1 := h.State(0).(*State)
+	if n1.Leader != 0 {
+		return nil, fmt.Errorf("onepaxos: N1 lost its stale leadership: %s", n1.String())
+	}
+	return h.Snapshot(), nil
+}

@@ -1,0 +1,108 @@
+package paxos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lmc/internal/model"
+	"lmc/internal/spec"
+)
+
+// AgreementName names the Paxos safety invariant.
+const AgreementName = "paxos-agreement"
+
+// Agreement is the Paxos invariant of §5: "no two nodes will choose
+// different values for the same index".
+func Agreement() spec.Invariant {
+	return spec.InvariantFunc{
+		InvName: AgreementName,
+		Fn: func(ss model.SystemState) *spec.Violation {
+			for i := 0; i < len(ss); i++ {
+				si, ok := ss[i].(*State)
+				if !ok {
+					return nil
+				}
+				for idx, vi := range si.Chosen {
+					for j := i + 1; j < len(ss); j++ {
+						sj := ss[j].(*State)
+						if vj, ok := sj.Chosen[idx]; ok && vj != vi {
+							return spec.Violate(AgreementName, ss,
+								"index %d: %v chose %d but %v chose %d",
+								idx, model.NodeID(i), vi, model.NodeID(j), vj)
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// chosenInterest is the LMC-OPT projection of a node state: the set of
+// values it has chosen, per index.
+type chosenInterest map[int]int
+
+// Reduction is the invariant-specific system-state creation rule of §4.2
+// (the LMC-OPT configuration): "we map the node states to the values that
+// are chosen in them. Because most of the node states have not chosen any
+// value, lots of them will not be included in this mapping. When creating
+// system states, we thus select only the node states that at least two of
+// them are mapped to different values."
+type Reduction struct{}
+
+// Interest implements spec.Reduction.
+func (Reduction) Interest(_ model.NodeID, s model.State) (spec.Interest, bool) {
+	st, ok := s.(*State)
+	if !ok || len(st.Chosen) == 0 {
+		return nil, false
+	}
+	return chosenInterest(st.ChosenSet()), true
+}
+
+// Conflict implements spec.Reduction: two interests conflict when they
+// chose different values for a common index.
+func (Reduction) Conflict(a, b spec.Interest) bool {
+	ca, ok := a.(chosenInterest)
+	if !ok {
+		return false
+	}
+	cb, ok := b.(chosenInterest)
+	if !ok {
+		return false
+	}
+	for idx, va := range ca {
+		if vb, ok := cb[idx]; ok && va != vb {
+			return true
+		}
+	}
+	return false
+}
+
+// InterestKey implements spec.Keyer: the canonical rendering of the chosen
+// map, so node states that chose the same values group together.
+func (Reduction) InterestKey(i spec.Interest) string {
+	ci, ok := i.(chosenInterest)
+	if !ok {
+		return ""
+	}
+	idxs := make([]int, 0, len(ci))
+	for idx := range ci {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	var b strings.Builder
+	for _, idx := range idxs {
+		fmt.Fprintf(&b, "%d=%d;", idx, ci[idx])
+	}
+	return b.String()
+}
+
+// ExtractState asserts a model.State to *State, for tests and tools.
+func ExtractState(s model.State) (*State, error) {
+	st, ok := s.(*State)
+	if !ok {
+		return nil, fmt.Errorf("paxos: not a paxos state: %T", s)
+	}
+	return st, nil
+}

@@ -1,0 +1,260 @@
+package paxos
+
+import (
+	"math/rand"
+	"sort"
+
+	"lmc/internal/model"
+)
+
+// Driver is the test driver of §4.2: the application that feeds propose
+// requests to the service. "The more complex the test driver, the larger
+// the generated state space is" — the state spaces of §5 are defined by
+// their drivers, so the driver is a first-class, pluggable part of the
+// machine.
+type Driver interface {
+	// Proposals lists the propositions node n may initiate in state s.
+	Proposals(p Params, n model.NodeID, s *State) []Propose
+}
+
+// OnceAt is the driver of the §5.1 benchmark space: exactly one node
+// proposes exactly one value for one index; the others only react.
+type OnceAt struct {
+	Node  model.NodeID
+	Index int
+	Value int
+}
+
+// Proposals implements Driver. The proposal fires only from the node's
+// pristine initial state: in a real run of this space no message exists
+// before the proposal, so the propose call is necessarily the first event —
+// and restricting the driver this way keeps the explored message universe
+// finite (otherwise every evolved state would re-propose with an escalated
+// ballot, a divergence no real run exhibits).
+func (d OnceAt) Proposals(p Params, n model.NodeID, s *State) []Propose {
+	if n != d.Node || !s.Pristine() {
+		return nil
+	}
+	return []Propose{{On: n, Layer: p.Layer, Index: d.Index, Value: d.Value}}
+}
+
+// EachOnce is the driver of the §5.2 scalability space: each listed node
+// proposes once (its own id as the value) for the same index.
+type EachOnce struct {
+	Nodes []model.NodeID
+	Index int
+}
+
+// Proposals implements Driver.
+func (d EachOnce) Proposals(p Params, n model.NodeID, s *State) []Propose {
+	if s.ProposalsMade > 0 {
+		return nil
+	}
+	for _, cand := range d.Nodes {
+		if cand == n {
+			return []Propose{{On: n, Layer: p.Layer, Index: d.Index, Value: int(n) + 1}}
+		}
+	}
+	return nil
+}
+
+// ActiveIndex is the paper's online-checking driver (§4.2): "the test
+// driver proposes values for a particular index. The index is selected from
+// recent chosen proposals, where not all the nodes have learned the
+// proposal yet. Otherwise, a new index is used." A node therefore proposes
+// for the smallest index on which it observes unfinished activity — some
+// role recorded something for the index, but the node's learner view does
+// not yet show every node's acceptor having announced it — and only opens a
+// fresh index when everything it knows about is fully settled. The proposed
+// value is the node's id. This frugality is deliberate: "a careful design
+// of the test driver could greatly impact the efficiency of model
+// checking."
+type ActiveIndex struct {
+	// MaxPerNode bounds propositions per node counted over the node's
+	// whole lifetime (ProposalsMade, which a live run's history also
+	// advances); non-positive means unlimited, leaving the checker's
+	// per-pass local-event bound as the only brake — the right setting for
+	// online runs, whose snapshots arrive with history.
+	MaxPerNode int
+	// MaxIndexes bounds how many recent unsettled indexes are offered as
+	// proposition targets; zero means 3.
+	MaxIndexes int
+	// FreshIndexes lets the driver open a new index when all known activity
+	// is settled. The checker spaces of §5 keep this off to contain the
+	// explored universe; the live application proposes at fresh indexes
+	// through its own calls instead.
+	FreshIndexes bool
+}
+
+// Proposals implements Driver.
+func (d ActiveIndex) Proposals(p Params, n model.NodeID, s *State) []Propose {
+	if d.MaxPerNode > 0 && s.ProposalsMade >= d.MaxPerNode {
+		return nil
+	}
+	maxIdx := d.MaxIndexes
+	if maxIdx <= 0 {
+		maxIdx = 3
+	}
+	active := map[int]bool{}
+	top := -1
+	consider := func(i int) {
+		if i > top {
+			top = i
+		}
+		if !s.settled(p, i) {
+			active[i] = true
+		}
+	}
+	for i := range s.Promised {
+		consider(i)
+	}
+	for i := range s.Accepted {
+		consider(i)
+	}
+	for i := range s.Learns {
+		consider(i)
+	}
+	for i := range s.Chosen {
+		consider(i)
+	}
+	if len(active) == 0 {
+		if !d.FreshIndexes {
+			return nil
+		}
+		return []Propose{{On: n, Layer: p.Layer, Index: top + 1, Value: int(n) + 1}}
+	}
+	// Most recent unsettled indexes first ("recent chosen proposals").
+	idxs := make([]int, 0, len(active))
+	for i := range active {
+		idxs = append(idxs, i)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(idxs)))
+	if len(idxs) > maxIdx {
+		idxs = idxs[:maxIdx]
+	}
+	out := make([]Propose, len(idxs))
+	for j, i := range idxs {
+		out[j] = Propose{On: n, Layer: p.Layer, Index: i, Value: int(n) + 1}
+	}
+	return out
+}
+
+// settled reports whether, in this node's local view, index i is finished
+// business: the node has chosen a value and has seen every node's acceptor
+// announce it. Unsettled indexes are where safety bugs hide, so they are
+// what the driver re-proposes at.
+func (s *State) settled(p Params, i int) bool {
+	v, chosen := s.Chosen[i]
+	if !chosen {
+		return false
+	}
+	for _, lr := range s.Learns[i] {
+		if lr.Value == v && len(lr.Acceptors) >= p.N {
+			return true
+		}
+	}
+	return false
+}
+
+// LiveApp is the application of the §5.5 live runs: at each application
+// call the node "proposes its Id for a new index" — the smallest index it
+// has never seen activity on — and then sleeps (the sleep is the live
+// runtime's application timer). The returned function has the signature
+// the sim package's AppFunc expects.
+func LiveApp(p Params) func(rng *rand.Rand, n model.NodeID, s model.State) []model.Action {
+	return func(_ *rand.Rand, n model.NodeID, s model.State) []model.Action {
+		st, ok := s.(*State)
+		if !ok {
+			return nil
+		}
+		top := -1
+		bump := func(i int) {
+			if i > top {
+				top = i
+			}
+		}
+		for i := range st.Promised {
+			bump(i)
+		}
+		for i := range st.Accepted {
+			bump(i)
+		}
+		for i := range st.Learns {
+			bump(i)
+		}
+		for i := range st.Chosen {
+			bump(i)
+		}
+		for i := range st.Proposals {
+			bump(i)
+		}
+		return []model.Action{Propose{On: n, Layer: p.Layer, Index: top + 1, Value: int(n) + 1}}
+	}
+}
+
+// NoDriver disables propositions; useful when another layer drives the
+// instance programmatically via DoPropose.
+type NoDriver struct{}
+
+// Proposals implements Driver.
+func (NoDriver) Proposals(Params, model.NodeID, *State) []Propose { return nil }
+
+// Machine adapts a Paxos instance plus a driver to model.Machine.
+type Machine struct {
+	P      Params
+	Driver Driver
+}
+
+// New builds a standalone Paxos machine over n nodes.
+func New(n int, bug BugKind, driver Driver) *Machine {
+	return &Machine{P: Params{N: n, Bug: bug}, Driver: driver}
+}
+
+// Name implements model.Machine.
+func (mc *Machine) Name() string {
+	if mc.P.Bug == NoBug {
+		return "paxos"
+	}
+	return "paxos-" + mc.P.Bug.String()
+}
+
+// NumNodes implements model.Machine.
+func (mc *Machine) NumNodes() int { return mc.P.N }
+
+// Init implements model.Machine.
+func (mc *Machine) Init(model.NodeID) model.State { return NewState() }
+
+// HandleMessage implements model.Machine.
+func (mc *Machine) HandleMessage(n model.NodeID, s model.State, m model.Message) (model.State, []model.Message) {
+	st := s.(*State)
+	out, ok := Step(mc.P, n, st, m)
+	if !ok {
+		return nil, nil // unknown message: local assertion
+	}
+	return st, out
+}
+
+// Actions implements model.Machine: the driver's propose calls.
+func (mc *Machine) Actions(n model.NodeID, s model.State) []model.Action {
+	st := s.(*State)
+	props := mc.Driver.Proposals(mc.P, n, st)
+	if len(props) == 0 {
+		return nil
+	}
+	out := make([]model.Action, len(props))
+	for i, pr := range props {
+		out[i] = pr
+	}
+	return out
+}
+
+// HandleAction implements model.Machine.
+func (mc *Machine) HandleAction(n model.NodeID, s model.State, a model.Action) (model.State, []model.Message) {
+	pr, ok := a.(Propose)
+	if !ok || pr.On != n || pr.Layer != mc.P.Layer {
+		return nil, nil
+	}
+	st := s.(*State)
+	out := DoPropose(mc.P, n, st, pr.Index, pr.Value)
+	return st, out
+}

@@ -1,0 +1,141 @@
+package paxos
+
+import (
+	"fmt"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+)
+
+// Tag scopes message identities so a layered service embedding this Paxos
+// implementation (1Paxos's PaxosUtility) never confuses its lower-layer
+// messages with a sibling instance's.
+type Tag string
+
+// header carries the fields common to all Paxos messages.
+type header struct {
+	Layer    Tag
+	From, To model.NodeID
+	Index    int
+}
+
+func (h header) Src() model.NodeID { return h.From }
+func (h header) Dst() model.NodeID { return h.To }
+
+func (h header) encode(w *codec.Writer, kind string) {
+	w.String(string(h.Layer))
+	w.String(kind)
+	w.Int(int(h.From))
+	w.Int(int(h.To))
+	w.Int(h.Index)
+}
+
+// Prepare is phase-1a: the proposer solicits promises. It carries the
+// submitted value so acceptors with nothing accepted can echo it in their
+// response (the field the §5.5 bug mis-uses).
+type Prepare struct {
+	header
+	Ballot Ballot
+	Value  int
+}
+
+// Encode implements codec.Encoder.
+func (m Prepare) Encode(w *codec.Writer) {
+	m.encode(w, "prepare")
+	m.Ballot.Encode(w)
+	w.Int(m.Value)
+}
+
+// String implements model.Message.
+func (m Prepare) String() string {
+	return fmt.Sprintf("%sPrepare{%v->%v i=%d %s v=%d}", m.Layer, m.From, m.To, m.Index, m.Ballot, m.Value)
+}
+
+// PrepareResponse is phase-1b: the acceptor's promise. AccBallot is zero
+// when the acceptor had accepted nothing; Value is then the echoed
+// submitted value, otherwise the accepted value.
+type PrepareResponse struct {
+	header
+	Ballot    Ballot
+	AccBallot Ballot
+	Value     int
+}
+
+// Encode implements codec.Encoder.
+func (m PrepareResponse) Encode(w *codec.Writer) {
+	m.encode(w, "prepare-response")
+	m.Ballot.Encode(w)
+	m.AccBallot.Encode(w)
+	w.Int(m.Value)
+}
+
+// String implements model.Message.
+func (m PrepareResponse) String() string {
+	return fmt.Sprintf("%sPrepareResponse{%v->%v i=%d %s acc=%s v=%d}",
+		m.Layer, m.From, m.To, m.Index, m.Ballot, m.AccBallot, m.Value)
+}
+
+// Accept is phase-2a: the proposer asks acceptors to accept a value.
+type Accept struct {
+	header
+	Ballot Ballot
+	Value  int
+}
+
+// Encode implements codec.Encoder.
+func (m Accept) Encode(w *codec.Writer) {
+	m.encode(w, "accept")
+	m.Ballot.Encode(w)
+	w.Int(m.Value)
+}
+
+// String implements model.Message.
+func (m Accept) String() string {
+	return fmt.Sprintf("%sAccept{%v->%v i=%d %s v=%d}", m.Layer, m.From, m.To, m.Index, m.Ballot, m.Value)
+}
+
+// Learn is phase-3: an acceptor announces its acceptance to a learner; the
+// learner chooses once a majority of acceptors announced the same ballot.
+type Learn struct {
+	header
+	Ballot Ballot
+	Value  int
+}
+
+// Encode implements codec.Encoder.
+func (m Learn) Encode(w *codec.Writer) {
+	m.encode(w, "learn")
+	m.Ballot.Encode(w)
+	w.Int(m.Value)
+}
+
+// String implements model.Message.
+func (m Learn) String() string {
+	return fmt.Sprintf("%sLearn{%v->%v i=%d %s v=%d}", m.Layer, m.From, m.To, m.Index, m.Ballot, m.Value)
+}
+
+// Propose is the test-driver application call (internal action): node On
+// submits Value for Index (§4.2, "Test driver").
+type Propose struct {
+	On    model.NodeID
+	Layer Tag
+	Index int
+	Value int
+}
+
+// Node implements model.Action.
+func (a Propose) Node() model.NodeID { return a.On }
+
+// Encode implements codec.Encoder.
+func (a Propose) Encode(w *codec.Writer) {
+	w.String(string(a.Layer))
+	w.String("propose")
+	w.Int(int(a.On))
+	w.Int(a.Index)
+	w.Int(a.Value)
+}
+
+// String implements model.Action.
+func (a Propose) String() string {
+	return fmt.Sprintf("%sPropose{%v i=%d v=%d}", a.Layer, a.On, a.Index, a.Value)
+}

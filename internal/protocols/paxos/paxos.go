@@ -1,0 +1,348 @@
+// Package paxos implements the multi-index Paxos protocol the paper uses
+// as its complex distributed testbed (§5): every node plays all three roles
+// — proposer, acceptor, learner. A proposition for an index starts with a
+// Prepare broadcast; acceptors answer with PrepareResponse; on a majority
+// the proposer broadcasts Accept; each acceptor that accepts broadcasts
+// Learn to all learners; a learner chooses a value once a majority of
+// acceptors sent Learn for the same ballot.
+//
+// The package provides the correct protocol and, behind a switch, the
+// injected bug of §5.5 (previously reported in WiDS Checker): when the
+// majority of PrepareResponses arrives, the buggy proposer adopts the value
+// submitted in the *last received* response instead of the value of the
+// response with the highest accepted ballot.
+//
+// The state-transition core is exported in a mutating style (Step,
+// DoPropose) so that layered services — 1Paxos's PaxosUtility — can embed a
+// Paxos instance as their lower-layer module, the way the paper's Mace
+// services stack.
+package paxos
+
+import (
+	"fmt"
+	"sort"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+)
+
+// BugKind selects a protocol variant.
+type BugKind int
+
+const (
+	// NoBug is the correct protocol.
+	NoBug BugKind = iota
+	// LastResponseBug makes the proposer use the value of the last received
+	// PrepareResponse instead of the highest-ballot accepted value (§5.5).
+	LastResponseBug
+)
+
+// String names the variant.
+func (b BugKind) String() string {
+	if b == LastResponseBug {
+		return "last-response-bug"
+	}
+	return "correct"
+}
+
+// Ballot is a Paxos proposal number, totally ordered and unique per
+// proposer (round number broken by node id).
+type Ballot struct {
+	N    int
+	Node model.NodeID
+}
+
+// Zero reports whether the ballot is the "no ballot" value.
+func (b Ballot) Zero() bool { return b.N == 0 }
+
+// Less orders ballots.
+func (b Ballot) Less(o Ballot) bool {
+	if b.N != o.N {
+		return b.N < o.N
+	}
+	return b.Node < o.Node
+}
+
+// Encode writes the ballot canonically.
+func (b Ballot) Encode(w *codec.Writer) {
+	w.Int(b.N)
+	w.Int(int(b.Node))
+}
+
+// String renders the ballot.
+func (b Ballot) String() string {
+	if b.Zero() {
+		return "b0"
+	}
+	return fmt.Sprintf("b%d.%v", b.N, b.Node)
+}
+
+// accepted is an acceptor's highest accepted (ballot, value) for an index.
+type accepted struct {
+	Ballot Ballot
+	Value  int
+}
+
+// proposal is a proposer's in-flight proposition for one index.
+type proposal struct {
+	Ballot Ballot
+	Value  int // the proposer's own submitted value
+	// Accepting is false while collecting PrepareResponses, true after the
+	// Accept broadcast.
+	Accepting bool
+	// Promises maps responder → the response content, for the value rule.
+	Promises map[model.NodeID]promiseInfo
+}
+
+// promiseInfo is the content of one PrepareResponse as remembered by the
+// proposer.
+type promiseInfo struct {
+	AccBallot Ballot // zero if the responder had accepted nothing
+	Value     int    // accepted value, or the echoed submitted value
+}
+
+func (p *proposal) clone() *proposal {
+	c := *p
+	c.Promises = make(map[model.NodeID]promiseInfo, len(p.Promises))
+	for k, v := range p.Promises {
+		c.Promises[k] = v
+	}
+	return &c
+}
+
+// learnRecord tracks Learn messages received for one (index, ballot, value)
+// from distinct acceptors.
+type learnRecord struct {
+	Ballot    Ballot
+	Value     int
+	Acceptors map[model.NodeID]bool
+}
+
+func (lr *learnRecord) clone() *learnRecord {
+	c := &learnRecord{Ballot: lr.Ballot, Value: lr.Value,
+		Acceptors: make(map[model.NodeID]bool, len(lr.Acceptors))}
+	for k := range lr.Acceptors {
+		c.Acceptors[k] = true
+	}
+	return c
+}
+
+// State is one Paxos node's local state (all three roles).
+type State struct {
+	// Proposer role.
+	Proposals     map[int]*proposal // per index
+	ProposalsMade int               // test-driver budget consumed
+
+	// Acceptor role.
+	Promised map[int]Ballot   // highest promised ballot per index
+	Accepted map[int]accepted // highest accepted per index
+
+	// Learner role.
+	Learns map[int][]*learnRecord // per index, ordered canonically
+	Chosen map[int]int            // chosen value per index (first choice kept)
+}
+
+// NewState returns an empty node state.
+func NewState() *State {
+	return &State{
+		Proposals: make(map[int]*proposal),
+		Promised:  make(map[int]Ballot),
+		Accepted:  make(map[int]accepted),
+		Learns:    make(map[int][]*learnRecord),
+		Chosen:    make(map[int]int),
+	}
+}
+
+// Clone implements model.State.
+func (s *State) Clone() model.State {
+	c := NewState()
+	c.ProposalsMade = s.ProposalsMade
+	for i, p := range s.Proposals {
+		c.Proposals[i] = p.clone()
+	}
+	for i, b := range s.Promised {
+		c.Promised[i] = b
+	}
+	for i, a := range s.Accepted {
+		c.Accepted[i] = a
+	}
+	for i, lrs := range s.Learns {
+		cl := make([]*learnRecord, len(lrs))
+		for j, lr := range lrs {
+			cl[j] = lr.clone()
+		}
+		c.Learns[i] = cl
+	}
+	for i, v := range s.Chosen {
+		c.Chosen[i] = v
+	}
+	return c
+}
+
+// Encode implements codec.Encoder; all maps are written in sorted order.
+func (s *State) Encode(w *codec.Writer) {
+	w.Int(s.ProposalsMade)
+
+	idxs := sortedKeys(s.Proposals)
+	w.Uint32(uint32(len(idxs)))
+	for _, i := range idxs {
+		p := s.Proposals[i]
+		w.Int(i)
+		p.Ballot.Encode(w)
+		w.Int(p.Value)
+		w.Bool(p.Accepting)
+		resps := make([]int, 0, len(p.Promises))
+		for n := range p.Promises {
+			resps = append(resps, int(n))
+		}
+		sort.Ints(resps)
+		w.Uint32(uint32(len(resps)))
+		for _, n := range resps {
+			pi := p.Promises[model.NodeID(n)]
+			w.Int(n)
+			pi.AccBallot.Encode(w)
+			w.Int(pi.Value)
+		}
+	}
+
+	pidxs := make([]int, 0, len(s.Promised))
+	for i := range s.Promised {
+		pidxs = append(pidxs, i)
+	}
+	sort.Ints(pidxs)
+	w.Uint32(uint32(len(pidxs)))
+	for _, i := range pidxs {
+		w.Int(i)
+		s.Promised[i].Encode(w)
+	}
+
+	aidxs := make([]int, 0, len(s.Accepted))
+	for i := range s.Accepted {
+		aidxs = append(aidxs, i)
+	}
+	sort.Ints(aidxs)
+	w.Uint32(uint32(len(aidxs)))
+	for _, i := range aidxs {
+		a := s.Accepted[i]
+		w.Int(i)
+		a.Ballot.Encode(w)
+		w.Int(a.Value)
+	}
+
+	lidxs := make([]int, 0, len(s.Learns))
+	for i := range s.Learns {
+		lidxs = append(lidxs, i)
+	}
+	sort.Ints(lidxs)
+	w.Uint32(uint32(len(lidxs)))
+	for _, i := range lidxs {
+		lrs := s.Learns[i]
+		w.Int(i)
+		w.Uint32(uint32(len(lrs)))
+		for _, lr := range lrs {
+			lr.Ballot.Encode(w)
+			w.Int(lr.Value)
+			accs := make([]int, 0, len(lr.Acceptors))
+			for n := range lr.Acceptors {
+				accs = append(accs, int(n))
+			}
+			sort.Ints(accs)
+			w.Ints(accs)
+		}
+	}
+
+	w.IntMap(s.Chosen)
+}
+
+// String renders the state compactly: chosen values, accepted values and
+// in-flight proposals.
+func (s *State) String() string {
+	out := "{"
+	for _, i := range sortedIntKeys(s.Chosen) {
+		out += fmt.Sprintf("chosen[%d]=%d ", i, s.Chosen[i])
+	}
+	for _, i := range sortedAccKeys(s.Accepted) {
+		a := s.Accepted[i]
+		out += fmt.Sprintf("acc[%d]=%d@%s ", i, a.Value, a.Ballot)
+	}
+	for _, i := range sortedKeys(s.Proposals) {
+		p := s.Proposals[i]
+		phase := "prep"
+		if p.Accepting {
+			phase = "acc"
+		}
+		out += fmt.Sprintf("prop[%d]=%d@%s/%s ", i, p.Value, p.Ballot, phase)
+	}
+	return out + "}"
+}
+
+func sortedKeys(m map[int]*proposal) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedIntKeys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedAccKeys(m map[int]accepted) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Pristine reports whether the state is indistinguishable from the initial
+// state: no role has recorded any activity.
+func (s *State) Pristine() bool {
+	return s.ProposalsMade == 0 && len(s.Proposals) == 0 &&
+		len(s.Promised) == 0 && len(s.Accepted) == 0 &&
+		len(s.Learns) == 0 && len(s.Chosen) == 0
+}
+
+// HasChosen reports the chosen value for an index, if any.
+func (s *State) HasChosen(index int) (int, bool) {
+	v, ok := s.Chosen[index]
+	return v, ok
+}
+
+// ChosenSet returns a copy of the chosen map.
+func (s *State) ChosenSet() map[int]int {
+	out := make(map[int]int, len(s.Chosen))
+	for k, v := range s.Chosen {
+		out[k] = v
+	}
+	return out
+}
+
+// MaxBallotSeen returns the highest ballot number this node has observed
+// for an index, across all roles — the basis for picking a fresh ballot.
+func (s *State) MaxBallotSeen(index int) int {
+	max := 0
+	if b, ok := s.Promised[index]; ok && b.N > max {
+		max = b.N
+	}
+	if a, ok := s.Accepted[index]; ok && a.Ballot.N > max {
+		max = a.Ballot.N
+	}
+	if p, ok := s.Proposals[index]; ok && p.Ballot.N > max {
+		max = p.Ballot.N
+	}
+	for _, lr := range s.Learns[index] {
+		if lr.Ballot.N > max {
+			max = lr.Ballot.N
+		}
+	}
+	return max
+}

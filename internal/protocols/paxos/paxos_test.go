@@ -1,0 +1,429 @@
+package paxos
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+	"lmc/internal/testkit"
+)
+
+func params() Params { return Params{N: 3} }
+
+// TestBallotOrdering checks the total order on ballots (number first, node
+// id as the tie-break) — a property-based check.
+func TestBallotOrdering(t *testing.T) {
+	f := func(n1, n2 int, a, b uint8) bool {
+		x := Ballot{N: n1, Node: model.NodeID(a % 3)}
+		y := Ballot{N: n2, Node: model.NodeID(b % 3)}
+		switch {
+		case x == y:
+			return !x.Less(y) && !y.Less(x)
+		default:
+			return x.Less(y) != y.Less(x) // exactly one direction
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBallotZero checks the sentinel.
+func TestBallotZero(t *testing.T) {
+	if !(Ballot{}).Zero() || (Ballot{N: 1}).Zero() {
+		t.Fatal("Zero() wrong")
+	}
+}
+
+// TestHappyPath drives one full proposal to unanimity through the message
+// pump: every node must choose the proposed value.
+func TestHappyPath(t *testing.T) {
+	m := New(3, NoBug, NoDriver{})
+	h := testkit.New(m)
+	if err := h.Act(Propose{On: 0, Index: 0, Value: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Settle(1000); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 3; n++ {
+		st := h.State(model.NodeID(n)).(*State)
+		if v, ok := st.HasChosen(0); !ok || v != 42 {
+			t.Fatalf("node %d: chosen=%v", n, st.Chosen)
+		}
+	}
+}
+
+// TestPromiseRefusesLowerBallot: once promised b2, a b1 Prepare is ignored.
+func TestPromiseRefusesLowerBallot(t *testing.T) {
+	st := NewState()
+	hi := Prepare{header: header{From: 1, To: 0, Index: 0}, Ballot: Ballot{N: 2, Node: 1}, Value: 9}
+	lo := Prepare{header: header{From: 2, To: 0, Index: 0}, Ballot: Ballot{N: 1, Node: 2}, Value: 8}
+	out, ok := Step(params(), 0, st, hi)
+	if !ok || len(out) != 1 {
+		t.Fatalf("high prepare not answered: %v", out)
+	}
+	out, ok = Step(params(), 0, st, lo)
+	if !ok || len(out) != 0 {
+		t.Fatalf("low prepare should be silently ignored, got %v", out)
+	}
+	if st.Promised[0] != hi.Ballot {
+		t.Fatal("promise regressed")
+	}
+}
+
+// TestPrepareResponseEchoesValue: an acceptor with nothing accepted echoes
+// the submitted value — the field the §5.5 bug mis-uses.
+func TestPrepareResponseEchoesValue(t *testing.T) {
+	st := NewState()
+	out, _ := Step(params(), 2, st, Prepare{
+		header: header{From: 1, To: 2, Index: 0},
+		Ballot: Ballot{N: 1, Node: 1}, Value: 77,
+	})
+	resp := out[0].(PrepareResponse)
+	if !resp.AccBallot.Zero() || resp.Value != 77 {
+		t.Fatalf("echo wrong: %+v", resp)
+	}
+}
+
+// TestPrepareResponseReportsAccepted: an acceptor that accepted reports
+// its accepted ballot and value, not the echo.
+func TestPrepareResponseReportsAccepted(t *testing.T) {
+	st := NewState()
+	Step(params(), 2, st, Accept{
+		header: header{From: 1, To: 2, Index: 0},
+		Ballot: Ballot{N: 1, Node: 1}, Value: 5,
+	})
+	out, _ := Step(params(), 2, st, Prepare{
+		header: header{From: 0, To: 2, Index: 0},
+		Ballot: Ballot{N: 2, Node: 0}, Value: 99,
+	})
+	resp := out[0].(PrepareResponse)
+	if resp.AccBallot.Zero() || resp.Value != 5 {
+		t.Fatalf("accepted value not reported: %+v", resp)
+	}
+}
+
+// TestValueSelectionCorrectVsBuggy reproduces the §5.5 difference at the
+// unit level: majority completes with an echo response; the correct rule
+// adopts the previously accepted value, the buggy rule adopts the echo.
+func TestValueSelectionCorrectVsBuggy(t *testing.T) {
+	run := func(bug BugKind) int {
+		p := Params{N: 3, Bug: bug}
+		st := NewState()
+		st.Proposals[0] = &proposal{
+			Ballot:   Ballot{N: 2, Node: 1},
+			Value:    2,
+			Promises: map[model.NodeID]promiseInfo{},
+		}
+		// First response: self, carrying a previously accepted value 1.
+		Step(p, 1, st, PrepareResponse{
+			header: header{From: 1, To: 1, Index: 0},
+			Ballot: Ballot{N: 2, Node: 1}, AccBallot: Ballot{N: 1, Node: 0}, Value: 1,
+		})
+		// Majority-completing response: an echo of the proposer's value 2.
+		out, _ := Step(p, 1, st, PrepareResponse{
+			header: header{From: 2, To: 1, Index: 0},
+			Ballot: Ballot{N: 2, Node: 1}, Value: 2,
+		})
+		if len(out) != 3 {
+			t.Fatalf("no Accept broadcast: %v", out)
+		}
+		return out[0].(Accept).Value
+	}
+	if v := run(NoBug); v != 1 {
+		t.Fatalf("correct rule picked %d, want the accepted value 1", v)
+	}
+	if v := run(LastResponseBug); v != 2 {
+		t.Fatalf("buggy rule picked %d, want the last response's value 2", v)
+	}
+}
+
+// TestDuplicateResponseIgnored: the same responder cannot count twice
+// toward the majority.
+func TestDuplicateResponseIgnored(t *testing.T) {
+	p := params()
+	st := NewState()
+	st.Proposals[0] = &proposal{
+		Ballot:   Ballot{N: 1, Node: 0},
+		Value:    7,
+		Promises: map[model.NodeID]promiseInfo{},
+	}
+	resp := PrepareResponse{
+		header: header{From: 1, To: 0, Index: 0},
+		Ballot: Ballot{N: 1, Node: 0}, Value: 7,
+	}
+	Step(p, 0, st, resp)
+	out, _ := Step(p, 0, st, resp)
+	if len(out) != 0 {
+		t.Fatal("duplicate response triggered the majority")
+	}
+	if len(st.Proposals[0].Promises) != 1 {
+		t.Fatal("duplicate recorded")
+	}
+}
+
+// TestLearnerMajority: a learner chooses only after a majority of distinct
+// acceptors announce the same ballot.
+func TestLearnerMajority(t *testing.T) {
+	p := params()
+	st := NewState()
+	learn := func(from model.NodeID) {
+		Step(p, 0, st, Learn{
+			header: header{From: from, To: 0, Index: 0},
+			Ballot: Ballot{N: 1, Node: 0}, Value: 9,
+		})
+	}
+	learn(1)
+	if _, ok := st.HasChosen(0); ok {
+		t.Fatal("chose on a single learn")
+	}
+	learn(1) // duplicate acceptor
+	if _, ok := st.HasChosen(0); ok {
+		t.Fatal("chose on duplicate learns")
+	}
+	learn(2)
+	if v, ok := st.HasChosen(0); !ok || v != 9 {
+		t.Fatal("did not choose on a majority")
+	}
+}
+
+// TestLearnerKeepsFirstChoice: the first decision sticks.
+func TestLearnerKeepsFirstChoice(t *testing.T) {
+	p := params()
+	st := NewState()
+	for _, from := range []model.NodeID{1, 2} {
+		Step(p, 0, st, Learn{header: header{From: from, To: 0, Index: 0},
+			Ballot: Ballot{N: 1, Node: 0}, Value: 9})
+	}
+	for _, from := range []model.NodeID{1, 2} {
+		Step(p, 0, st, Learn{header: header{From: from, To: 0, Index: 0},
+			Ballot: Ballot{N: 2, Node: 1}, Value: 4})
+	}
+	if v, _ := st.HasChosen(0); v != 9 {
+		t.Fatalf("choice overwritten: %d", v)
+	}
+}
+
+// TestCloneIndependence: mutating a clone never leaks into the original —
+// property-based over random mutation sequences.
+func TestCloneIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomState(rng)
+		fpBefore := model.StateFingerprint(st)
+		c := st.Clone().(*State)
+		mutate(rng, c)
+		return model.StateFingerprint(st) == fpBefore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeDeterministic: repeated encodings of one state agree, and a
+// clone encodes identically — property-based.
+func TestEncodeDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomState(rng)
+		var w1, w2, w3 codec.Writer
+		st.Encode(&w1)
+		st.Encode(&w2)
+		st.Clone().Encode(&w3)
+		return reflect.DeepEqual(w1.Bytes(), w2.Bytes()) &&
+			reflect.DeepEqual(w1.Bytes(), w3.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomState builds a random-but-valid-looking Paxos node state by
+// executing random handler steps.
+func randomState(rng *rand.Rand) *State {
+	p := params()
+	st := NewState()
+	for i := 0; i < rng.Intn(30); i++ {
+		idx := rng.Intn(3)
+		b := Ballot{N: rng.Intn(3) + 1, Node: model.NodeID(rng.Intn(3))}
+		switch rng.Intn(4) {
+		case 0:
+			Step(p, 0, st, Prepare{header: header{From: b.Node, To: 0, Index: idx}, Ballot: b, Value: rng.Intn(5)})
+		case 1:
+			Step(p, 0, st, Accept{header: header{From: b.Node, To: 0, Index: idx}, Ballot: b, Value: rng.Intn(5)})
+		case 2:
+			Step(p, 0, st, Learn{header: header{From: model.NodeID(rng.Intn(3)), To: 0, Index: idx}, Ballot: b, Value: rng.Intn(5)})
+		case 3:
+			DoPropose(p, 0, st, idx, rng.Intn(5))
+		}
+	}
+	return st
+}
+
+// mutate applies one random mutation to a state.
+func mutate(rng *rand.Rand, st *State) {
+	switch rng.Intn(4) {
+	case 0:
+		st.Chosen[rng.Intn(3)] = 99
+	case 1:
+		st.Promised[rng.Intn(3)] = Ballot{N: 99, Node: 0}
+	case 2:
+		st.Accepted[rng.Intn(3)] = accepted{Ballot: Ballot{N: 99}, Value: 1}
+	case 3:
+		if p := st.Proposals[0]; p != nil {
+			p.Promises[2] = promiseInfo{Value: 123}
+		} else {
+			st.ProposalsMade++
+		}
+	}
+}
+
+// TestMaxBallotSeen aggregates across all roles.
+func TestMaxBallotSeen(t *testing.T) {
+	p := params()
+	st := NewState()
+	if st.MaxBallotSeen(0) != 0 {
+		t.Fatal("fresh state has seen a ballot")
+	}
+	Step(p, 0, st, Prepare{header: header{From: 1, To: 0, Index: 0},
+		Ballot: Ballot{N: 4, Node: 1}, Value: 1})
+	if st.MaxBallotSeen(0) != 4 {
+		t.Fatalf("promised ballot not seen: %d", st.MaxBallotSeen(0))
+	}
+	if st.MaxBallotSeen(1) != 0 {
+		t.Fatal("ballot leaked across indexes")
+	}
+}
+
+// TestDoProposeUsesFreshBallot: a proposal must outbid everything the node
+// has seen for the index.
+func TestDoProposeUsesFreshBallot(t *testing.T) {
+	p := params()
+	st := NewState()
+	Step(p, 1, st, Prepare{header: header{From: 0, To: 1, Index: 0},
+		Ballot: Ballot{N: 3, Node: 0}, Value: 1})
+	out := DoPropose(p, 1, st, 0, 2)
+	if len(out) != 3 {
+		t.Fatalf("prepare broadcast size %d", len(out))
+	}
+	b := out[0].(Prepare).Ballot
+	if b.N != 4 || b.Node != 1 {
+		t.Fatalf("ballot %v, want b4.N2", b)
+	}
+}
+
+// TestStepRejectsForeignLayer: a layered instance must not consume another
+// instance's messages.
+func TestStepRejectsForeignLayer(t *testing.T) {
+	st := NewState()
+	_, ok := Step(Params{N: 3, Layer: "util."}, 0, st, Prepare{
+		header: header{Layer: "", From: 1, To: 0, Index: 0},
+		Ballot: Ballot{N: 1, Node: 1}, Value: 1,
+	})
+	if ok {
+		t.Fatal("foreign-layer message consumed")
+	}
+}
+
+// TestPristine distinguishes fresh states from touched ones.
+func TestPristine(t *testing.T) {
+	st := NewState()
+	if !st.Pristine() {
+		t.Fatal("fresh state not pristine")
+	}
+	Step(params(), 0, st, Prepare{header: header{From: 1, To: 0, Index: 0},
+		Ballot: Ballot{N: 1, Node: 1}, Value: 1})
+	if st.Pristine() {
+		t.Fatal("promised state still pristine")
+	}
+}
+
+// TestAgreementInvariant checks the invariant on hand-built system states.
+func TestAgreementInvariant(t *testing.T) {
+	inv := Agreement()
+	a, b, c := NewState(), NewState(), NewState()
+	sys := model.SystemState{a, b, c}
+	if inv.Check(sys) != nil {
+		t.Fatal("empty system violates agreement")
+	}
+	a.Chosen[0] = 1
+	b.Chosen[0] = 1
+	if inv.Check(sys) != nil {
+		t.Fatal("agreeing choices flagged")
+	}
+	c.Chosen[0] = 2
+	if inv.Check(sys) == nil {
+		t.Fatal("conflicting choices not flagged")
+	}
+}
+
+// TestReductionConflict checks the LMC-OPT projection semantics.
+func TestReductionConflict(t *testing.T) {
+	var r Reduction
+	mk := func(idx, v int) *State {
+		s := NewState()
+		s.Chosen[idx] = v
+		return s
+	}
+	if _, ok := r.Interest(0, NewState()); ok {
+		t.Fatal("choiceless state is interesting")
+	}
+	ia, _ := r.Interest(0, mk(0, 1))
+	ib, _ := r.Interest(1, mk(0, 2))
+	ic, _ := r.Interest(2, mk(1, 9))
+	if !r.Conflict(ia, ib) {
+		t.Fatal("conflicting choices not detected")
+	}
+	if r.Conflict(ia, ic) {
+		t.Fatal("disjoint indexes conflict")
+	}
+	if r.InterestKey(ia) == r.InterestKey(ib) {
+		t.Fatal("distinct interests share a key")
+	}
+	if r.InterestKey(ia) != r.InterestKey(mustInterest(t, r, mk(0, 1))) {
+		t.Fatal("equal interests key differently")
+	}
+}
+
+func mustInterest(t *testing.T, r Reduction, s *State) any {
+	t.Helper()
+	i, ok := r.Interest(0, s)
+	if !ok {
+		t.Fatal("expected interesting state")
+	}
+	return i
+}
+
+// TestActiveIndexDriver checks the §4.2 driver's index selection.
+func TestActiveIndexDriver(t *testing.T) {
+	p := params()
+	d := ActiveIndex{}
+	st := NewState()
+	if props := d.Proposals(p, 0, st); len(props) != 0 {
+		t.Fatalf("pristine node proposed without FreshIndexes: %v", props)
+	}
+	// Activity on index 2 that is not settled: propose there.
+	Step(p, 0, st, Prepare{header: header{From: 1, To: 0, Index: 2},
+		Ballot: Ballot{N: 1, Node: 1}, Value: 1})
+	props := d.Proposals(p, 0, st)
+	if len(props) != 1 || props[0].Index != 2 {
+		t.Fatalf("driver did not target the unsettled index: %v", props)
+	}
+	// Fully settle index 2: chosen plus all three acceptors announced.
+	for _, from := range []model.NodeID{0, 1, 2} {
+		Step(p, 0, st, Learn{header: header{From: from, To: 0, Index: 2},
+			Ballot: Ballot{N: 1, Node: 1}, Value: 1})
+	}
+	if props := d.Proposals(p, 0, st); len(props) != 0 {
+		t.Fatalf("driver proposed at a settled index: %v", props)
+	}
+	fresh := ActiveIndex{FreshIndexes: true}
+	props = fresh.Proposals(p, 0, st)
+	if len(props) != 1 || props[0].Index != 3 {
+		t.Fatalf("fresh-index proposal wrong: %v", props)
+	}
+}

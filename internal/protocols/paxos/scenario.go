@@ -1,0 +1,86 @@
+package paxos
+
+import (
+	"fmt"
+
+	"lmc/internal/model"
+)
+
+// PaperLiveState reconstructs the live state that seeded the checker run
+// which found the §5.5 bug: "for index ki, node N1 has proposed value v1,
+// nodes N1 and N2 have accepted this proposal, but due to message losses
+// only N1 has learned it." Concretely: N1 proposes value 1 for index 0;
+// all three acceptors promise; N1's Accept reaches N1 and N2 (the copy to
+// N3 is lost); of the resulting Learn broadcasts only those addressed to
+// N1 arrive.
+func PaperLiveState(m model.Machine) (model.SystemState, error) {
+	sys := model.InitialSystem(m)
+
+	apply := func(ev model.Event) ([]model.Message, error) {
+		next, out := ev.Apply(m, sys[ev.Node])
+		if next == nil {
+			return nil, fmt.Errorf("paxos: live-state construction: handler rejected %s", ev)
+		}
+		sys[ev.Node] = next
+		return out, nil
+	}
+
+	prepares, err := apply(model.ActEvent(Propose{On: 0, Index: 0, Value: 1}))
+	if err != nil {
+		return nil, err
+	}
+	if len(prepares) != 3 {
+		return nil, fmt.Errorf("paxos: want 3 Prepare messages, got %d", len(prepares))
+	}
+	var responses []model.Message
+	for _, p := range prepares {
+		out, err := apply(model.RecvEvent(p))
+		if err != nil {
+			return nil, err
+		}
+		responses = append(responses, out...)
+	}
+	if len(responses) != 3 {
+		return nil, fmt.Errorf("paxos: want 3 PrepareResponse messages, got %d", len(responses))
+	}
+	var accepts []model.Message
+	for _, r := range responses[:2] {
+		out, err := apply(model.RecvEvent(r))
+		if err != nil {
+			return nil, err
+		}
+		accepts = append(accepts, out...)
+	}
+	if len(accepts) != 3 {
+		return nil, fmt.Errorf("paxos: want 3 Accept messages, got %d", len(accepts))
+	}
+	var learns []model.Message
+	for _, a := range accepts {
+		if a.Dst() == 2 {
+			continue // Accept to N3 lost
+		}
+		out, err := apply(model.RecvEvent(a))
+		if err != nil {
+			return nil, err
+		}
+		learns = append(learns, out...)
+	}
+	if len(learns) != 6 {
+		return nil, fmt.Errorf("paxos: want 6 Learn messages, got %d", len(learns))
+	}
+	for _, l := range learns {
+		if l.Dst() == 0 {
+			if _, err := apply(model.RecvEvent(l)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	st, err := ExtractState(sys[0])
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := st.HasChosen(0); !ok {
+		return nil, fmt.Errorf("paxos: live-state construction failed: N1 has not chosen")
+	}
+	return sys, nil
+}

@@ -1,0 +1,353 @@
+// Package randtree implements a RandTree-style tree-membership overlay,
+// the protocol the paper uses to illustrate node-local invariants: "in
+// RandTree distributed tree structure, one invariant specifies that in all
+// node states the children and siblings must be disjoint sets" (§4). Nodes
+// join through the root; a full node deterministically forwards the join
+// request to its lowest-numbered child; an accepting parent welcomes the
+// new child with its sibling list and notifies the existing children.
+//
+// The buggy variant reproduces a classic off-by-one: the parent snapshots
+// its children list after inserting the new child, so the welcome's
+// sibling list includes the joiner itself.
+package randtree
+
+import (
+	"fmt"
+	"sort"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+	"lmc/internal/spec"
+)
+
+// BugKind selects a protocol variant.
+type BugKind int
+
+const (
+	// NoBug is the correct protocol.
+	NoBug BugKind = iota
+	// SelfSiblingBug makes the parent include the new child in the sibling
+	// list it sends to that same child.
+	SelfSiblingBug
+)
+
+// String names the variant.
+func (b BugKind) String() string {
+	if b == SelfSiblingBug {
+		return "self-sibling-bug"
+	}
+	return "correct"
+}
+
+// State is one node's membership view.
+type State struct {
+	// InTree is true once the node has a parent (the root always).
+	InTree bool
+	// Parent is the parent's id; -1 for the root or nodes outside.
+	Parent int
+	// Children and Siblings are id sets.
+	Children map[int]bool
+	Siblings map[int]bool
+	// Requested is set after the node sent its join request.
+	Requested bool
+}
+
+// NewState returns an empty, out-of-tree state.
+func NewState() *State {
+	return &State{Parent: -1, Children: map[int]bool{}, Siblings: map[int]bool{}}
+}
+
+// Clone implements model.State.
+func (s *State) Clone() model.State {
+	c := &State{
+		InTree:    s.InTree,
+		Parent:    s.Parent,
+		Requested: s.Requested,
+		Children:  make(map[int]bool, len(s.Children)),
+		Siblings:  make(map[int]bool, len(s.Siblings)),
+	}
+	for k := range s.Children {
+		c.Children[k] = true
+	}
+	for k := range s.Siblings {
+		c.Siblings[k] = true
+	}
+	return c
+}
+
+// Encode implements codec.Encoder.
+func (s *State) Encode(w *codec.Writer) {
+	w.Bool(s.InTree)
+	w.Int(s.Parent)
+	w.Bool(s.Requested)
+	w.IntSet(s.Children)
+	w.IntSet(s.Siblings)
+}
+
+// String implements model.State.
+func (s *State) String() string {
+	if !s.InTree {
+		if s.Requested {
+			return "{joining}"
+		}
+		return "{out}"
+	}
+	return fmt.Sprintf("{p=%d c=%v s=%v}", s.Parent, sortedSet(s.Children), sortedSet(s.Siblings))
+}
+
+func sortedSet(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Join asks To to adopt Joiner (possibly forwarded down the tree).
+type Join struct {
+	From, To model.NodeID
+	Joiner   model.NodeID
+}
+
+// Src implements model.Message.
+func (m Join) Src() model.NodeID { return m.From }
+
+// Dst implements model.Message.
+func (m Join) Dst() model.NodeID { return m.To }
+
+// Encode implements codec.Encoder.
+func (m Join) Encode(w *codec.Writer) {
+	w.String("rt.join")
+	w.Int(int(m.From))
+	w.Int(int(m.To))
+	w.Int(int(m.Joiner))
+}
+
+// String implements model.Message.
+func (m Join) String() string {
+	return fmt.Sprintf("Join{%v->%v j=%v}", m.From, m.To, m.Joiner)
+}
+
+// Welcome tells the joiner its parent and siblings.
+type Welcome struct {
+	From, To model.NodeID
+	Siblings []int // sorted
+}
+
+// Src implements model.Message.
+func (m Welcome) Src() model.NodeID { return m.From }
+
+// Dst implements model.Message.
+func (m Welcome) Dst() model.NodeID { return m.To }
+
+// Encode implements codec.Encoder.
+func (m Welcome) Encode(w *codec.Writer) {
+	w.String("rt.welcome")
+	w.Int(int(m.From))
+	w.Int(int(m.To))
+	w.Ints(m.Siblings)
+}
+
+// String implements model.Message.
+func (m Welcome) String() string {
+	return fmt.Sprintf("Welcome{%v->%v sib=%v}", m.From, m.To, m.Siblings)
+}
+
+// NewSibling tells an existing child about a newly adopted sibling.
+type NewSibling struct {
+	From, To model.NodeID
+	Sibling  model.NodeID
+}
+
+// Src implements model.Message.
+func (m NewSibling) Src() model.NodeID { return m.From }
+
+// Dst implements model.Message.
+func (m NewSibling) Dst() model.NodeID { return m.To }
+
+// Encode implements codec.Encoder.
+func (m NewSibling) Encode(w *codec.Writer) {
+	w.String("rt.new-sibling")
+	w.Int(int(m.From))
+	w.Int(int(m.To))
+	w.Int(int(m.Sibling))
+}
+
+// String implements model.Message.
+func (m NewSibling) String() string {
+	return fmt.Sprintf("NewSibling{%v->%v s=%v}", m.From, m.To, m.Sibling)
+}
+
+// JoinRequest is the application call that starts a node's join.
+type JoinRequest struct {
+	On model.NodeID
+}
+
+// Node implements model.Action.
+func (a JoinRequest) Node() model.NodeID { return a.On }
+
+// Encode implements codec.Encoder.
+func (a JoinRequest) Encode(w *codec.Writer) {
+	w.String("rt.join-request")
+	w.Int(int(a.On))
+}
+
+// String implements model.Action.
+func (a JoinRequest) String() string { return fmt.Sprintf("JoinRequest{%v}", a.On) }
+
+// Machine is the overlay protocol.
+type Machine struct {
+	N           int
+	MaxChildren int
+	Bug         BugKind
+}
+
+// New builds a randtree machine: node 0 is the root; the others join.
+func New(n, maxChildren int, bug BugKind) *Machine {
+	if maxChildren <= 0 {
+		maxChildren = 2
+	}
+	return &Machine{N: n, MaxChildren: maxChildren, Bug: bug}
+}
+
+// Name implements model.Machine.
+func (mc *Machine) Name() string {
+	if mc.Bug == NoBug {
+		return "randtree"
+	}
+	return "randtree-" + mc.Bug.String()
+}
+
+// NumNodes implements model.Machine.
+func (mc *Machine) NumNodes() int { return mc.N }
+
+// Init implements model.Machine.
+func (mc *Machine) Init(n model.NodeID) model.State {
+	s := NewState()
+	if n == 0 {
+		s.InTree = true // the root
+	}
+	return s
+}
+
+// Actions implements model.Machine: non-root nodes outside the tree may
+// request to join, once.
+func (mc *Machine) Actions(n model.NodeID, s model.State) []model.Action {
+	st := s.(*State)
+	if n != 0 && !st.InTree && !st.Requested {
+		return []model.Action{JoinRequest{On: n}}
+	}
+	return nil
+}
+
+// HandleAction implements model.Machine.
+func (mc *Machine) HandleAction(n model.NodeID, s model.State, a model.Action) (model.State, []model.Message) {
+	st := s.(*State)
+	if _, ok := a.(JoinRequest); !ok || st.Requested || st.InTree {
+		return nil, nil
+	}
+	st.Requested = true
+	return st, []model.Message{Join{From: n, To: 0, Joiner: n}}
+}
+
+// HandleMessage implements model.Machine.
+func (mc *Machine) HandleMessage(n model.NodeID, s model.State, m model.Message) (model.State, []model.Message) {
+	st := s.(*State)
+	switch msg := m.(type) {
+	case Join:
+		if !st.InTree {
+			// A join reached a node outside the tree: impossible in a real
+			// run (local assertion).
+			return nil, nil
+		}
+		if st.Siblings[int(msg.Joiner)] || msg.Joiner == n || st.Children[int(msg.Joiner)] ||
+			(st.Parent >= 0 && st.Parent == int(msg.Joiner)) {
+			// A node already placed in the tree (my sibling, my child, or
+			// myself) cannot be joining: nodes join exactly once. Another
+			// conservative-delivery artifact, discarded by assertion.
+			return nil, nil
+		}
+		if len(st.Children) < mc.MaxChildren {
+			// Accept the joiner.
+			siblings := sortedSet(st.Children)
+			st.Children[int(msg.Joiner)] = true
+			if mc.Bug == SelfSiblingBug {
+				// Off-by-one: snapshot taken after the insert, so the
+				// welcome lists the joiner among its own siblings.
+				siblings = sortedSet(st.Children)
+			}
+			out := []model.Message{Welcome{From: n, To: msg.Joiner, Siblings: siblings}}
+			for c := range st.Children {
+				if model.NodeID(c) != msg.Joiner {
+					out = append(out, NewSibling{From: n, To: model.NodeID(c), Sibling: msg.Joiner})
+				}
+			}
+			return st, out
+		}
+		// Full: forward to the lowest-numbered child (deterministic).
+		low := sortedSet(st.Children)[0]
+		return st, []model.Message{Join{From: n, To: model.NodeID(low), Joiner: msg.Joiner}}
+	case Welcome:
+		if st.InTree {
+			// A second welcome can only reach a node through the checker's
+			// conservative delivery (a node joins exactly one parent):
+			// local assertion, discard the state (§4.2).
+			return nil, nil
+		}
+		st.InTree = true
+		st.Parent = int(msg.From)
+		for _, sib := range msg.Siblings {
+			st.Siblings[sib] = true
+		}
+		return st, nil
+	case NewSibling:
+		if !st.InTree {
+			return nil, nil // local assertion: not yet in the tree
+		}
+		if st.Children[int(msg.Sibling)] || msg.Sibling == n || int(msg.From) != st.Parent {
+			// A sibling announcement for one's own child, for oneself, or
+			// from a node that is not the parent is impossible in a real
+			// run: local assertion (the conservative delivery of LMC mixes
+			// branches; discarding keeps the junk out of the search).
+			return nil, nil
+		}
+		st.Siblings[int(msg.Sibling)] = true
+		return st, nil
+	default:
+		return nil, nil
+	}
+}
+
+// StructureName names the node-local tree-structure invariant.
+const StructureName = "randtree-structure"
+
+// Structure is the paper's RandTree invariant, checked per node state with
+// no Cartesian combination: children and siblings are disjoint, and a node
+// is never its own child, sibling or parent.
+func Structure() spec.LocalInvariant {
+	return spec.LocalInvariantFunc{
+		InvName: StructureName,
+		Fn: func(n model.NodeID, s model.State) string {
+			st, ok := s.(*State)
+			if !ok {
+				return ""
+			}
+			for c := range st.Children {
+				if st.Siblings[c] {
+					return fmt.Sprintf("node %d is both child and sibling", c)
+				}
+				if c == int(n) {
+					return "node is its own child"
+				}
+			}
+			if st.Siblings[int(n)] {
+				return "node is its own sibling"
+			}
+			if st.Children[st.Parent] {
+				return fmt.Sprintf("parent %d is also a child", st.Parent)
+			}
+			return ""
+		},
+	}
+}

@@ -1,0 +1,161 @@
+package randtree_test
+
+import (
+	"testing"
+	"time"
+
+	"lmc/internal/core"
+	"lmc/internal/model"
+	"lmc/internal/protocols/randtree"
+	"lmc/internal/spec"
+	"lmc/internal/testkit"
+)
+
+// joinAll drives every node's join to completion, FIFO.
+func joinAll(t *testing.T, m *randtree.Machine) *testkit.Harness {
+	t.Helper()
+	h := testkit.New(m)
+	for n := 1; n < m.NumNodes(); n++ {
+		if err := h.Act(randtree.JoinRequest{On: model.NodeID(n)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Settle(1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+// TestEveryoneJoins: after all joins settle, every node is in the tree and
+// the structure invariant holds at every node.
+func TestEveryoneJoins(t *testing.T) {
+	m := randtree.New(6, 2, randtree.NoBug)
+	h := joinAll(t, m)
+	inv := randtree.Structure()
+	for n := 0; n < 6; n++ {
+		st := h.State(model.NodeID(n)).(*randtree.State)
+		if !st.InTree {
+			t.Fatalf("node %d not in tree: %s", n, st.String())
+		}
+		if msg := inv.CheckNode(model.NodeID(n), st); msg != "" {
+			t.Fatalf("node %d violates structure: %s", n, msg)
+		}
+	}
+}
+
+// TestFanoutRespected: no node holds more children than the fanout.
+func TestFanoutRespected(t *testing.T) {
+	m := randtree.New(6, 2, randtree.NoBug)
+	h := joinAll(t, m)
+	for n := 0; n < 6; n++ {
+		st := h.State(model.NodeID(n)).(*randtree.State)
+		if len(st.Children) > 2 {
+			t.Fatalf("node %d has %d children", n, len(st.Children))
+		}
+	}
+}
+
+// TestBuggyWelcomeListsSelf: the off-by-one puts the joiner in its own
+// sibling list (unit level).
+func TestBuggyWelcomeListsSelf(t *testing.T) {
+	m := randtree.New(3, 2, randtree.SelfSiblingBug)
+	root := m.Init(0)
+	_, out := m.HandleMessage(0, root.Clone(), randtree.Join{From: 1, To: 0, Joiner: 1})
+	if len(out) != 1 {
+		t.Fatalf("welcome missing: %v", out)
+	}
+	w := out[0].(randtree.Welcome)
+	found := false
+	for _, s := range w.Siblings {
+		if s == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bug not triggered: %v", w.Siblings)
+	}
+}
+
+// TestCheckerFindsSelfSiblingBug: the local checker confirms the violation
+// with a replayable witness; the correct variant stays clean and the
+// exploration completes.
+func TestCheckerFindsSelfSiblingBug(t *testing.T) {
+	buggy := randtree.New(5, 2, randtree.SelfSiblingBug)
+	res := core.Check(buggy, model.InitialSystem(buggy), core.Options{
+		LocalInvariants: []spec.LocalInvariant{randtree.Structure()},
+		StopAtFirstBug:  true,
+		Budget:          30 * time.Second,
+	})
+	if len(res.Bugs) == 0 {
+		t.Fatalf("bug not found: %s", res.Stats.String())
+	}
+	if len(res.Bugs[0].Schedule) == 0 {
+		t.Fatal("witness schedule empty")
+	}
+
+	clean := randtree.New(5, 2, randtree.NoBug)
+	resClean := core.Check(clean, model.InitialSystem(clean), core.Options{
+		LocalInvariants: []spec.LocalInvariant{randtree.Structure()},
+		Budget:          30 * time.Second,
+	})
+	if len(resClean.Bugs) != 0 {
+		t.Fatalf("clean overlay flagged: %v", resClean.Bugs[0].Violation)
+	}
+	if !resClean.Complete {
+		t.Fatalf("clean exploration did not complete: %s", resClean.Stats.String())
+	}
+}
+
+// TestJoinAssertions: the conservative-delivery assertions of §4.2.
+func TestJoinAssertions(t *testing.T) {
+	m := randtree.New(4, 2, randtree.NoBug)
+	// Join at a node outside the tree.
+	if next, _ := m.HandleMessage(1, m.Init(1), randtree.Join{From: 2, To: 1, Joiner: 2}); next != nil {
+		t.Fatal("join at out-of-tree node accepted")
+	}
+	// Join from one's own sibling.
+	st := m.Init(1).(*randtree.State)
+	st.InTree = true
+	st.Parent = 0
+	st.Siblings[2] = true
+	if next, _ := m.HandleMessage(1, st.Clone(), randtree.Join{From: 0, To: 1, Joiner: 2}); next != nil {
+		t.Fatal("join from a sibling accepted")
+	}
+	// Duplicate welcome.
+	if next, _ := m.HandleMessage(1, st.Clone(), randtree.Welcome{From: 0, To: 1}); next != nil {
+		t.Fatal("duplicate welcome accepted")
+	}
+	// Sibling announcement from a non-parent.
+	if next, _ := m.HandleMessage(1, st.Clone(), randtree.NewSibling{From: 3, To: 1, Sibling: 2}); next != nil {
+		t.Fatal("sibling announcement from non-parent accepted")
+	}
+}
+
+// TestStructureInvariantCases covers each clause.
+func TestStructureInvariantCases(t *testing.T) {
+	inv := randtree.Structure()
+	mk := func(mut func(*randtree.State)) *randtree.State {
+		s := randtree.NewState()
+		s.InTree = true
+		s.Parent = 0
+		mut(s)
+		return s
+	}
+	cases := []struct {
+		name string
+		s    *randtree.State
+		bad  bool
+	}{
+		{"clean", mk(func(s *randtree.State) { s.Children[2] = true; s.Siblings[3] = true }), false},
+		{"child-and-sibling", mk(func(s *randtree.State) { s.Children[2] = true; s.Siblings[2] = true }), true},
+		{"own-child", mk(func(s *randtree.State) { s.Children[1] = true }), true},
+		{"own-sibling", mk(func(s *randtree.State) { s.Siblings[1] = true }), true},
+		{"parent-as-child", mk(func(s *randtree.State) { s.Children[0] = true }), true},
+	}
+	for _, tc := range cases {
+		msg := inv.CheckNode(1, tc.s)
+		if (msg != "") != tc.bad {
+			t.Errorf("%s: got %q, want violation=%v", tc.name, msg, tc.bad)
+		}
+	}
+}

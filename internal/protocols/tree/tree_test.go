@@ -1,0 +1,114 @@
+package tree_test
+
+import (
+	"lmc/internal/codec"
+	"testing"
+
+	"lmc/internal/model"
+	"lmc/internal/protocols/tree"
+	"lmc/internal/testkit"
+)
+
+// TestForwardingReachesTarget runs the full forwarding pass.
+func TestForwardingReachesTarget(t *testing.T) {
+	m := tree.NewPaperTree()
+	h := testkit.New(m)
+	acts := m.Actions(0, h.State(0))
+	if len(acts) != 1 {
+		t.Fatalf("root actions: %d", len(acts))
+	}
+	if err := h.Act(acts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Settle(100); err != nil {
+		t.Fatal(err)
+	}
+	if h.State(4).(*tree.State).St != tree.Received {
+		t.Fatal("target never received")
+	}
+	if h.State(0).(*tree.State).St != tree.Sent {
+		t.Fatal("root not marked sent")
+	}
+}
+
+// TestInitiateOnlyOnce: the initiate action is disabled after sending.
+func TestInitiateOnlyOnce(t *testing.T) {
+	m := tree.NewPaperTree()
+	s := m.Init(0)
+	next, _ := m.HandleAction(0, s.Clone(), tree.Initiate{Root: 0})
+	if next == nil {
+		t.Fatal("initiate rejected")
+	}
+	if len(m.Actions(0, next)) != 0 {
+		t.Fatal("initiate still enabled after sending")
+	}
+	if got, _ := m.HandleAction(0, next.Clone(), tree.Initiate{Root: 0}); got != nil {
+		t.Fatal("second initiate accepted")
+	}
+}
+
+// TestForwardOnlyOnce: the Forwarded flag suppresses duplicate fan-out.
+func TestForwardOnlyOnce(t *testing.T) {
+	m := tree.NewPaperTree()
+	s := m.Init(1)
+	next, out := m.HandleMessage(1, s.Clone(), tree.Forward{From: 0, To: 1})
+	if len(out) != 2 {
+		t.Fatalf("first forward emitted %d", len(out))
+	}
+	_, out = m.HandleMessage(1, next.Clone(), tree.Forward{From: 0, To: 1})
+	if len(out) != 0 {
+		t.Fatal("second forward re-emitted")
+	}
+}
+
+// TestUnknownMessageAsserted: unknown messages are local assertions.
+func TestUnknownMessageAsserted(t *testing.T) {
+	m := tree.NewPaperTree()
+	if next, _ := m.HandleMessage(1, m.Init(1), fakeMsg{}); next != nil {
+		t.Fatal("unknown message accepted")
+	}
+}
+
+type fakeMsg struct{}
+
+func (fakeMsg) Src() model.NodeID      { return 0 }
+func (fakeMsg) Dst() model.NodeID      { return 1 }
+func (fakeMsg) Encode(w *codec.Writer) { w.String("fake") }
+func (fakeMsg) String() string         { return "fake" }
+
+// TestCausalityInvariant flags only the impossible combination.
+func TestCausalityInvariant(t *testing.T) {
+	m := tree.NewPaperTree()
+	inv := m.CausalityInvariant()
+	sys := model.InitialSystem(m)
+	if inv.Check(sys) != nil {
+		t.Fatal("initial state flagged")
+	}
+	sys[4].(*tree.State).St = tree.Received
+	if inv.Check(sys) == nil {
+		t.Fatal("received-without-sent not flagged")
+	}
+	sys[0].(*tree.State).St = tree.Sent
+	if inv.Check(sys) != nil {
+		t.Fatal("valid received state flagged")
+	}
+}
+
+// TestReduction checks the OPT projection on the causality invariant.
+func TestReduction(t *testing.T) {
+	m := tree.NewPaperTree()
+	r := tree.Reduction{Root: m.Root(), Target: m.Target()}
+	idleRoot, _ := r.Interest(0, m.Init(0))
+	received := &tree.State{St: tree.Received}
+	rcvd, ok := r.Interest(4, received)
+	if !ok {
+		t.Fatal("received target not interesting")
+	}
+	if !r.Conflict(idleRoot, rcvd) || !r.Conflict(rcvd, idleRoot) {
+		t.Fatal("root-unsent vs target-received must conflict")
+	}
+	sent := &tree.State{St: tree.Sent}
+	if _, ok := r.Interest(0, sent); ok {
+		t.Fatal("sent root should not be interesting")
+	}
+}

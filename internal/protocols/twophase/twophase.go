@@ -1,0 +1,390 @@
+// Package twophase implements two-phase commit, an additional chatty
+// broadcast workload for the local checker (§4.3: LMC shines on protocols
+// with "lots of parallel network activities"). Node 0 coordinates: it
+// broadcasts a vote request, participants answer yes or no (no-voters
+// abort unilaterally), and the coordinator broadcasts the outcome — commit
+// only if every participant voted yes.
+//
+// The buggy variant decides on a majority of yes votes instead of
+// unanimity, so a no-voter's unilateral abort can disagree with the
+// others' commit — an atomicity violation the checkers must catch.
+package twophase
+
+import (
+	"fmt"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+	"lmc/internal/spec"
+)
+
+// BugKind selects a protocol variant.
+type BugKind int
+
+const (
+	// NoBug commits only on unanimous yes votes.
+	NoBug BugKind = iota
+	// MajorityBug commits on a majority of yes votes.
+	MajorityBug
+)
+
+// String names the variant.
+func (b BugKind) String() string {
+	if b == MajorityBug {
+		return "majority-bug"
+	}
+	return "correct"
+}
+
+// Outcome is a node's transaction verdict.
+type Outcome uint8
+
+const (
+	// Pending means undecided.
+	Pending Outcome = iota
+	// Committed means the transaction committed at this node.
+	Committed
+	// Aborted means the transaction aborted at this node.
+	Aborted
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Committed:
+		return "commit"
+	case Aborted:
+		return "abort"
+	default:
+		return "pending"
+	}
+}
+
+// State is one node's 2PC state.
+type State struct {
+	// Begun is set on the coordinator after it started the round.
+	Begun bool
+	// Voted is set on a participant after it cast its vote.
+	Voted bool
+	// Outcome is the node's verdict.
+	Outcome Outcome
+	// YesVotes collects yes-voters at the coordinator.
+	YesVotes map[int]bool
+	// NoVotes collects no-voters at the coordinator.
+	NoVotes map[int]bool
+	// Decided is set on the coordinator once it broadcast the outcome.
+	Decided bool
+}
+
+// NewState returns an initial state.
+func NewState() *State {
+	return &State{YesVotes: map[int]bool{}, NoVotes: map[int]bool{}}
+}
+
+// Clone implements model.State.
+func (s *State) Clone() model.State {
+	c := &State{
+		Begun: s.Begun, Voted: s.Voted, Outcome: s.Outcome, Decided: s.Decided,
+		YesVotes: make(map[int]bool, len(s.YesVotes)),
+		NoVotes:  make(map[int]bool, len(s.NoVotes)),
+	}
+	for k := range s.YesVotes {
+		c.YesVotes[k] = true
+	}
+	for k := range s.NoVotes {
+		c.NoVotes[k] = true
+	}
+	return c
+}
+
+// Encode implements codec.Encoder.
+func (s *State) Encode(w *codec.Writer) {
+	w.Bool(s.Begun)
+	w.Bool(s.Voted)
+	w.Byte(byte(s.Outcome))
+	w.Bool(s.Decided)
+	w.IntSet(s.YesVotes)
+	w.IntSet(s.NoVotes)
+}
+
+// String implements model.State.
+func (s *State) String() string {
+	return fmt.Sprintf("{%s voted=%v}", s.Outcome, s.Voted)
+}
+
+// VoteRequest asks a participant to vote.
+type VoteRequest struct{ From, To model.NodeID }
+
+// Src implements model.Message.
+func (m VoteRequest) Src() model.NodeID { return m.From }
+
+// Dst implements model.Message.
+func (m VoteRequest) Dst() model.NodeID { return m.To }
+
+// Encode implements codec.Encoder.
+func (m VoteRequest) Encode(w *codec.Writer) {
+	w.String("2pc.vote-request")
+	w.Int(int(m.From))
+	w.Int(int(m.To))
+}
+
+// String implements model.Message.
+func (m VoteRequest) String() string {
+	return fmt.Sprintf("VoteRequest{%v->%v}", m.From, m.To)
+}
+
+// Vote is a participant's answer.
+type Vote struct {
+	From, To model.NodeID
+	Yes      bool
+}
+
+// Src implements model.Message.
+func (m Vote) Src() model.NodeID { return m.From }
+
+// Dst implements model.Message.
+func (m Vote) Dst() model.NodeID { return m.To }
+
+// Encode implements codec.Encoder.
+func (m Vote) Encode(w *codec.Writer) {
+	w.String("2pc.vote")
+	w.Int(int(m.From))
+	w.Int(int(m.To))
+	w.Bool(m.Yes)
+}
+
+// String implements model.Message.
+func (m Vote) String() string {
+	return fmt.Sprintf("Vote{%v->%v yes=%v}", m.From, m.To, m.Yes)
+}
+
+// Decision is the coordinator's outcome broadcast.
+type Decision struct {
+	From, To model.NodeID
+	Commit   bool
+}
+
+// Src implements model.Message.
+func (m Decision) Src() model.NodeID { return m.From }
+
+// Dst implements model.Message.
+func (m Decision) Dst() model.NodeID { return m.To }
+
+// Encode implements codec.Encoder.
+func (m Decision) Encode(w *codec.Writer) {
+	w.String("2pc.decision")
+	w.Int(int(m.From))
+	w.Int(int(m.To))
+	w.Bool(m.Commit)
+}
+
+// String implements model.Message.
+func (m Decision) String() string {
+	return fmt.Sprintf("Decision{%v->%v commit=%v}", m.From, m.To, m.Commit)
+}
+
+// Begin is the coordinator's application call.
+type Begin struct{}
+
+// Node implements model.Action.
+func (Begin) Node() model.NodeID { return 0 }
+
+// Encode implements codec.Encoder.
+func (Begin) Encode(w *codec.Writer) { w.String("2pc.begin") }
+
+// String implements model.Action.
+func (Begin) String() string { return "Begin{}" }
+
+// Machine is the 2PC protocol. Node 0 coordinates (and votes yes itself);
+// nodes in NoVoters vote no.
+type Machine struct {
+	N        int
+	Bug      BugKind
+	NoVoters map[model.NodeID]bool
+}
+
+// New builds a 2PC machine; noVoters lists the participants scripted to
+// vote no.
+func New(n int, bug BugKind, noVoters ...model.NodeID) *Machine {
+	m := &Machine{N: n, Bug: bug, NoVoters: map[model.NodeID]bool{}}
+	for _, v := range noVoters {
+		m.NoVoters[v] = true
+	}
+	return m
+}
+
+// Name implements model.Machine.
+func (mc *Machine) Name() string {
+	if mc.Bug == NoBug {
+		return "twophase"
+	}
+	return "twophase-" + mc.Bug.String()
+}
+
+// NumNodes implements model.Machine.
+func (mc *Machine) NumNodes() int { return mc.N }
+
+// Init implements model.Machine.
+func (mc *Machine) Init(model.NodeID) model.State { return NewState() }
+
+// Actions implements model.Machine.
+func (mc *Machine) Actions(n model.NodeID, s model.State) []model.Action {
+	st := s.(*State)
+	if n == 0 && !st.Begun {
+		return []model.Action{Begin{}}
+	}
+	return nil
+}
+
+// HandleAction implements model.Machine.
+func (mc *Machine) HandleAction(n model.NodeID, s model.State, a model.Action) (model.State, []model.Message) {
+	st := s.(*State)
+	if _, ok := a.(Begin); !ok || n != 0 || st.Begun {
+		return nil, nil
+	}
+	st.Begun = true
+	st.Voted = true
+	st.YesVotes[0] = true // the coordinator votes yes itself
+	out := make([]model.Message, 0, mc.N-1)
+	for to := 1; to < mc.N; to++ {
+		out = append(out, VoteRequest{From: 0, To: model.NodeID(to)})
+	}
+	return st, out
+}
+
+// quorum is the yes-vote threshold for committing.
+func (mc *Machine) quorum() int {
+	if mc.Bug == MajorityBug {
+		return mc.N/2 + 1
+	}
+	return mc.N
+}
+
+// HandleMessage implements model.Machine.
+func (mc *Machine) HandleMessage(n model.NodeID, s model.State, m model.Message) (model.State, []model.Message) {
+	st := s.(*State)
+	switch msg := m.(type) {
+	case VoteRequest:
+		if n == 0 {
+			return nil, nil // the coordinator never receives vote requests
+		}
+		if st.Voted {
+			return st, nil
+		}
+		st.Voted = true
+		yes := !mc.NoVoters[n]
+		if !yes {
+			// A no-voter aborts unilaterally.
+			st.Outcome = Aborted
+		}
+		return st, []model.Message{Vote{From: n, To: 0, Yes: yes}}
+	case Vote:
+		if n != 0 || !st.Begun {
+			return nil, nil // votes only make sense at a started coordinator
+		}
+		if st.Decided {
+			return st, nil
+		}
+		if msg.Yes {
+			st.YesVotes[int(msg.From)] = true
+		} else {
+			st.NoVotes[int(msg.From)] = true
+		}
+		commit := len(st.YesVotes) >= mc.quorum()
+		abort := len(st.NoVotes) > 0 && mc.Bug == NoBug
+		aborted := len(st.YesVotes)+len(st.NoVotes) == mc.N && len(st.NoVotes) > 0
+		if !commit && !abort && !aborted {
+			return st, nil
+		}
+		st.Decided = true
+		if commit {
+			st.Outcome = Committed
+		} else {
+			st.Outcome = Aborted
+		}
+		out := make([]model.Message, 0, mc.N-1)
+		for to := 1; to < mc.N; to++ {
+			out = append(out, Decision{From: 0, To: model.NodeID(to), Commit: commit})
+		}
+		return st, out
+	case Decision:
+		if n == 0 {
+			return nil, nil
+		}
+		if st.Outcome == Pending {
+			if msg.Commit {
+				st.Outcome = Committed
+			} else {
+				st.Outcome = Aborted
+			}
+		}
+		return st, nil
+	default:
+		return nil, nil
+	}
+}
+
+// AtomicityName names the 2PC safety invariant.
+const AtomicityName = "2pc-atomicity"
+
+// Atomicity is the system invariant: no two nodes decide differently.
+func Atomicity() spec.Invariant {
+	return spec.InvariantFunc{
+		InvName: AtomicityName,
+		Fn: func(ss model.SystemState) *spec.Violation {
+			for i := 0; i < len(ss); i++ {
+				si, ok := ss[i].(*State)
+				if !ok {
+					return nil
+				}
+				if si.Outcome == Pending {
+					continue
+				}
+				for j := i + 1; j < len(ss); j++ {
+					sj := ss[j].(*State)
+					if sj.Outcome != Pending && sj.Outcome != si.Outcome {
+						return spec.Violate(AtomicityName, ss,
+							"%v decided %s but %v decided %s",
+							model.NodeID(i), si.Outcome, model.NodeID(j), sj.Outcome)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Reduction is the LMC-OPT projection for Atomicity: a node state matters
+// only once it decided; two decisions conflict when they differ.
+type Reduction struct{}
+
+// Interest implements spec.Reduction.
+func (Reduction) Interest(_ model.NodeID, s model.State) (spec.Interest, bool) {
+	st, ok := s.(*State)
+	if !ok || st.Outcome == Pending {
+		return nil, false
+	}
+	return st.Outcome, true
+}
+
+// Conflict implements spec.Reduction.
+func (Reduction) Conflict(a, b spec.Interest) bool {
+	oa, ok := a.(Outcome)
+	if !ok {
+		return false
+	}
+	ob, ok := b.(Outcome)
+	if !ok {
+		return false
+	}
+	return oa != ob
+}
+
+// InterestKey implements spec.Keyer.
+func (Reduction) InterestKey(i spec.Interest) string {
+	o, ok := i.(Outcome)
+	if !ok {
+		return ""
+	}
+	return o.String()
+}

@@ -1,0 +1,117 @@
+package twophase_test
+
+import (
+	"testing"
+	"time"
+
+	"lmc/internal/core"
+	"lmc/internal/mc/global"
+	"lmc/internal/model"
+	"lmc/internal/protocols/twophase"
+	"lmc/internal/testkit"
+)
+
+// TestAllYesCommits: with no no-voters, everyone commits.
+func TestAllYesCommits(t *testing.T) {
+	m := twophase.New(4, twophase.NoBug)
+	h := testkit.New(m)
+	if err := h.Act(twophase.Begin{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Settle(100); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 4; n++ {
+		st := h.State(model.NodeID(n)).(*twophase.State)
+		if st.Outcome != twophase.Committed {
+			t.Fatalf("node %d outcome %s", n, st.Outcome)
+		}
+	}
+}
+
+// TestNoVoterAborts: one no vote aborts everyone in the correct protocol.
+func TestNoVoterAborts(t *testing.T) {
+	m := twophase.New(4, twophase.NoBug, 2)
+	h := testkit.New(m)
+	if err := h.Act(twophase.Begin{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Settle(100); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 4; n++ {
+		st := h.State(model.NodeID(n)).(*twophase.State)
+		if st.Outcome != twophase.Aborted {
+			t.Fatalf("node %d outcome %s, want abort", n, st.Outcome)
+		}
+	}
+}
+
+// TestMajorityBugSplitsOutcomes: the buggy coordinator commits on a
+// majority while the no-voter unilaterally aborted — atomicity broken in a
+// straight-line run.
+func TestMajorityBugSplitsOutcomes(t *testing.T) {
+	m := twophase.New(4, twophase.MajorityBug, 2)
+	h := testkit.New(m)
+	if err := h.Act(twophase.Begin{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Settle(100); err != nil {
+		t.Fatal(err)
+	}
+	if v := twophase.Atomicity().Check(h.Snapshot()); v == nil {
+		t.Fatal("buggy run did not violate atomicity")
+	}
+}
+
+// TestCheckersAgreeOnBug: both the global baseline and the local checker
+// find the majority bug from the initial state, and neither flags the
+// correct protocol — a differential completeness check.
+func TestCheckersAgreeOnBug(t *testing.T) {
+	for _, bug := range []twophase.BugKind{twophase.NoBug, twophase.MajorityBug} {
+		m := twophase.New(4, bug, 2)
+		start := model.InitialSystem(m)
+		wantBug := bug == twophase.MajorityBug
+
+		g := global.Check(m, start, global.Options{
+			Invariant:      twophase.Atomicity(),
+			Budget:         30 * time.Second,
+			StopAtFirstBug: true,
+		})
+		if (len(g.Bugs) > 0) != wantBug {
+			t.Errorf("%v: global checker bugs=%d want found=%v", bug, len(g.Bugs), wantBug)
+		}
+
+		l := core.Check(m, start, core.Options{
+			Invariant:      twophase.Atomicity(),
+			Reduction:      twophase.Reduction{},
+			Budget:         30 * time.Second,
+			StopAtFirstBug: true,
+		})
+		if (len(l.Bugs) > 0) != wantBug {
+			t.Errorf("%v: local checker bugs=%d want found=%v", bug, len(l.Bugs), wantBug)
+		}
+		if wantBug && len(l.Bugs) > 0 && len(g.Bugs) > 0 {
+			t.Logf("global witness %d events, local witness %d events",
+				len(g.Bugs[0].Schedule), len(l.Bugs[0].Schedule))
+		}
+	}
+}
+
+// TestVoteFromUnstartedCoordinatorAsserted: conservative-delivery votes at
+// a coordinator that never began are rejected.
+func TestVoteFromUnstartedCoordinatorAsserted(t *testing.T) {
+	m := twophase.New(4, twophase.NoBug)
+	if next, _ := m.HandleMessage(0, m.Init(0), twophase.Vote{From: 1, To: 0, Yes: true}); next != nil {
+		t.Fatal("vote at unstarted coordinator accepted")
+	}
+}
+
+// TestOutcomeString covers the verdict rendering.
+func TestOutcomeString(t *testing.T) {
+	if twophase.Pending.String() != "pending" ||
+		twophase.Committed.String() != "commit" ||
+		twophase.Aborted.String() != "abort" {
+		t.Fatal("outcome names changed")
+	}
+}

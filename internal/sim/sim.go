@@ -1,0 +1,192 @@
+// Package sim is the discrete-event live runtime: the "running system" the
+// paper's online model checker snapshots periodically (Figure 6). Nodes
+// execute the same model.Machine handlers the checkers analyze; messages
+// travel through a seeded lossy network (simnet); an application driver
+// fires node-local calls at random times — for Paxos, "each node proposes
+// its Id for a new index and then sleeps for a random time between 0 and
+// 60 s" (§5.5); for 1Paxos, the application "triggers the fault detector
+// with the probability of 0.1" (§5.6).
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"lmc/internal/model"
+	"lmc/internal/simnet"
+)
+
+// AppFunc is the application driver: called when node n's application timer
+// fires, it returns the internal actions to attempt. The rng is the
+// simulation's seeded generator — the only sanctioned source of
+// randomness, so runs replay identically for a fixed seed.
+type AppFunc func(rng *rand.Rand, n model.NodeID, s model.State) []model.Action
+
+// Config parameterizes a live run.
+type Config struct {
+	// Machine is the protocol under test.
+	Machine model.Machine
+	// Net configures the lossy network.
+	Net simnet.Config
+	// Seed seeds application-timer randomness.
+	Seed int64
+	// AppPeriod is the maximum application sleep: each node's application
+	// timer re-fires after a uniform delay in [0, AppPeriod) simulated
+	// seconds (the paper's 0–60 s).
+	AppPeriod float64
+	// App is the application driver; nil runs a pure network simulation.
+	App AppFunc
+}
+
+// event is one scheduled occurrence.
+type event struct {
+	at  float64
+	seq int // FIFO tie-break for equal times
+	// msg is set for a delivery event; otherwise the event is node's
+	// application timer.
+	msg  model.Message
+	node model.NodeID
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Stats counts what happened during the run.
+type Stats struct {
+	Deliveries int
+	Rejections int
+	AppCalls   int
+	Actions    int
+}
+
+// Sim is a live run in progress.
+type Sim struct {
+	cfg Config
+	net *simnet.Net
+	rng *rand.Rand
+
+	now    float64
+	seq    int
+	events eventHeap
+	sys    model.SystemState
+
+	// Stats accumulates run counters.
+	Stats Stats
+}
+
+// New builds a live run at time zero with every node in its initial state
+// and application timers armed.
+func New(cfg Config) *Sim {
+	if cfg.AppPeriod <= 0 {
+		cfg.AppPeriod = 60
+	}
+	s := &Sim{
+		cfg: cfg,
+		net: simnet.New(cfg.Net),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		sys: model.InitialSystem(cfg.Machine),
+	}
+	for n := 0; n < cfg.Machine.NumNodes(); n++ {
+		s.scheduleApp(model.NodeID(n))
+	}
+	return s
+}
+
+// Now is the current simulated time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Network exposes the underlying lossy network's counters.
+func (s *Sim) Network() *simnet.Net { return s.net }
+
+// Snapshot clones the current system state — the live state the online
+// checker restarts from. In-flight messages are not captured, exactly as
+// in the paper's scheme.
+func (s *Sim) Snapshot() model.SystemState { return s.sys.Clone() }
+
+// State returns node n's current state (not cloned).
+func (s *Sim) State(n model.NodeID) model.State { return s.sys[n] }
+
+// scheduleApp arms node n's next application timer.
+func (s *Sim) scheduleApp(n model.NodeID) {
+	delay := s.rng.Float64() * s.cfg.AppPeriod
+	s.seq++
+	heap.Push(&s.events, event{at: s.now + delay, seq: s.seq, node: n})
+}
+
+// send routes emitted messages through the lossy network.
+func (s *Sim) send(ms []model.Message) {
+	for _, m := range ms {
+		delay, dropped := s.net.Transmit(m)
+		if dropped {
+			continue
+		}
+		s.seq++
+		heap.Push(&s.events, event{at: s.now + delay, seq: s.seq, msg: m, node: m.Dst()})
+	}
+}
+
+// RunUntil advances the simulation to time t.
+func (s *Sim) RunUntil(t float64) {
+	for s.events.Len() > 0 {
+		if s.events[0].at > t {
+			break
+		}
+		ev := heap.Pop(&s.events).(event)
+		s.now = ev.at
+		if ev.msg != nil {
+			s.deliver(ev.msg)
+			continue
+		}
+		s.fireApp(ev.node)
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// deliver executes a message handler on the destination node.
+func (s *Sim) deliver(m model.Message) {
+	n := m.Dst()
+	next, out := s.cfg.Machine.HandleMessage(n, s.sys[n].Clone(), m)
+	s.Stats.Deliveries++
+	if next == nil {
+		s.Stats.Rejections++
+		return
+	}
+	s.sys[n] = next
+	s.send(out)
+}
+
+// fireApp runs the application driver on node n and re-arms its timer.
+func (s *Sim) fireApp(n model.NodeID) {
+	s.Stats.AppCalls++
+	if s.cfg.App != nil {
+		for _, a := range s.cfg.App(s.rng, n, s.sys[n]) {
+			next, out := s.cfg.Machine.HandleAction(n, s.sys[n].Clone(), a)
+			s.Stats.Actions++
+			if next == nil {
+				s.Stats.Rejections++
+				continue
+			}
+			s.sys[n] = next
+			s.send(out)
+		}
+	}
+	s.scheduleApp(n)
+}

@@ -1,0 +1,56 @@
+// Package simnet models the best-effort, lossy network underneath the live
+// runs of the paper's online experiments: "the nodes communicate using UDP
+// and 30% of non-loopback messages are randomly dropped to allow rare
+// states to be also created" (§5.5). Loss and latency are drawn from a
+// seeded generator, so every live run is reproducible.
+package simnet
+
+import (
+	"math/rand"
+
+	"lmc/internal/model"
+)
+
+// Config parameterizes the network.
+type Config struct {
+	// Seed seeds the loss/latency generator.
+	Seed int64
+	// DropProb is the probability that a non-loopback message is lost.
+	// The paper's runs use 0.3.
+	DropProb float64
+	// MinDelay and MaxDelay bound the uniform one-way latency, in simulated
+	// seconds. Zero values default to [0.01, 0.1].
+	MinDelay, MaxDelay float64
+}
+
+// Net is a lossy, delaying network.
+type Net struct {
+	cfg Config
+	rng *rand.Rand
+
+	// Sent, Dropped and Delivered count messages through the network.
+	Sent, Dropped int
+}
+
+// New builds a network from the config.
+func New(cfg Config) *Net {
+	if cfg.MaxDelay <= 0 {
+		cfg.MinDelay, cfg.MaxDelay = 0.01, 0.1
+	}
+	if cfg.MinDelay > cfg.MaxDelay {
+		cfg.MinDelay = cfg.MaxDelay
+	}
+	return &Net{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Transmit decides a message's fate: dropped, or delivered after a latency.
+// Loopback messages (src == dst) are never dropped, matching the paper's
+// "30% of non-loopback messages".
+func (n *Net) Transmit(m model.Message) (delay float64, dropped bool) {
+	n.Sent++
+	if m.Src() != m.Dst() && n.rng.Float64() < n.cfg.DropProb {
+		n.Dropped++
+		return 0, true
+	}
+	return n.cfg.MinDelay + n.rng.Float64()*(n.cfg.MaxDelay-n.cfg.MinDelay), false
+}

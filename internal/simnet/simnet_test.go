@@ -1,0 +1,94 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+)
+
+type msg struct{ from, to model.NodeID }
+
+func (m msg) Src() model.NodeID      { return m.from }
+func (m msg) Dst() model.NodeID      { return m.to }
+func (m msg) Encode(w *codec.Writer) { w.Int(int(m.from)); w.Int(int(m.to)) }
+func (m msg) String() string         { return fmt.Sprintf("m{%v->%v}", m.from, m.to) }
+
+// TestLoopbackNeverDropped: the paper drops only non-loopback messages.
+func TestLoopbackNeverDropped(t *testing.T) {
+	f := func(seed int64) bool {
+		n := New(Config{Seed: seed, DropProb: 1.0})
+		_, dropped := n.Transmit(msg{from: 1, to: 1})
+		return !dropped
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDropRateApproximates30Percent checks the loss rate statistically.
+func TestDropRateApproximates30Percent(t *testing.T) {
+	n := New(Config{Seed: 42, DropProb: 0.3})
+	drops := 0
+	const total = 20000
+	for i := 0; i < total; i++ {
+		if _, dropped := n.Transmit(msg{from: 0, to: 1}); dropped {
+			drops++
+		}
+	}
+	rate := float64(drops) / total
+	if rate < 0.27 || rate > 0.33 {
+		t.Fatalf("drop rate %.3f, want ~0.30", rate)
+	}
+	if n.Sent != total || n.Dropped != drops {
+		t.Fatal("counters off")
+	}
+}
+
+// TestDelayBounds: latencies stay within the configured window.
+func TestDelayBounds(t *testing.T) {
+	n := New(Config{Seed: 1, DropProb: 0, MinDelay: 0.05, MaxDelay: 0.2})
+	for i := 0; i < 1000; i++ {
+		d, dropped := n.Transmit(msg{from: 0, to: 1})
+		if dropped {
+			t.Fatal("dropped with probability 0")
+		}
+		if d < 0.05 || d > 0.2 {
+			t.Fatalf("delay %f outside [0.05, 0.2]", d)
+		}
+	}
+}
+
+// TestDeterminism: equal seeds produce equal fates.
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		n := New(Config{Seed: 7, DropProb: 0.5})
+		var out []float64
+		for i := 0; i < 100; i++ {
+			d, dropped := n.Transmit(msg{from: 0, to: 1})
+			if dropped {
+				out = append(out, -1)
+			} else {
+				out = append(out, d)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %f vs %f", i, a[i], b[i])
+		}
+	}
+}
+
+// TestDefaultDelays: zero config gets the documented defaults.
+func TestDefaultDelays(t *testing.T) {
+	n := New(Config{Seed: 1})
+	d, _ := n.Transmit(msg{from: 0, to: 1})
+	if d < 0.01 || d > 0.1 {
+		t.Fatalf("default delay %f outside [0.01, 0.1]", d)
+	}
+}

@@ -1,0 +1,166 @@
+// Package stats provides the accounting both checkers report: transition,
+// state and system-state counters, soundness-verification tallies, per-depth
+// progress samples for the paper's figures, and heap-growth measurement.
+package stats
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Counters accumulates the quantities §5 of the paper reports.
+type Counters struct {
+	// Transitions is the number of handler executions performed by the
+	// checker (§5.1 compares 157,332 for B-DFS against 1,186 for LMC).
+	Transitions int
+	// NodeStates is the number of distinct node local states visited
+	// ("LMC-local" in Figure 11). The global checker leaves it zero.
+	NodeStates int
+	// GlobalStates is the number of distinct global states visited by the
+	// baseline checker. LMC leaves it zero.
+	GlobalStates int
+	// SystemStates is the number of system states materialized for
+	// invariant checking (the "-system" series of Figure 11).
+	SystemStates int
+	// InvariantChecks counts invariant evaluations on system states.
+	InvariantChecks int
+	// PreliminaryViolations counts invariant violations before soundness
+	// verification (valid or not).
+	PreliminaryViolations int
+	// SoundnessCalls counts invocations of the soundness-verification
+	// module (isStateSound). §5.4 reports 773 for the buggy-Paxos run.
+	SoundnessCalls int
+	// SequencesChecked counts event-sequence combinations examined by
+	// soundness verification (§5.4 reports 427,731).
+	SequencesChecked int
+	// SoundnessTime is the total wall time spent in soundness verification.
+	SoundnessTime time.Duration
+	// SystemStateTime is the total wall time spent materializing system
+	// states and checking invariants on them.
+	SystemStateTime time.Duration
+	// ConfirmedBugs counts violations that passed soundness verification.
+	ConfirmedBugs int
+	// Rejections counts handler executions rejected by local assertions
+	// (handlers returning a nil state).
+	Rejections int
+	// DuplicatesDropped counts messages refused by the duplicate limit.
+	DuplicatesDropped int
+	// MaxDepth is the deepest exploration point reached (event-sequence
+	// length; for LMC, the largest total system-state depth).
+	MaxDepth int
+	// Elapsed is the wall time of the whole run.
+	Elapsed time.Duration
+}
+
+// AvgSoundnessCall is the mean wall time per soundness-verification call.
+func (c *Counters) AvgSoundnessCall() time.Duration {
+	if c.SoundnessCalls == 0 {
+		return 0
+	}
+	return c.SoundnessTime / time.Duration(c.SoundnessCalls)
+}
+
+// String renders the counters as a compact multi-line report.
+func (c *Counters) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transitions=%d nodeStates=%d globalStates=%d systemStates=%d\n",
+		c.Transitions, c.NodeStates, c.GlobalStates, c.SystemStates)
+	fmt.Fprintf(&b, "invariantChecks=%d prelimViolations=%d soundnessCalls=%d sequencesChecked=%d confirmedBugs=%d\n",
+		c.InvariantChecks, c.PreliminaryViolations, c.SoundnessCalls, c.SequencesChecked, c.ConfirmedBugs)
+	fmt.Fprintf(&b, "rejections=%d dupDropped=%d maxDepth=%d elapsed=%v soundnessTime=%v systemStateTime=%v",
+		c.Rejections, c.DuplicatesDropped, c.MaxDepth, c.Elapsed.Round(time.Microsecond),
+		c.SoundnessTime.Round(time.Microsecond), c.SystemStateTime.Round(time.Microsecond))
+	return b.String()
+}
+
+// Sample is one point of a per-depth progress series, the raw material of
+// Figures 10–13.
+type Sample struct {
+	Depth        int
+	Elapsed      time.Duration
+	Transitions  int
+	NodeStates   int
+	GlobalStates int
+	SystemStates int
+	// HeapBytes is the heap growth since the run started, sampled when the
+	// checker first reached this depth.
+	HeapBytes uint64
+}
+
+// Series collects per-depth samples keyed by depth; each depth keeps the
+// values observed when the checker finished exploring that depth.
+type Series struct {
+	byDepth map[int]Sample
+}
+
+// NewSeries returns an empty series.
+func NewSeries() *Series { return &Series{byDepth: make(map[int]Sample)} }
+
+// Record stores s for its depth, overwriting an earlier sample at the same
+// depth (later samples reflect completed exploration of the depth).
+func (se *Series) Record(s Sample) {
+	if se.byDepth == nil {
+		se.byDepth = make(map[int]Sample)
+	}
+	se.byDepth[s.Depth] = s
+}
+
+// Points returns the samples in ascending depth order.
+func (se *Series) Points() []Sample {
+	out := make([]Sample, 0, len(se.byDepth))
+	for _, s := range se.byDepth {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Depth < out[j].Depth })
+	return out
+}
+
+// Len is the number of recorded depths.
+func (se *Series) Len() int { return len(se.byDepth) }
+
+// MemProbe measures heap growth relative to a baseline, the way Figure 12
+// reports "increased memory size". Call Baseline once before the run, then
+// Sample at measurement points.
+type MemProbe struct {
+	base uint64
+}
+
+// Baseline garbage-collects and records the current heap allocation.
+func (p *MemProbe) Baseline() {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	p.base = m.HeapAlloc
+}
+
+// Sample returns the heap growth since Baseline, clamped at zero. It does
+// not force a GC — sampling is frequent and must stay cheap — so values are
+// an upper estimate, as in the paper's coarse MB-scale plot.
+func (p *MemProbe) Sample() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if m.HeapAlloc < p.base {
+		return 0
+	}
+	return m.HeapAlloc - p.base
+}
+
+// SamplePrecise forces a GC first, for end-of-run measurements.
+func (p *MemProbe) SamplePrecise() uint64 {
+	runtime.GC()
+	return p.Sample()
+}
+
+// Stopwatch measures elapsed wall time with a fixed start.
+type Stopwatch struct {
+	start time.Time
+}
+
+// Start resets the stopwatch to now.
+func (s *Stopwatch) Start() { s.start = time.Now() }
+
+// Elapsed reports time since Start.
+func (s *Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }

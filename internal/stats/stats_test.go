@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAvgSoundnessCall guards the division.
+func TestAvgSoundnessCall(t *testing.T) {
+	var c Counters
+	if c.AvgSoundnessCall() != 0 {
+		t.Fatal("zero calls should average zero")
+	}
+	c.SoundnessCalls = 4
+	c.SoundnessTime = 400 * time.Millisecond
+	if c.AvgSoundnessCall() != 100*time.Millisecond {
+		t.Fatalf("avg = %v", c.AvgSoundnessCall())
+	}
+}
+
+// TestCountersString mentions the headline quantities.
+func TestCountersString(t *testing.T) {
+	c := Counters{Transitions: 42, NodeStates: 7, ConfirmedBugs: 1}
+	s := c.String()
+	for _, want := range []string{"transitions=42", "nodeStates=7", "confirmedBugs=1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in %q", want, s)
+		}
+	}
+}
+
+// TestSeriesOrdering: points come back sorted by depth, later samples at a
+// depth overwrite earlier ones.
+func TestSeriesOrdering(t *testing.T) {
+	se := NewSeries()
+	se.Record(Sample{Depth: 5, Transitions: 50})
+	se.Record(Sample{Depth: 1, Transitions: 10})
+	se.Record(Sample{Depth: 5, Transitions: 55})
+	pts := se.Points()
+	if len(pts) != 2 || se.Len() != 2 {
+		t.Fatalf("len=%d", len(pts))
+	}
+	if pts[0].Depth != 1 || pts[1].Depth != 5 {
+		t.Fatalf("order wrong: %+v", pts)
+	}
+	if pts[1].Transitions != 55 {
+		t.Fatal("later sample did not overwrite")
+	}
+}
+
+// TestSeriesZeroValue: Record on a zero-constructed Series must not panic.
+func TestSeriesZeroValue(t *testing.T) {
+	var se Series
+	se.Record(Sample{Depth: 1})
+	if se.Len() != 1 {
+		t.Fatal("zero-value series broken")
+	}
+}
+
+// TestMemProbe: allocations after Baseline show up in Sample.
+func TestMemProbe(t *testing.T) {
+	var p MemProbe
+	p.Baseline()
+	sink = make([]byte, 8<<20)
+	if got := p.Sample(); got < 4<<20 {
+		t.Fatalf("8 MB allocation invisible: %d", got)
+	}
+	sink = nil
+	if p.SamplePrecise() > 6<<20 {
+		t.Fatal("freed allocation still dominates after GC")
+	}
+}
+
+var sink []byte
+
+// TestStopwatch measures something monotone.
+func TestStopwatch(t *testing.T) {
+	var sw Stopwatch
+	sw.Start()
+	if sw.Elapsed() < 0 {
+		t.Fatal("negative elapsed")
+	}
+}

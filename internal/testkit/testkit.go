@@ -1,0 +1,97 @@
+// Package testkit provides a deterministic message pump for constructing
+// protocol states: tests and the experiment harness use it to script
+// concrete runs — "this node proposes, these messages get through, those
+// are lost" — and take the resulting system state as a live snapshot for
+// the checkers (the role the running system plays in the paper's online
+// experiments, §5.5 and §5.6).
+package testkit
+
+import (
+	"fmt"
+
+	"lmc/internal/model"
+)
+
+// Harness drives one concrete run of a machine.
+type Harness struct {
+	M   model.Machine
+	Sys model.SystemState
+	// Queue holds undelivered messages in emission order.
+	Queue []model.Message
+	// Drop, when non-nil, discards matching messages at emission time —
+	// the scripted message losses of a lossy network.
+	Drop func(model.Message) bool
+	// Steps counts handler executions.
+	Steps int
+}
+
+// New builds a harness over the machine's initial system state.
+func New(m model.Machine) *Harness {
+	return &Harness{M: m, Sys: model.InitialSystem(m)}
+}
+
+// enqueue appends emitted messages, applying the drop filter.
+func (h *Harness) enqueue(ms []model.Message) {
+	for _, m := range ms {
+		if h.Drop != nil && h.Drop(m) {
+			continue
+		}
+		h.Queue = append(h.Queue, m)
+	}
+}
+
+// Act executes an internal action on its node.
+func (h *Harness) Act(a model.Action) error {
+	n := a.Node()
+	next, out := h.M.HandleAction(n, h.Sys[n].Clone(), a)
+	h.Steps++
+	if next == nil {
+		return fmt.Errorf("testkit: action %s rejected", a)
+	}
+	h.Sys[n] = next
+	h.enqueue(out)
+	return nil
+}
+
+// DeliverNext delivers the oldest queued message. It reports false when the
+// queue is empty.
+func (h *Harness) DeliverNext() (bool, error) {
+	if len(h.Queue) == 0 {
+		return false, nil
+	}
+	m := h.Queue[0]
+	h.Queue = h.Queue[1:]
+	next, out := h.M.HandleMessage(m.Dst(), h.Sys[m.Dst()].Clone(), m)
+	h.Steps++
+	if next == nil {
+		return true, fmt.Errorf("testkit: message %s rejected", m)
+	}
+	h.Sys[m.Dst()] = next
+	h.enqueue(out)
+	return true, nil
+}
+
+// Settle delivers queued messages FIFO until the queue drains or maxSteps
+// handler executions have run.
+func (h *Harness) Settle(maxSteps int) error {
+	for i := 0; i < maxSteps; i++ {
+		more, err := h.DeliverNext()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+	if len(h.Queue) > 0 {
+		return fmt.Errorf("testkit: %d messages still queued after %d steps", len(h.Queue), maxSteps)
+	}
+	return nil
+}
+
+// State returns node n's current state.
+func (h *Harness) State(n model.NodeID) model.State { return h.Sys[n] }
+
+// Snapshot clones the current system state — the live state handed to a
+// checker.
+func (h *Harness) Snapshot() model.SystemState { return h.Sys.Clone() }

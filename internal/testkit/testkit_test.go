@@ -1,0 +1,84 @@
+package testkit_test
+
+import (
+	"testing"
+
+	"lmc/internal/model"
+	"lmc/internal/protocols/tree"
+	"lmc/internal/testkit"
+)
+
+// TestActAndSettle pumps a full run.
+func TestActAndSettle(t *testing.T) {
+	m := tree.NewPaperTree()
+	h := testkit.New(m)
+	if err := h.Act(tree.Initiate{Root: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Queue) != 2 {
+		t.Fatalf("queue %d, want 2", len(h.Queue))
+	}
+	if err := h.Settle(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Queue) != 0 {
+		t.Fatal("queue not drained")
+	}
+	if h.Steps == 0 {
+		t.Fatal("no steps counted")
+	}
+}
+
+// TestDropFilter discards matching messages at emission.
+func TestDropFilter(t *testing.T) {
+	m := tree.NewPaperTree()
+	h := testkit.New(m)
+	h.Drop = func(msg model.Message) bool { return msg.Dst() == 2 }
+	if err := h.Act(tree.Initiate{Root: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Settle(100); err != nil {
+		t.Fatal(err)
+	}
+	if h.State(2).(*tree.State).Forwarded {
+		t.Fatal("dropped message delivered")
+	}
+	if h.State(4).(*tree.State).St != tree.Received {
+		t.Fatal("surviving path broken")
+	}
+}
+
+// TestSettleBudget errors when the queue cannot drain in time.
+func TestSettleBudget(t *testing.T) {
+	m := tree.NewPaperTree()
+	h := testkit.New(m)
+	if err := h.Act(tree.Initiate{Root: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Settle(1); err == nil {
+		t.Fatal("tiny budget drained a 4-message cascade")
+	}
+}
+
+// TestRejectedActionErrors surfaces handler rejections.
+func TestRejectedActionErrors(t *testing.T) {
+	m := tree.NewPaperTree()
+	h := testkit.New(m)
+	if err := h.Act(tree.Initiate{Root: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Act(tree.Initiate{Root: 0}); err == nil {
+		t.Fatal("second initiate accepted")
+	}
+}
+
+// TestSnapshotIsolated: the snapshot is a deep copy.
+func TestSnapshotIsolated(t *testing.T) {
+	m := tree.NewPaperTree()
+	h := testkit.New(m)
+	snap := h.Snapshot()
+	snap[0].(*tree.State).St = tree.Sent
+	if h.State(0).(*tree.State).St != tree.Idle {
+		t.Fatal("snapshot aliases harness state")
+	}
+}

@@ -1,0 +1,99 @@
+// Package trace represents counterexample schedules: totally ordered event
+// sequences that drive the system from a start state to a state violating
+// an invariant. The local checker's soundness verification produces one as
+// its witness; Replay re-executes it against the real handlers and the real
+// message-consuming network semantics, which is the final word on whether a
+// reported bug can occur in an actual run (paper §3.2, soundness).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"lmc/internal/model"
+	"lmc/internal/netstate"
+)
+
+// Schedule is a totally ordered sequence of events.
+type Schedule []model.Event
+
+// String renders the schedule one event per line, numbered from 1.
+func (sc Schedule) String() string {
+	var b strings.Builder
+	for i, e := range sc {
+		fmt.Fprintf(&b, "%3d. %s\n", i+1, e.String())
+	}
+	return b.String()
+}
+
+// ReplayResult is the outcome of re-executing a schedule.
+type ReplayResult struct {
+	// Final is the system state after the last executed event.
+	Final model.SystemState
+	// Executed is how many events ran before a failure (== len(schedule)
+	// on success).
+	Executed int
+	// Err is nil iff every event was enabled when its turn came and no
+	// handler rejected.
+	Err error
+}
+
+// Replay executes the schedule on machine m starting from system state
+// start (cloned; the argument is not mutated) with an initially empty
+// in-flight network. Each network event must find its message in flight —
+// exactly one copy is consumed — and each internal event must be among the
+// actions the machine reports enabled.
+func Replay(m model.Machine, start model.SystemState, sc Schedule) ReplayResult {
+	return ReplayWith(m, start, nil, sc)
+}
+
+// ReplayWith is Replay with messages already in flight at the start — the
+// captured in-flight set a checker may have been seeded with.
+func ReplayWith(m model.Machine, start model.SystemState, inflight []model.Message, sc Schedule) ReplayResult {
+	sys := start.Clone()
+	net := netstate.NewMultiset()
+	net.AddAll(inflight)
+	for i, e := range sc {
+		if int(e.Node) < 0 || int(e.Node) >= len(sys) {
+			return ReplayResult{Final: sys, Executed: i,
+				Err: fmt.Errorf("event %d (%s): node out of range", i+1, e)}
+		}
+		switch e.Kind {
+		case model.NetworkEvent:
+			fp := model.MessageFingerprint(e.Msg)
+			if !net.Remove(fp) {
+				return ReplayResult{Final: sys, Executed: i,
+					Err: fmt.Errorf("event %d (%s): message not in flight", i+1, e)}
+			}
+		case model.InternalEvent:
+			if !actionEnabled(m, e.Node, sys[e.Node], e.Act) {
+				return ReplayResult{Final: sys, Executed: i,
+					Err: fmt.Errorf("event %d (%s): action not enabled", i+1, e)}
+			}
+		default:
+			return ReplayResult{Final: sys, Executed: i,
+				Err: fmt.Errorf("event %d: invalid kind", i+1)}
+		}
+		next, emitted := e.Apply(m, sys[e.Node])
+		if next == nil {
+			return ReplayResult{Final: sys, Executed: i,
+				Err: fmt.Errorf("event %d (%s): handler rejected", i+1, e)}
+		}
+		sys[e.Node] = next
+		net.AddAll(emitted)
+	}
+	return ReplayResult{Final: sys, Executed: len(sc)}
+}
+
+// actionEnabled reports whether action a is among the internal actions the
+// machine enables in node n's current state. Actions are compared by
+// fingerprint since Action values need not be comparable with ==.
+func actionEnabled(m model.Machine, n model.NodeID, s model.State, a model.Action) bool {
+	want := model.ActEvent(a).Fingerprint()
+	for _, cand := range m.Actions(n, s) {
+		if model.ActEvent(cand).Fingerprint() == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,125 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"lmc/internal/model"
+	"lmc/internal/protocols/tree"
+	"lmc/internal/trace"
+)
+
+func fullRun(t *testing.T) (model.Machine, model.SystemState, trace.Schedule) {
+	t.Helper()
+	m := tree.NewPaperTree()
+	start := model.InitialSystem(m)
+	sc := trace.Schedule{
+		model.ActEvent(tree.Initiate{Root: 0}),
+		model.RecvEvent(tree.Forward{From: 0, To: 1}),
+		model.RecvEvent(tree.Forward{From: 0, To: 2}),
+		model.RecvEvent(tree.Forward{From: 1, To: 3}),
+		model.RecvEvent(tree.Forward{From: 1, To: 4}),
+	}
+	return m, start, sc
+}
+
+// TestReplayFullRun replays a complete valid schedule and checks the final
+// state.
+func TestReplayFullRun(t *testing.T) {
+	m, start, sc := fullRun(t)
+	rr := trace.Replay(m, start, sc)
+	if rr.Err != nil {
+		t.Fatalf("replay failed: %v", rr.Err)
+	}
+	if rr.Executed != len(sc) {
+		t.Fatalf("executed %d of %d", rr.Executed, len(sc))
+	}
+	if rr.Final[4].(*tree.State).St != tree.Received {
+		t.Fatal("target did not receive")
+	}
+	if rr.Final[0].(*tree.State).St != tree.Sent {
+		t.Fatal("root did not send")
+	}
+}
+
+// TestReplayRejectsUnsentMessage: delivering a message that is not in
+// flight must fail with a useful position.
+func TestReplayRejectsUnsentMessage(t *testing.T) {
+	m, start, _ := fullRun(t)
+	sc := trace.Schedule{
+		model.RecvEvent(tree.Forward{From: 1, To: 4}), // nothing sent yet
+	}
+	rr := trace.Replay(m, start, sc)
+	if rr.Err == nil {
+		t.Fatal("replay accepted an unsent message")
+	}
+	if rr.Executed != 0 {
+		t.Fatalf("executed %d, want 0", rr.Executed)
+	}
+	if !strings.Contains(rr.Err.Error(), "not in flight") {
+		t.Fatalf("unhelpful error: %v", rr.Err)
+	}
+}
+
+// TestReplayRejectsDoubleDelivery: a message is consumed by its delivery.
+func TestReplayRejectsDoubleDelivery(t *testing.T) {
+	m, start, _ := fullRun(t)
+	sc := trace.Schedule{
+		model.ActEvent(tree.Initiate{Root: 0}),
+		model.RecvEvent(tree.Forward{From: 0, To: 1}),
+		model.RecvEvent(tree.Forward{From: 0, To: 1}), // second copy never sent
+	}
+	rr := trace.Replay(m, start, sc)
+	if rr.Err == nil {
+		t.Fatal("replay accepted double delivery")
+	}
+	if rr.Executed != 2 {
+		t.Fatalf("executed %d, want 2", rr.Executed)
+	}
+}
+
+// TestReplayRejectsDisabledAction: an internal action must be enabled in
+// the node's current state.
+func TestReplayRejectsDisabledAction(t *testing.T) {
+	m, start, _ := fullRun(t)
+	sc := trace.Schedule{
+		model.ActEvent(tree.Initiate{Root: 0}),
+		model.ActEvent(tree.Initiate{Root: 0}), // root already sent
+	}
+	rr := trace.Replay(m, start, sc)
+	if rr.Err == nil {
+		t.Fatal("replay accepted a disabled action")
+	}
+	if !strings.Contains(rr.Err.Error(), "not enabled") {
+		t.Fatalf("unhelpful error: %v", rr.Err)
+	}
+}
+
+// TestReplayRejectsOutOfRangeNode guards malformed schedules.
+func TestReplayRejectsOutOfRangeNode(t *testing.T) {
+	m, start, _ := fullRun(t)
+	sc := trace.Schedule{model.RecvEvent(tree.Forward{From: 0, To: 99})}
+	if rr := trace.Replay(m, start, sc); rr.Err == nil {
+		t.Fatal("replay accepted out-of-range node")
+	}
+}
+
+// TestReplayDoesNotMutateStart: the start state is an input, not a
+// scratchpad.
+func TestReplayDoesNotMutateStart(t *testing.T) {
+	m, start, sc := fullRun(t)
+	before := start.Fingerprint()
+	trace.Replay(m, start, sc)
+	if start.Fingerprint() != before {
+		t.Fatal("Replay mutated the start state")
+	}
+}
+
+// TestScheduleString renders numbered lines.
+func TestScheduleString(t *testing.T) {
+	_, _, sc := fullRun(t)
+	s := sc.String()
+	if !strings.Contains(s, "1. ") || !strings.Contains(s, "5. ") {
+		t.Fatalf("schedule rendering missing steps:\n%s", s)
+	}
+}

@@ -1,0 +1,157 @@
+// Package lmc is a Go implementation of local model checking (LMC) for
+// distributed systems, reproducing "Model Checking a Networked System
+// Without the Network" (Guerraoui & Yabandeh, NSDI 2011).
+//
+// Classic model checkers for distributed systems explore global states —
+// the node local states plus every in-flight message — and drown in the
+// state explosion the network causes. LMC removes the network from the
+// checker's state a priori: each node's local state space is explored
+// independently against a single shared, monotonically growing network
+// object; system states (the tuples invariants are specified on) are only
+// materialized temporarily, by combining visited node states; and because
+// such a combination may be impossible in a real run, every preliminary
+// invariant violation is confirmed a posteriori by a soundness-verification
+// phase that searches for a realizable schedule — which doubles as the
+// counterexample handed to the user.
+//
+// # Defining a protocol
+//
+// A protocol implements Machine: deterministic message and internal-action
+// handlers over states that encode canonically (see the codec
+// fingerprinting contract on State). The packages under
+// internal/protocols — Paxos, 1Paxos, two-phase commit, tree and chain
+// forwarding, a RandTree-style overlay — are complete worked examples.
+//
+// # Checking
+//
+//	res := lmc.Check(machine, lmc.InitialSystem(machine), lmc.Options{
+//	    Invariant: myInvariant,
+//	})
+//	for _, bug := range res.Bugs {
+//	    fmt.Println(bug.Violation, bug.Schedule)
+//	}
+//
+// Supplying a Reduction turns on LMC-OPT, the invariant-specific
+// system-state creation of the paper's §4.2. Global runs the classic
+// bounded-DFS baseline for comparison. NewSim and Online reproduce the
+// paper's online checking scheme: a live (simulated, lossy) deployment
+// snapshotted periodically, with the checker restarted from each snapshot.
+package lmc
+
+import (
+	"lmc/internal/core"
+	"lmc/internal/mc/global"
+	"lmc/internal/model"
+	"lmc/internal/online"
+	"lmc/internal/sim"
+	"lmc/internal/simnet"
+	"lmc/internal/spec"
+	"lmc/internal/stats"
+	"lmc/internal/trace"
+)
+
+// Core model vocabulary (see internal/model for the full contracts).
+type (
+	// NodeID identifies a node; nodes are numbered 0..N-1.
+	NodeID = model.NodeID
+	// Message is a network message in flight.
+	Message = model.Message
+	// Action is a node-local event (timer, application call).
+	Action = model.Action
+	// State is one node's local state.
+	State = model.State
+	// Machine is a protocol definition: the handlers of the paper's Fig. 5.
+	Machine = model.Machine
+	// SystemState is the tuple of node local states invariants see.
+	SystemState = model.SystemState
+	// Event is one transition: a message delivery or an internal action.
+	Event = model.Event
+)
+
+// Specification vocabulary (see internal/spec).
+type (
+	// Invariant is a safety property over system states.
+	Invariant = spec.Invariant
+	// InvariantFunc adapts a function to Invariant.
+	InvariantFunc = spec.InvariantFunc
+	// LocalInvariant is a per-node-state property.
+	LocalInvariant = spec.LocalInvariant
+	// Violation describes a failed invariant.
+	Violation = spec.Violation
+	// Reduction enables LMC-OPT's invariant-specific system-state creation.
+	Reduction = spec.Reduction
+	// Interest is a reduction's projection of a node state.
+	Interest = spec.Interest
+)
+
+// Checker configuration and results (see internal/core and
+// internal/mc/global).
+type (
+	// Options configures the local checker.
+	Options = core.Options
+	// Result reports a local checker run.
+	Result = core.Result
+	// Bug is a confirmed violation with its realizing schedule.
+	Bug = core.Bug
+	// GlobalOptions configures the global baseline checker.
+	GlobalOptions = global.Options
+	// GlobalResult reports a global checker run.
+	GlobalResult = global.Result
+	// Counters are the statistics both checkers report.
+	Counters = stats.Counters
+	// Schedule is a totally ordered event sequence (a counterexample).
+	Schedule = trace.Schedule
+)
+
+// Online checking and live simulation (see internal/online, internal/sim).
+type (
+	// Sim is a discrete-event live run of a protocol over a lossy network.
+	Sim = sim.Sim
+	// SimConfig parameterizes a live run.
+	SimConfig = sim.Config
+	// NetConfig parameterizes the lossy network.
+	NetConfig = simnet.Config
+	// OnlineConfig parameterizes an online checking session.
+	OnlineConfig = online.Config
+	// OnlineReport summarizes an online checking session.
+	OnlineReport = online.Report
+)
+
+// Strategy values for the global checker.
+const (
+	// DFS is the paper's B-DFS baseline search order.
+	DFS = global.DFS
+	// BFS explores breadth-first, yielding per-depth series in one run.
+	BFS = global.BFS
+)
+
+// Check runs the local model checker (LMC) on machine m from the given
+// start system state. Set Options.Reduction for LMC-OPT.
+func Check(m Machine, start SystemState, opt Options) *Result {
+	return core.Check(m, start, opt)
+}
+
+// Global runs the classic global-state model checker (B-DFS by default),
+// the baseline the paper compares against.
+func Global(m Machine, start SystemState, opt GlobalOptions) *GlobalResult {
+	return global.Check(m, start, opt)
+}
+
+// InitialSystem builds the system state of every node's initial state.
+func InitialSystem(m Machine) SystemState { return model.InitialSystem(m) }
+
+// Replay re-executes a schedule from a start state against the real
+// handlers and a real message-consuming network; it is the ground truth
+// for counterexamples.
+func Replay(m Machine, start SystemState, sc Schedule) error {
+	return trace.Replay(m, start, sc).Err
+}
+
+// NewSim builds a live discrete-event run.
+func NewSim(cfg SimConfig) *Sim { return sim.New(cfg) }
+
+// Online snapshots a live run periodically and restarts the local checker
+// from each snapshot (the paper's online model checking scheme, §3.3).
+func Online(live *Sim, cfg OnlineConfig) *OnlineReport {
+	return online.Run(live, cfg)
+}

@@ -1,0 +1,70 @@
+package lmc_test
+
+import (
+	"testing"
+	"time"
+
+	"lmc"
+	"lmc/internal/protocols/paxos"
+	"lmc/internal/protocols/tree"
+)
+
+// TestFacadeLocalChecker exercises the public entry points end to end.
+func TestFacadeLocalChecker(t *testing.T) {
+	m := tree.NewPaperTree()
+	start := lmc.InitialSystem(m)
+	res := lmc.Check(m, start, lmc.Options{Invariant: m.CausalityInvariant()})
+	if !res.Complete || len(res.Bugs) != 0 {
+		t.Fatalf("unexpected: %+v", res.Stats)
+	}
+	g := lmc.Global(m, start, lmc.GlobalOptions{Invariant: m.CausalityInvariant()})
+	if !g.Complete || len(g.Bugs) != 0 {
+		t.Fatalf("unexpected: %+v", g.Stats)
+	}
+}
+
+// TestFacadeReplay round-trips a witness through the public Replay.
+func TestFacadeReplay(t *testing.T) {
+	m := tree.NewPaperTree()
+	start := lmc.InitialSystem(m)
+	sc := lmc.Schedule{
+		lmc.Event{Kind: 2, Node: 0, Act: tree.Initiate{Root: 0}},
+	}
+	if err := lmc.Replay(m, start, sc); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	bad := lmc.Schedule{
+		lmc.Event{Kind: 1, Node: 4, Msg: tree.Forward{From: 1, To: 4}},
+	}
+	if err := lmc.Replay(m, start, bad); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+}
+
+// TestFacadeOnline runs a short online session through the facade.
+func TestFacadeOnline(t *testing.T) {
+	m := paxos.New(3, paxos.NoBug, paxos.ActiveIndex{})
+	live := lmc.NewSim(lmc.SimConfig{
+		Machine:   m,
+		Net:       lmc.NetConfig{Seed: 3, DropProb: 0.3},
+		Seed:      4,
+		AppPeriod: 30,
+		App:       paxos.LiveApp(m.P),
+	})
+	rep := lmc.Online(live, lmc.OnlineConfig{
+		Machine:    m,
+		Interval:   60,
+		MaxSimTime: 300,
+		Checker: lmc.Options{
+			Invariant: paxos.Agreement(),
+			Reduction: paxos.Reduction{},
+			Budget:    500 * time.Millisecond,
+		},
+	})
+	if len(rep.Runs) != 5 {
+		t.Fatalf("expected 5 checker restarts, got %d", len(rep.Runs))
+	}
+	if rep.FirstBug != nil {
+		t.Fatalf("correct Paxos flagged online: %v", rep.FirstBug.Violation)
+	}
+}
