@@ -1,0 +1,134 @@
+// Command diffcheck cross-validates the local model checker against the
+// global B-DFS baseline on randomized scenarios. Every disagreement is
+// shrunk to a minimal scenario and written out as a reproducible artifact
+// (seed + scenario JSON + counterexample schedules).
+//
+// Usage:
+//
+//	diffcheck -seed 42 -n 100              # one deterministic batch
+//	diffcheck -soak 10m                    # randomized soak run
+//	diffcheck -repro artifact.json         # re-run a saved disagreement
+//	diffcheck -seed 42 -n 100 -v           # also print per-scenario results
+//
+// The process exits 0 when every scenario agrees, 1 on any disagreement,
+// and 2 on usage errors. The seed is always printed, so any run can be
+// reproduced bit-for-bit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lmc/internal/diffcheck"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "scenario generator seed")
+	n := flag.Int("n", 100, "number of scenarios per batch")
+	soak := flag.Duration("soak", 0, "keep running fresh batches (seed, seed+1, ...) for this long")
+	repro := flag.String("repro", "", "re-run the scenario in a saved artifact and exit")
+	out := flag.String("out", ".", "directory for disagreement artifacts")
+	budget := flag.Duration("budget", 0, "per-checker budget (0 = default)")
+	verbose := flag.Bool("v", false, "print every scenario verdict")
+	flag.Parse()
+
+	tun := diffcheck.Tuning{Budget: *budget}
+
+	if *repro != "" {
+		os.Exit(reproduce(*repro, tun, *verbose))
+	}
+
+	disagreements := 0
+	batches := 0
+	deadline := time.Now().Add(*soak)
+	for s := *seed; ; s++ {
+		disagreements += runBatch(s, *n, tun, *out, *verbose)
+		batches++
+		if *soak == 0 || time.Now().After(deadline) {
+			break
+		}
+	}
+	if disagreements > 0 {
+		fmt.Printf("FAIL: %d disagreement(s) across %d batch(es)\n", disagreements, batches)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d batch(es) of %d scenarios, no disagreements\n", batches, *n)
+}
+
+// runBatch checks one deterministic corpus and returns the disagreement
+// count. Each disagreement is shrunk and written to an artifact file.
+func runBatch(seed int64, n int, tun diffcheck.Tuning, outDir string, verbose bool) int {
+	fmt.Printf("batch seed=%d n=%d\n", seed, n)
+	bad := 0
+	for i, sc := range diffcheck.Corpus(seed, n) {
+		v, err := diffcheck.Run(sc, tun)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seed=%d index=%d: %v\n", seed, i, err)
+			bad++
+			continue
+		}
+		if verbose {
+			fmt.Printf("  %3d %-40s global(bugs=%d complete=%v) gen(bugs=%d complete=%v) agree=%v\n",
+				i, sc.Name(), v.Global.Bugs, v.Global.Complete, v.GEN.Bugs, v.GEN.Complete, v.Agree())
+		}
+		if v.Agree() {
+			continue
+		}
+		bad++
+		fmt.Printf("DISAGREEMENT seed=%d index=%d %s\n", seed, i, sc.Name())
+		for _, d := range v.Disagreements {
+			fmt.Printf("  %s\n", d)
+		}
+		min := diffcheck.Shrink(sc, func(c diffcheck.Scenario) bool {
+			mv, merr := diffcheck.Run(c, tun)
+			return merr == nil && !mv.Agree()
+		})
+		mv, err := diffcheck.Run(min, tun)
+		if err != nil {
+			mv = v
+			min = sc
+		}
+		art := &diffcheck.Artifact{Seed: seed, Index: i, Scenario: min, Verdict: mv}
+		if min.Name() != sc.Name() {
+			orig := sc
+			art.Original = &orig
+		}
+		path := filepath.Join(outDir, fmt.Sprintf("diffcheck-%d-%d.json", seed, i))
+		if err := art.WriteFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "writing artifact: %v\n", err)
+		} else {
+			fmt.Printf("  artifact: %s (shrunk to %s)\n", path, min.Name())
+		}
+	}
+	return bad
+}
+
+// reproduce re-runs a saved artifact's scenario and reports whether the
+// disagreement still occurs.
+func reproduce(path string, tun diffcheck.Tuning, verbose bool) int {
+	art, err := diffcheck.LoadArtifact(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("reproducing %s (seed=%d index=%d %s)\n", path, art.Seed, art.Index, art.Scenario.Name())
+	v, err := diffcheck.Run(art.Scenario, tun)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if v.Agree() {
+		fmt.Println("scenario now agrees (disagreement not reproduced)")
+		return 0
+	}
+	for _, d := range v.Disagreements {
+		fmt.Printf("  %s\n", d)
+		if verbose && d.Schedule != "" {
+			fmt.Println(d.Schedule)
+		}
+	}
+	return 1
+}

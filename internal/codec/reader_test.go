@@ -1,0 +1,129 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestReaderRoundTripsEveryPrimitive decodes a hand-built encoding of every
+// primitive and checks the values and the exact byte count come back.
+func TestReaderRoundTripsEveryPrimitive(t *testing.T) {
+	var w Writer
+	w.Bool(true)
+	w.Bool(false)
+	w.Byte(0xab)
+	w.Uint32(0xdeadbeef)
+	w.Uint64(1<<63 + 5)
+	w.Int(-42)
+	w.Int64(math.MinInt64)
+	w.Float64(3.5)
+	w.Float64(math.NaN())
+	w.String("hello")
+	w.String("")
+	w.Bytes32([]byte{1, 2, 3})
+	w.SortedInts([]int{3, -1, 2})
+	w.IntMap(map[int]int{7: 8, -1: 2})
+	w.StringSet(map[string]bool{"b": true, "a": true})
+
+	r := NewReader(w.Bytes())
+	if got := r.Bool(); !got {
+		t.Error("Bool #1")
+	}
+	if got := r.Bool(); got {
+		t.Error("Bool #2")
+	}
+	if got := r.Byte(); got != 0xab {
+		t.Errorf("Byte = %#x", got)
+	}
+	if got := r.Uint32(); got != 0xdeadbeef {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := r.Uint64(); got != 1<<63+5 {
+		t.Errorf("Uint64 = %d", got)
+	}
+	if got := r.Int(); got != -42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.Int64(); got != math.MinInt64 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if got := r.Float64(); got != 3.5 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := r.Float64(); !math.IsNaN(got) {
+		t.Errorf("Float64 NaN = %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := r.Bytes32(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes32 = %v", got)
+	}
+	if got := r.Ints(); !reflect.DeepEqual(got, []int{-1, 2, 3}) {
+		t.Errorf("Ints = %v (SortedInts must have sorted)", got)
+	}
+	if got := r.IntMap(); !reflect.DeepEqual(got, map[int]int{7: 8, -1: 2}) {
+		t.Errorf("IntMap = %v", got)
+	}
+	if got := r.StringSet(); !reflect.DeepEqual(got, map[string]bool{"a": true, "b": true}) {
+		t.Errorf("StringSet = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+}
+
+// TestReaderShortBuffer checks the sticky error: the first read past the
+// end fails, later reads return zero values, the error persists.
+func TestReaderShortBuffer(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.Uint32() // needs 4 bytes
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("Err = %v, want ErrShortBuffer", r.Err())
+	}
+	if got := r.Uint64(); got != 0 {
+		t.Errorf("read after error = %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("error not sticky: %v", r.Err())
+	}
+}
+
+// TestReaderCorruptLength checks a corrupted length prefix fails cleanly
+// instead of allocating the claimed size.
+func TestReaderCorruptLength(t *testing.T) {
+	var w Writer
+	w.Uint32(0xffffffff) // claims ~4 billion elements
+	for _, decode := range []func(*Reader){
+		func(r *Reader) { r.Ints() },
+		func(r *Reader) { r.IntMap() },
+		func(r *Reader) { r.StringSet() },
+		func(r *Reader) { _ = r.String() },
+		func(r *Reader) { r.Bytes32() },
+	} {
+		r := NewReader(w.Bytes())
+		decode(r)
+		if !errors.Is(r.Err(), ErrShortBuffer) {
+			t.Errorf("corrupt length not rejected: %v", r.Err())
+		}
+	}
+}
+
+// TestReaderNonCanonicalBool checks that a bool byte other than 0/1 — which
+// a Writer can never produce — is rejected rather than accepted as true.
+func TestReaderNonCanonicalBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	_ = r.Bool()
+	if r.Err() == nil {
+		t.Fatal("bool byte 2 accepted")
+	}
+}

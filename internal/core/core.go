@@ -161,6 +161,13 @@ type Result struct {
 	// states, all messages applied everywhere) within the configured
 	// bounds, without hitting a transition/time cutoff.
 	Complete bool
+	// Suppressed is true when the final pass's local-event bound actually
+	// suppressed at least one enabled internal action: the fixpoint of a
+	// Complete run is then relative to the bound, and a run with a larger
+	// bound could reach more states. Differential harnesses use this to
+	// tell "explored everything" apart from "explored everything the bound
+	// allowed".
+	Suppressed bool
 	// FinalLocalBound is the local-event bound of the last pass.
 	FinalLocalBound int
 }

@@ -101,6 +101,7 @@ func Check(m model.Machine, start model.SystemState, opt Options) *Result {
 	for {
 		complete := c.pass()
 		c.res.Complete = complete && !c.stopped
+		c.res.Suppressed = c.passSuppressed
 		c.res.FinalLocalBound = c.localBound
 		if c.stopped || !c.passSuppressed ||
 			opt.LocalBoundStep <= 0 || opt.MaxLocalBound <= 0 ||

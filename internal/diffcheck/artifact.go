@@ -1,0 +1,45 @@
+package diffcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Artifact is the reproducible record of a disagreement: the seed and index
+// that generated the scenario, the (shrunk) scenario itself, and the verdict
+// with its counterexample schedules. Feeding the scenario back through Run
+// with the same Tuning reproduces the disagreement bit-for-bit.
+type Artifact struct {
+	// Seed and Index locate the original scenario in Corpus(Seed, ...);
+	// Index is -1 for hand-written scenarios.
+	Seed  int64 `json:"seed"`
+	Index int   `json:"index"`
+	// Scenario is the minimized scenario (after shrinking).
+	Scenario Scenario `json:"scenario"`
+	// Original is the pre-shrink scenario when shrinking changed anything.
+	Original *Scenario `json:"original,omitempty"`
+	Verdict  *Verdict  `json:"verdict"`
+}
+
+// WriteFile writes the artifact as indented JSON.
+func (a *Artifact) WriteFile(path string) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("diffcheck: encode artifact: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadArtifact reads an artifact written by WriteFile.
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("diffcheck: decode artifact %s: %w", path, err)
+	}
+	return &a, nil
+}

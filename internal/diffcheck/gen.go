@@ -1,0 +1,105 @@
+package diffcheck
+
+import (
+	"math/rand"
+)
+
+// Generate draws one random scenario from rng. Parameter ranges are tuned so
+// every scenario is small enough for the global baseline to finish its
+// bounded search in well under a second: the differential corpus wants many
+// cheap configurations, not a few expensive ones. About half the draws use a
+// protocol's buggy variant (when it has one), so both the "finds the bug"
+// and the "stays quiet" directions are exercised.
+func Generate(rng *rand.Rand) Scenario {
+	protos := Protocols()
+	sc := Scenario{Protocol: protos[rng.Intn(len(protos))]}
+
+	sc.LocalBound = 1 + rng.Intn(2)                    // 1..2
+	sc.MaxLocalBound = sc.LocalBound + 2 + rng.Intn(2) // start+2..start+3
+	sc.DupLimit = rng.Intn(2)                          // 0..1
+
+	pickBug := func(name string) {
+		if rng.Intn(2) == 0 {
+			sc.Bug = name
+		}
+	}
+
+	switch sc.Protocol {
+	case ProtoPaxos:
+		sc.Nodes = 3
+		pickBug(BugLastResponse)
+		if rng.Intn(3) == 0 {
+			// From the §5.5 live state the last-response bug is within a
+			// shallow depth; from the initial system it is unreachable in
+			// tractable bounds, so those draws check the quiet direction.
+			sc.Live = true
+			sc.Depth = 8 + rng.Intn(4) // 8..11
+		} else {
+			sc.Depth = 4 + rng.Intn(2) // 4..5: global paxos blows up past d5
+			if rng.Intn(2) == 0 {
+				// Two competing proposers on the same index.
+				sc.Proposers = []int{0, 1}
+			}
+		}
+	case ProtoOnePaxos:
+		pickBug(BugPlusPlus)
+		// Driver budgets of 0 mean UNLIMITED, which makes the state space
+		// infinite; the generator always emits explicit small budgets.
+		sc.MaxProposals = 1
+		sc.MaxTakeovers = 1
+		if rng.Intn(3) == 0 {
+			sc.Live = true // §5.6 live state; the ++ bug is shallow from here
+			sc.Nodes = 3
+			sc.Depth = 6 + rng.Intn(3) // 6..8
+		} else {
+			sc.Nodes = 2 + rng.Intn(2) // 2..3
+			sc.Depth = 4 + rng.Intn(3) // 4..6
+		}
+	case ProtoRandTree:
+		sc.Nodes = 3 + rng.Intn(3) // 3..5
+		sc.MaxChildren = 1 + rng.Intn(2)
+		sc.Depth = 6 + rng.Intn(5) // 6..10
+		pickBug(BugSelfSibling)
+	case ProtoTree:
+		sc.Nodes = 3 + rng.Intn(4) // 3..6, default heap-shaped topology
+		sc.Depth = 8 + rng.Intn(5) // 8..12
+	case ProtoChain:
+		sc.Nodes = 2 + rng.Intn(5) // 2..6
+		sc.Depth = 8 + rng.Intn(5) // 8..12
+	case ProtoTwoPhase:
+		sc.Nodes = 3 + rng.Intn(2) // 3..4
+		sc.Depth = 8 + rng.Intn(4) // 8..11
+		pickBug(BugMajority)
+		for n := 1; n < sc.Nodes; n++ {
+			if rng.Intn(3) == 0 {
+				sc.NoVoters = append(sc.NoVoters, n)
+			}
+		}
+	}
+
+	for i, n := 0, rng.Intn(7); i < n; i++ { // 0..6 prefix ops
+		op := PrefixOp{Pick: rng.Intn(8), Node: rng.Intn(sc.Nodes)}
+		switch r := rng.Intn(10); {
+		case r < 4:
+			op.Op = "act"
+		case r < 8:
+			op.Op = "deliver"
+		default:
+			op.Op = "drop"
+		}
+		sc.Prefix = append(sc.Prefix, op)
+	}
+	return sc
+}
+
+// Corpus derives n scenarios deterministically from one seed. The same
+// (seed, n) always yields the same slice, so a corpus run is reproducible
+// from its logged seed alone.
+func Corpus(seed int64, n int) []Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Scenario, n)
+	for i := range out {
+		out[i] = Generate(rng)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package diffcheck
+
+// Property is a predicate over scenarios that the shrinker preserves —
+// typically "this scenario still produces a disagreement". It must be
+// deterministic; the shrinker re-evaluates it on every candidate.
+type Property func(Scenario) bool
+
+// Shrink greedily minimizes a scenario while keeping prop true, and returns
+// the smallest scenario found. It repeatedly tries, until a full round makes
+// no progress: dropping prefix ops (largest reduction first), removing a
+// node, lowering the depth and local bounds, zeroing the duplicate limit,
+// and trimming the protocol-specific lists (proposers, no-voters). Every
+// candidate is validated through Build before prop is consulted, so shrink
+// steps that make a scenario ill-formed are skipped rather than reported.
+//
+// prop(sc) must hold on entry; if it does not, sc is returned unchanged.
+func Shrink(sc Scenario, prop Property) Scenario {
+	holds := func(c Scenario) bool {
+		if _, err := c.Build(); err != nil {
+			return false
+		}
+		return prop(c)
+	}
+	if !holds(sc) {
+		return sc
+	}
+	for progress := true; progress; {
+		progress = false
+		for _, cand := range candidates(sc) {
+			if holds(cand) {
+				sc = cand
+				progress = true
+				break // restart from the new, smaller scenario
+			}
+		}
+	}
+	return sc
+}
+
+// candidates enumerates one-step reductions of sc, most aggressive first.
+func candidates(sc Scenario) []Scenario {
+	var out []Scenario
+	add := func(c Scenario) { out = append(out, c) }
+
+	// Halve the prefix, then drop single ops back to front.
+	if n := len(sc.Prefix); n > 0 {
+		c := sc
+		c.Prefix = append([]PrefixOp(nil), sc.Prefix[:n/2]...)
+		add(c)
+		for i := n - 1; i >= 0; i-- {
+			c := sc
+			c.Prefix = append(append([]PrefixOp(nil), sc.Prefix[:i]...), sc.Prefix[i+1:]...)
+			add(c)
+		}
+	}
+	if sc.Nodes > 1 {
+		c := sc
+		c.Nodes--
+		add(c)
+	}
+	if sc.Depth > 1 {
+		c := sc
+		c.Depth--
+		add(c)
+	}
+	if sc.MaxLocalBound > sc.LocalBound {
+		c := sc
+		c.MaxLocalBound--
+		add(c)
+	}
+	if sc.LocalBound > 1 {
+		c := sc
+		c.LocalBound--
+		if c.MaxLocalBound > 0 && c.MaxLocalBound < c.LocalBound {
+			c.MaxLocalBound = c.LocalBound
+		}
+		add(c)
+	}
+	if sc.DupLimit > 0 {
+		c := sc
+		c.DupLimit = 0
+		add(c)
+	}
+	for i := range sc.Proposers {
+		c := sc
+		c.Proposers = append(append([]int(nil), sc.Proposers[:i]...), sc.Proposers[i+1:]...)
+		add(c)
+	}
+	for i := range sc.NoVoters {
+		c := sc
+		c.NoVoters = append(append([]int(nil), sc.NoVoters[:i]...), sc.NoVoters[i+1:]...)
+		add(c)
+	}
+	if sc.MaxProposals > 1 {
+		c := sc
+		c.MaxProposals--
+		add(c)
+	}
+	if sc.MaxTakeovers > 1 {
+		c := sc
+		c.MaxTakeovers--
+		add(c)
+	}
+	if sc.MaxChildren > 1 {
+		c := sc
+		c.MaxChildren--
+		add(c)
+	}
+	return out
+}

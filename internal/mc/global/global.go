@@ -44,6 +44,11 @@ type Options struct {
 	Invariant spec.Invariant
 	// Strategy is DFS (default) or BFS.
 	Strategy Strategy
+	// InitialMessages seeds the in-flight network of the root global state,
+	// for callers that capture in-flight messages along with the live state
+	// — the counterpart of the local checker's Options.InitialMessages, so
+	// both checkers can be pointed at an identical start configuration.
+	InitialMessages []model.Message
 	// MaxDepth bounds the event depth; 0 means unbounded.
 	MaxDepth int
 	// MaxTransitions bounds handler executions; 0 means unbounded.
@@ -98,7 +103,9 @@ func Check(m model.Machine, start model.SystemState, opt Options) *Result {
 	begin := time.Now()
 
 	arena := make([]node, 0, 1024)
-	root := node{sys: start.Clone(), net: netstate.NewMultiset(), depth: 0, parent: -1}
+	rootNet := netstate.NewMultiset()
+	rootNet.AddAll(opt.InitialMessages)
+	root := node{sys: start.Clone(), net: rootNet, depth: 0, parent: -1}
 	arena = append(arena, root)
 
 	// visited maps global fingerprint → best (smallest) depth seen. With a

@@ -1,0 +1,141 @@
+package netstate
+
+import (
+	"flag"
+	"math/rand"
+	"testing"
+
+	"lmc/internal/model"
+)
+
+// sharedPropSeed seeds the randomized Shared property tests. The seed is
+// logged on every run and printed in failure messages, so any failing
+// interleaving reproduces with -netstate.seed=N.
+var sharedPropSeed = flag.Int64("netstate.seed", 20260806, "seed for Shared property tests")
+
+// TestSharedMonotone is the property test for the paper's central I+
+// invariant (§2): the shared network only ever grows. Across randomized Add
+// interleavings of duplicate-heavy message streams it checks that no entry
+// is ever removed or moved, that stored entries are never mutated, and that
+// indexes stay stable — the properties the checker's round structure
+// (Applied prefixes into a growing list) depends on.
+func TestSharedMonotone(t *testing.T) {
+	seed := *sharedPropSeed
+	t.Logf("seed %d (reproduce with -netstate.seed=%d)", seed, seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	for trial := 0; trial < 200; trial++ {
+		dupLimit := rng.Intn(3)
+		sh := NewShared(dupLimit)
+		// Track every entry pointer ever returned and its index.
+		type seen struct {
+			e   *Entry
+			idx int
+			fp  uint64
+		}
+		var history []seen
+
+		steps := 1 + rng.Intn(60)
+		for s := 0; s < steps; s++ {
+			// Duplicate-heavy stream: few distinct bodies.
+			m := testMsg{
+				From: 0,
+				To:   model.NodeID(1 + rng.Intn(3)),
+				Body: rng.Intn(4),
+			}
+			before := sh.Len()
+			e := sh.Add(m)
+			if e != nil {
+				if sh.Len() != before+1 {
+					t.Fatalf("seed=%d trial=%d: accepted Add grew Len by %d", seed, trial, sh.Len()-before)
+				}
+				if sh.Entry(sh.Len()-1) != e {
+					t.Fatalf("seed=%d trial=%d: new entry not appended at the end", seed, trial)
+				}
+				history = append(history, seen{e: e, idx: sh.Len() - 1, fp: uint64(e.EventFingerprint())})
+			} else if sh.Len() != before {
+				t.Fatalf("seed=%d trial=%d: dropped Add changed Len", seed, trial)
+			}
+
+			// Monotonicity: every entry ever returned is still at its
+			// original index, identical pointer, identical identity.
+			for _, h := range history {
+				if h.idx >= sh.Len() {
+					t.Fatalf("seed=%d trial=%d: entry index %d vanished (len now %d)", seed, trial, h.idx, sh.Len())
+				}
+				if sh.Entry(h.idx) != h.e {
+					t.Fatalf("seed=%d trial=%d: entry %d was replaced", seed, trial, h.idx)
+				}
+				if uint64(h.e.EventFingerprint()) != h.fp {
+					t.Fatalf("seed=%d trial=%d: entry %d changed identity", seed, trial, h.idx)
+				}
+				if !sh.Contains(h.e.FP) {
+					t.Fatalf("seed=%d trial=%d: Contains lost a stored message", seed, trial)
+				}
+			}
+		}
+
+		// Duplicate budget: per message fingerprint at most 1+DupLimit
+		// copies, numbered 0..copies-1, with distinct event identities.
+		copies := map[uint64][]int{}
+		events := map[uint64]bool{}
+		for _, e := range sh.Entries() {
+			copies[uint64(e.FP)] = append(copies[uint64(e.FP)], e.Copy)
+			ev := uint64(e.EventFingerprint())
+			if events[ev] {
+				t.Fatalf("seed=%d trial=%d: duplicate event fingerprint %x", seed, trial, ev)
+			}
+			events[ev] = true
+		}
+		for fp, cs := range copies {
+			if len(cs) > 1+dupLimit {
+				t.Fatalf("seed=%d trial=%d: message %x stored %d copies, limit %d",
+					seed, trial, fp, len(cs), 1+dupLimit)
+			}
+			for want, got := range cs {
+				if got != want {
+					t.Fatalf("seed=%d trial=%d: message %x copies numbered %v", seed, trial, fp, cs)
+				}
+			}
+		}
+		if got := len(sh.Entries()); got != sh.Len() {
+			t.Fatalf("seed=%d trial=%d: Entries()=%d but Len()=%d", seed, trial, got, sh.Len())
+		}
+	}
+}
+
+// TestSharedDropAccounting checks Dropped counts exactly the over-limit
+// duplicates across a randomized stream: accepted + dropped = offered.
+func TestSharedDropAccounting(t *testing.T) {
+	seed := *sharedPropSeed
+	t.Logf("seed %d (reproduce with -netstate.seed=%d)", seed, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+
+	for trial := 0; trial < 100; trial++ {
+		dupLimit := rng.Intn(3)
+		sh := NewShared(dupLimit)
+		offered, accepted := 0, 0
+		want := map[uint64]int{} // fingerprint → offered count
+		for s := 0; s < 1+rng.Intn(80); s++ {
+			m := testMsg{From: 0, To: 1, Body: rng.Intn(3)}
+			offered++
+			if e := sh.Add(m); e != nil {
+				accepted++
+				want[uint64(e.FP)]++
+			}
+		}
+		if accepted+sh.Dropped() != offered {
+			t.Fatalf("seed=%d trial=%d: accepted %d + dropped %d != offered %d",
+				seed, trial, accepted, sh.Dropped(), offered)
+		}
+		for fp, n := range want {
+			if n > 1+dupLimit {
+				t.Fatalf("seed=%d trial=%d: message %x accepted %d times, limit %d",
+					seed, trial, fp, n, 1+dupLimit)
+			}
+		}
+		if sh.Len() != accepted {
+			t.Fatalf("seed=%d trial=%d: Len %d != accepted %d", seed, trial, sh.Len(), accepted)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package testkit_test
+
+import (
+	"testing"
+
+	"lmc/internal/model"
+	"lmc/internal/protocols/tree"
+	"lmc/internal/testkit"
+)
+
+// initiated returns a harness that has fired the root's Initiate, leaving
+// two messages queued (to nodes 1 and 3 of the paper tree).
+func initiated(t *testing.T) *testkit.Harness {
+	t.Helper()
+	h := testkit.New(tree.NewPaperTree())
+	if err := h.Act(tree.Initiate{Root: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Queue) != 2 {
+		t.Fatalf("queue %d, want 2", len(h.Queue))
+	}
+	return h
+}
+
+// TestNewAtResumesCheckpoint: a harness rebuilt from a snapshot plus its
+// in-flight set behaves exactly like the original.
+func TestNewAtResumesCheckpoint(t *testing.T) {
+	h := initiated(t)
+	snap, inflight := h.Snapshot(), h.InFlight()
+
+	resumed := testkit.NewAt(h.M, snap, inflight)
+	if err := resumed.Settle(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Settle(100); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Sys.Fingerprint() != h.Sys.Fingerprint() {
+		t.Fatal("resumed run diverged from the original")
+	}
+	// The snapshot handed to NewAt was cloned: mutating the resumed run
+	// must not have touched it.
+	if snap.Fingerprint() == resumed.Sys.Fingerprint() {
+		t.Fatal("settling did not change the system (test is vacuous)")
+	}
+}
+
+// TestDeliverAtOutOfOrder delivers the second queued message first.
+func TestDeliverAtOutOfOrder(t *testing.T) {
+	h := initiated(t)
+	second := h.Queue[1]
+	if err := h.DeliverAt(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Queue) < 1 {
+		t.Fatal("queue empty after one delivery")
+	}
+	for _, q := range h.Queue {
+		if model.MessageFingerprint(q) == model.MessageFingerprint(second) {
+			t.Fatal("delivered message still queued")
+		}
+	}
+	// The destination is an interior node of the paper tree: delivery marks
+	// it Forwarded (only the target ever reaches Received).
+	if !h.State(second.Dst()).(*tree.State).Forwarded {
+		t.Fatal("out-of-order delivery had no effect on its destination")
+	}
+	if err := h.DeliverAt(5); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+// TestDropAtRemovesWithoutDelivery drops a queued message silently.
+func TestDropAtRemovesWithoutDelivery(t *testing.T) {
+	h := initiated(t)
+	dst := h.Queue[0].Dst()
+	if err := h.DropAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Queue) != 1 {
+		t.Fatalf("queue %d after drop, want 1", len(h.Queue))
+	}
+	if h.State(dst).(*tree.State).Forwarded {
+		t.Fatal("dropped message reached its destination")
+	}
+	if err := h.DropAt(7); err == nil {
+		t.Fatal("out-of-range drop accepted")
+	}
+}
+
+// TestDeliverByValue finds the queued copy of a specific message.
+func TestDeliverByValue(t *testing.T) {
+	h := initiated(t)
+	target := h.Queue[1]
+	if err := h.Deliver(target); err != nil {
+		t.Fatal(err)
+	}
+	// A second identical delivery must fail: the copy was consumed.
+	if err := h.Deliver(target); err == nil {
+		t.Fatal("consumed message delivered twice")
+	}
+}
+
+// TestInFlightIsACopy: mutating the returned slice must not corrupt the
+// harness queue.
+func TestInFlightIsACopy(t *testing.T) {
+	h := initiated(t)
+	in := h.InFlight()
+	in[0] = in[1]
+	if model.MessageFingerprint(h.Queue[0]) == model.MessageFingerprint(h.Queue[1]) {
+		t.Fatal("InFlight aliases the queue")
+	}
+}
+
+// TestReplayRejectsBadEvents: replay fails cleanly on a delivery of a
+// message that is not in flight and on a disabled action.
+func TestReplayRejectsBadEvents(t *testing.T) {
+	m := tree.NewPaperTree()
+	start := model.InitialSystem(m)
+	h := testkit.New(m)
+	if err := h.Act(tree.Initiate{Root: 0}); err != nil {
+		t.Fatal(err)
+	}
+	ghost := h.Queue[0]
+
+	if _, err := testkit.Replay(m, start, nil, []model.Event{model.RecvEvent(ghost)}); err == nil {
+		t.Error("delivery of a message not in flight accepted")
+	}
+	// Initiate on a non-root node is never enabled.
+	if _, err := testkit.Replay(m, start, nil, []model.Event{model.ActEvent(tree.Initiate{Root: 2})}); err == nil {
+		t.Error("disabled action accepted")
+	}
+	// The valid version executes.
+	final, err := testkit.Replay(m, start, nil, []model.Event{model.ActEvent(tree.Initiate{Root: 0})})
+	if err != nil {
+		t.Fatalf("valid replay failed: %v", err)
+	}
+	if final.Fingerprint() == start.Fingerprint() {
+		t.Error("valid replay changed nothing")
+	}
+}

@@ -30,6 +30,16 @@ func New(m model.Machine) *Harness {
 	return &Harness{M: m, Sys: model.InitialSystem(m)}
 }
 
+// NewAt builds a harness over a caller-supplied system state (cloned) with
+// the given messages already queued — a run resumed from a checkpoint, the
+// way a checker is pointed at a live snapshot plus its captured in-flight
+// set.
+func NewAt(m model.Machine, sys model.SystemState, inflight []model.Message) *Harness {
+	h := &Harness{M: m, Sys: sys.Clone()}
+	h.Queue = append(h.Queue, inflight...)
+	return h
+}
+
 // enqueue appends emitted messages, applying the drop filter.
 func (h *Harness) enqueue(ms []model.Message) {
 	for _, m := range ms {
@@ -71,6 +81,55 @@ func (h *Harness) DeliverNext() (bool, error) {
 	return true, nil
 }
 
+// DeliverAt delivers the i-th queued message, out of FIFO order — the
+// scripted reordering of a network that is not FIFO.
+func (h *Harness) DeliverAt(i int) error {
+	if i < 0 || i >= len(h.Queue) {
+		return fmt.Errorf("testkit: deliver index %d out of range (queue has %d)", i, len(h.Queue))
+	}
+	m := h.Queue[i]
+	h.Queue = append(h.Queue[:i:i], h.Queue[i+1:]...)
+	next, out := h.M.HandleMessage(m.Dst(), h.Sys[m.Dst()].Clone(), m)
+	h.Steps++
+	if next == nil {
+		return fmt.Errorf("testkit: message %s rejected", m)
+	}
+	h.Sys[m.Dst()] = next
+	h.enqueue(out)
+	return nil
+}
+
+// DropAt silently discards the i-th queued message — a scripted loss after
+// emission time (Drop filters at emission time instead).
+func (h *Harness) DropAt(i int) error {
+	if i < 0 || i >= len(h.Queue) {
+		return fmt.Errorf("testkit: drop index %d out of range (queue has %d)", i, len(h.Queue))
+	}
+	h.Queue = append(h.Queue[:i:i], h.Queue[i+1:]...)
+	return nil
+}
+
+// Deliver delivers one queued copy of the specific message m, wherever it
+// sits in the queue. It fails when no queued message has the same canonical
+// encoding.
+func (h *Harness) Deliver(m model.Message) error {
+	want := model.MessageFingerprint(m)
+	for i, q := range h.Queue {
+		if model.MessageFingerprint(q) == want {
+			return h.DeliverAt(i)
+		}
+	}
+	return fmt.Errorf("testkit: message %s not queued", m)
+}
+
+// InFlight returns a copy of the undelivered message queue — the in-flight
+// set a checkpointed run hands to a checker as its initial messages.
+func (h *Harness) InFlight() []model.Message {
+	out := make([]model.Message, len(h.Queue))
+	copy(out, h.Queue)
+	return out
+}
+
 // Settle delivers queued messages FIFO until the queue drains or maxSteps
 // handler executions have run.
 func (h *Harness) Settle(maxSteps int) error {
@@ -87,6 +146,52 @@ func (h *Harness) Settle(maxSteps int) error {
 		return fmt.Errorf("testkit: %d messages still queued after %d steps", len(h.Queue), maxSteps)
 	}
 	return nil
+}
+
+// Replay drives the harness through a totally ordered event sequence from
+// the given start state and in-flight set, returning the final system
+// state. It is a second, independent implementation of counterexample
+// replay (trace.Replay being the first, and the one the local checker uses
+// internally): each delivery must find its message queued — one copy is
+// consumed — and each internal action must be among the actions the
+// machine reports enabled. Differential harnesses replay through both and
+// cross-check the outcomes.
+func Replay(m model.Machine, start model.SystemState, inflight []model.Message, events []model.Event) (model.SystemState, error) {
+	h := NewAt(m, start, inflight)
+	for i, e := range events {
+		if int(e.Node) < 0 || int(e.Node) >= len(h.Sys) {
+			return h.Sys, fmt.Errorf("testkit: event %d (%s): node out of range", i+1, e)
+		}
+		switch e.Kind {
+		case model.NetworkEvent:
+			if err := h.Deliver(e.Msg); err != nil {
+				return h.Sys, fmt.Errorf("testkit: event %d (%s): %w", i+1, e, err)
+			}
+		case model.InternalEvent:
+			if !actionEnabled(m, e.Node, h.Sys[e.Node], e.Act) {
+				return h.Sys, fmt.Errorf("testkit: event %d (%s): action not enabled", i+1, e)
+			}
+			if err := h.Act(e.Act); err != nil {
+				return h.Sys, fmt.Errorf("testkit: event %d (%s): %w", i+1, e, err)
+			}
+		default:
+			return h.Sys, fmt.Errorf("testkit: event %d: invalid kind", i+1)
+		}
+	}
+	return h.Sys, nil
+}
+
+// actionEnabled reports whether a is among the machine's enabled actions in
+// node n's current state, compared by event fingerprint (Action values need
+// not be comparable with ==).
+func actionEnabled(m model.Machine, n model.NodeID, s model.State, a model.Action) bool {
+	want := model.ActEvent(a).Fingerprint()
+	for _, cand := range m.Actions(n, s) {
+		if model.ActEvent(cand).Fingerprint() == want {
+			return true
+		}
+	}
+	return false
 }
 
 // State returns node n's current state.

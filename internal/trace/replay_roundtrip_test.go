@@ -1,0 +1,112 @@
+package trace_test
+
+import (
+	"testing"
+
+	"lmc/internal/core"
+	"lmc/internal/model"
+	"lmc/internal/protocols/randtree"
+	"lmc/internal/protocols/twophase"
+	"lmc/internal/spec"
+	"lmc/internal/testkit"
+	"lmc/internal/trace"
+)
+
+// TestCheckerSchedulesRoundTrip is the replay round-trip property: every
+// witness schedule the local checker confirms must replay — through both
+// independent replay implementations — to exactly the system state the bug
+// report claims (same fingerprint), and that state must violate the
+// reported invariant.
+func TestCheckerSchedulesRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		m      model.Machine
+		sysInv spec.Invariant
+		locals []spec.LocalInvariant
+	}{
+		{name: "twophase-majority",
+			m:      twophase.New(4, twophase.MajorityBug, 2),
+			sysInv: twophase.Atomicity()},
+		{name: "randtree-self-sibling",
+			m:      randtree.New(4, 2, randtree.SelfSiblingBug),
+			locals: []spec.LocalInvariant{randtree.Structure()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			start := model.InitialSystem(tc.m)
+			res := core.Check(tc.m, start, core.Options{
+				Invariant:       tc.sysInv,
+				LocalInvariants: tc.locals,
+				LocalBoundStep:  1,
+				MaxLocalBound:   4,
+			})
+			if len(res.Bugs) == 0 {
+				t.Fatal("checker found no bugs to round-trip")
+			}
+			for i, b := range res.Bugs {
+				want := b.System.Fingerprint()
+
+				rr := trace.Replay(tc.m, start, b.Schedule)
+				if rr.Err != nil {
+					t.Fatalf("bug %d: trace replay failed at event %d: %v", i, rr.Executed+1, rr.Err)
+				}
+				if rr.Fingerprint() != want {
+					t.Errorf("bug %d: trace replay reached %s, bug claims %s", i, rr.Fingerprint(), want)
+				}
+
+				final, err := testkit.Replay(tc.m, start, nil, b.Schedule)
+				if err != nil {
+					t.Fatalf("bug %d: testkit replay failed: %v", i, err)
+				}
+				if final.Fingerprint() != want {
+					t.Errorf("bug %d: testkit replay reached %s, bug claims %s", i, final.Fingerprint(), want)
+				}
+			}
+			t.Logf("%d bug schedule(s) round-tripped", len(res.Bugs))
+		})
+	}
+}
+
+// TestReplayWithInflightRoundTrip checks the seeded-in-flight variant: a
+// schedule that starts by delivering a seeded message replays identically
+// through both implementations.
+func TestReplayWithInflightRoundTrip(t *testing.T) {
+	m := twophase.New(3, twophase.NoBug)
+	start := model.InitialSystem(m)
+
+	// Script a run to harvest real messages, then use the first queued
+	// message as the checkers' seeded in-flight set.
+	h := testkit.New(m)
+	acts := m.Actions(0, h.Sys[0])
+	if len(acts) == 0 {
+		t.Fatal("coordinator has no initial action")
+	}
+	if err := h.Act(acts[0]); err != nil {
+		t.Fatal(err)
+	}
+	inflight := h.InFlight()
+	if len(inflight) == 0 {
+		t.Fatal("no messages emitted")
+	}
+
+	sched := trace.Schedule{model.RecvEvent(inflight[0])}
+	rr := trace.ReplayWith(m, start, inflight, sched)
+	if rr.Err != nil {
+		t.Fatalf("trace replay: %v", rr.Err)
+	}
+	final, err := testkit.Replay(m, start, inflight, sched)
+	if err != nil {
+		t.Fatalf("testkit replay: %v", err)
+	}
+	if rr.Fingerprint() != final.Fingerprint() {
+		t.Fatalf("replay implementations disagree: %s vs %s", rr.Fingerprint(), final.Fingerprint())
+	}
+
+	// Without the seeded message the same schedule must fail in both.
+	if rr := trace.Replay(m, start, sched); rr.Err == nil {
+		t.Error("trace replay of a seeded-message delivery succeeded without the seed")
+	}
+	if _, err := testkit.Replay(m, start, nil, sched); err == nil {
+		t.Error("testkit replay of a seeded-message delivery succeeded without the seed")
+	}
+}

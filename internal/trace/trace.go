@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"lmc/internal/codec"
 	"lmc/internal/model"
 	"lmc/internal/netstate"
 )
@@ -36,6 +37,13 @@ type ReplayResult struct {
 	// Err is nil iff every event was enabled when its turn came and no
 	// handler rejected.
 	Err error
+}
+
+// Fingerprint hashes the final system state; replay round-trip checks
+// compare it against the fingerprint of the state a checker claims the
+// schedule reaches.
+func (rr ReplayResult) Fingerprint() codec.Fingerprint {
+	return rr.Final.Fingerprint()
 }
 
 // Replay executes the schedule on machine m starting from system state
