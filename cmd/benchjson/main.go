@@ -1,0 +1,263 @@
+// Command benchjson runs the repeatable performance suite and writes the
+// results as machine-readable JSON, for trend tracking and CI regression
+// gating.
+//
+// The suite covers the two layers the exploration engine's wall-clock
+// depends on: the end-to-end checker runs (one-proposal Paxos, LMC-GEN and
+// LMC-OPT, sequential and 8-worker) and the fingerprint hot path (pooled
+// vs. per-call writer allocation). End-to-end entries also report a
+// states/sec throughput (node states + system states per second of
+// exploration).
+//
+// Usage:
+//
+//	benchjson -out BENCH_lmc.json              # full suite (3 reps, best-of)
+//	benchjson -short -out BENCH_lmc.json       # CI smoke (1 rep)
+//	benchjson -baseline BENCH_lmc.json -maxratio 2.0
+//	                                           # additionally gate: fail when
+//	                                           # any entry is >2x slower than
+//	                                           # the baseline file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"lmc/internal/codec"
+	"lmc/internal/core"
+	"lmc/internal/model"
+	"lmc/internal/protocols/paxos"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// StatesPerSec is node states + system states per second for
+	// exploration entries; zero for micro-benchmarks.
+	StatesPerSec float64 `json:"states_per_sec,omitempty"`
+}
+
+// Report is the file format of BENCH_lmc.json.
+type Report struct {
+	Schema     int               `json:"schema"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	NumCPU     int               `json:"num_cpu"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Short      bool              `json:"short"`
+	Entries    []Entry           `json:"entries"`
+	Derived    map[string]string `json:"derived,omitempty"`
+	Notes      []string          `json:"notes,omitempty"`
+}
+
+func paxosGen() (model.Machine, model.SystemState, core.Options) {
+	m := paxos.New(3, paxos.NoBug, paxos.OnceAt{Node: 0, Index: 0, Value: 7})
+	return m, model.InitialSystem(m), core.Options{
+		Invariant:      paxos.Agreement(),
+		SoundnessShare: -1,
+	}
+}
+
+func paxosOpt() (model.Machine, model.SystemState, core.Options) {
+	m, start, opt := paxosGen()
+	opt.Reduction = paxos.Reduction{}
+	return m, start, opt
+}
+
+// measureExplore runs one checker configuration reps times and reports the
+// fastest run's wall clock, per-run allocation deltas, and throughput.
+func measureExplore(name string, reps, workers int,
+	space func() (model.Machine, model.SystemState, core.Options)) Entry {
+
+	m, start, opt := space()
+	opt.Workers = workers
+
+	var best time.Duration
+	var states int
+	var allocs, bytes uint64
+	for i := 0; i < reps; i++ {
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		res := core.Check(m, start, opt)
+		runtime.ReadMemStats(&m1)
+		if !res.Complete {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: run incomplete\n", name)
+			os.Exit(1)
+		}
+		if best == 0 || res.Stats.Elapsed < best {
+			best = res.Stats.Elapsed
+			states = res.Stats.NodeStates + res.Stats.SystemStates
+			allocs = m1.Mallocs - m0.Mallocs
+			bytes = m1.TotalAlloc - m0.TotalAlloc
+		}
+	}
+	return Entry{
+		Name:         name,
+		NsPerOp:      float64(best.Nanoseconds()),
+		AllocsPerOp:  float64(allocs),
+		BytesPerOp:   float64(bytes),
+		StatesPerSec: float64(states) / best.Seconds(),
+	}
+}
+
+// fpState is the micro-benchmark encoding shape: a handful of scalars and a
+// small set, like a typical protocol node state.
+type fpState struct {
+	round, value int
+	active       bool
+	peers        []int
+}
+
+func (s *fpState) Encode(w *codec.Writer) {
+	w.Int(s.round)
+	w.Int(s.value)
+	w.Bool(s.active)
+	w.SortedInts(s.peers)
+}
+
+func measureMicro(name string, fn func(b *testing.B)) Entry {
+	r := testing.Benchmark(fn)
+	return Entry{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+	}
+}
+
+func gate(cur Report, baselinePath string, maxRatio float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	byName := make(map[string]Entry, len(base.Entries))
+	for _, e := range base.Entries {
+		byName[e.Name] = e
+	}
+	var failed []string
+	for _, e := range cur.Entries {
+		b, ok := byName[e.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if ratio := e.NsPerOp / b.NsPerOp; ratio > maxRatio {
+			failed = append(failed, fmt.Sprintf("%s: %.0f ns vs baseline %.0f ns (%.2fx > %.2fx)",
+				e.Name, e.NsPerOp, b.NsPerOp, ratio, maxRatio))
+		}
+	}
+	if len(failed) > 0 {
+		for _, f := range failed {
+			fmt.Fprintln(os.Stderr, "benchjson: regression:", f)
+		}
+		return fmt.Errorf("%d entries regressed beyond %.2fx", len(failed), maxRatio)
+	}
+	return nil
+}
+
+// noteFlags collects repeated -note values.
+type noteFlags []string
+
+func (n *noteFlags) String() string { return fmt.Sprint([]string(*n)) }
+func (n *noteFlags) Set(v string) error {
+	*n = append(*n, v)
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_lmc.json", "output file (\"-\" for stdout)")
+	short := flag.Bool("short", false, "single repetition per entry (CI smoke)")
+	baseline := flag.String("baseline", "", "baseline JSON to gate against")
+	maxRatio := flag.Float64("maxratio", 2.0, "fail when ns/op exceeds baseline by this factor")
+	var notes noteFlags
+	flag.Var(&notes, "note", "free-form note to embed in the report (repeatable)")
+	flag.Parse()
+
+	reps := 3
+	if *short {
+		reps = 1
+	}
+
+	rep := Report{
+		Schema:     1,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Short:      *short,
+		Derived:    map[string]string{},
+		Notes:      []string(notes),
+	}
+
+	rep.Entries = append(rep.Entries,
+		measureExplore("explore/paxos-gen/seq", reps, -1, paxosGen),
+		measureExplore("explore/paxos-gen/w8", reps, 8, paxosGen),
+		measureExplore("explore/paxos-opt/seq", reps, -1, paxosOpt),
+		measureExplore("explore/paxos-opt/w8", reps, 8, paxosOpt),
+	)
+
+	s := &fpState{round: 3, value: 7, active: true, peers: []int{2, 0, 1}}
+	rep.Entries = append(rep.Entries,
+		measureMicro("fingerprint/pooled", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				codec.HashOf(s)
+			}
+		}),
+		measureMicro("fingerprint/unpooled", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var w codec.Writer
+				s.Encode(&w)
+				codec.Hash(w.Bytes())
+			}
+		}),
+	)
+
+	byName := make(map[string]Entry, len(rep.Entries))
+	for _, e := range rep.Entries {
+		byName[e.Name] = e
+	}
+	ratio := func(a, b string) string {
+		return fmt.Sprintf("%.2fx", byName[a].NsPerOp/byName[b].NsPerOp)
+	}
+	rep.Derived["gen_seq_over_w8"] = ratio("explore/paxos-gen/seq", "explore/paxos-gen/w8")
+	rep.Derived["opt_seq_over_w8"] = ratio("explore/paxos-opt/seq", "explore/paxos-opt/w8")
+	rep.Derived["fingerprint_unpooled_over_pooled"] = ratio("fingerprint/unpooled", "fingerprint/pooled")
+	if rep.NumCPU == 1 {
+		rep.Notes = append(rep.Notes,
+			"single-CPU host: worker-pool speedups are not observable; seq-over-w8 ratios reflect pool overhead only")
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if *out == "-" {
+		os.Stdout.Write(raw)
+	} else if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		if err := gate(rep, *baseline, *maxRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"time"
 
 	"lmc/internal/diffcheck"
@@ -32,6 +34,7 @@ func main() {
 	repro := flag.String("repro", "", "re-run the scenario in a saved artifact and exit")
 	out := flag.String("out", ".", "directory for disagreement artifacts")
 	budget := flag.Duration("budget", 0, "per-checker budget (0 = default)")
+	workers := flag.Int("workers", 0, "concurrent scenarios per batch (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print every scenario verdict")
 	flag.Parse()
 
@@ -45,7 +48,7 @@ func main() {
 	batches := 0
 	deadline := time.Now().Add(*soak)
 	for s := *seed; ; s++ {
-		disagreements += runBatch(s, *n, tun, *out, *verbose)
+		disagreements += runBatch(s, *n, tun, *out, *workers, *verbose)
 		batches++
 		if *soak == 0 || time.Now().After(deadline) {
 			break
@@ -60,11 +63,47 @@ func main() {
 
 // runBatch checks one deterministic corpus and returns the disagreement
 // count. Each disagreement is shrunk and written to an artifact file.
-func runBatch(seed int64, n int, tun diffcheck.Tuning, outDir string, verbose bool) int {
+//
+// Scenarios are independent, so the cross-validation runs on a worker pool;
+// reporting, shrinking and artifact writes then happen on this goroutine in
+// scenario-index order, so the output and the artifact files are identical
+// to a sequential run.
+func runBatch(seed int64, n int, tun diffcheck.Tuning, outDir string, workers int, verbose bool) int {
 	fmt.Printf("batch seed=%d n=%d\n", seed, n)
+	corpus := diffcheck.Corpus(seed, n)
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(corpus) {
+		workers = len(corpus)
+	}
+	type outcome struct {
+		verdict *diffcheck.Verdict
+		err     error
+	}
+	outcomes := make([]outcome, len(corpus))
+	next := make(chan int, len(corpus))
+	for i := range corpus {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v, err := diffcheck.Run(corpus[i], tun)
+				outcomes[i] = outcome{verdict: v, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
 	bad := 0
-	for i, sc := range diffcheck.Corpus(seed, n) {
-		v, err := diffcheck.Run(sc, tun)
+	for i, sc := range corpus {
+		v, err := outcomes[i].verdict, outcomes[i].err
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seed=%d index=%d: %v\n", seed, i, err)
 			bad++

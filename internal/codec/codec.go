@@ -15,9 +15,9 @@ package codec
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Writer accumulates a canonical binary encoding. The zero value is ready to
@@ -174,32 +174,98 @@ type Fingerprint uint64
 // String formats the fingerprint as fixed-width hex, convenient in traces.
 func (f Fingerprint) String() string { return fmt.Sprintf("%016x", uint64(f)) }
 
-// Hash fingerprints raw bytes with FNV-1a.
-func Hash(b []byte) Fingerprint {
-	h := fnv.New64a()
-	h.Write(b)
-	return Fingerprint(h.Sum64())
+// FNV-1a parameters, inlined so hashing never allocates the stdlib's
+// hash.Hash64 interface value. The byte-for-byte results are identical to
+// hash/fnv, which keeps every stored fingerprint (fuzz corpora, artifacts)
+// stable.
+const (
+	fnvOffset64 uint64 = 0xcbf29ce484222325
+	fnvPrime64  uint64 = 0x100000001b3
+)
+
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
 }
 
-// HashOf encodes v into a scratch Writer and fingerprints the result.
+// fnvUint64 folds v into h big-endian, matching a Write of the 8-byte
+// big-endian encoding.
+func fnvUint64(h, v uint64) uint64 {
+	for shift := 56; shift >= 0; shift -= 8 {
+		h ^= (v >> uint(shift)) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Hash fingerprints raw bytes with FNV-1a.
+func Hash(b []byte) Fingerprint {
+	return Fingerprint(fnvBytes(fnvOffset64, b))
+}
+
+// maxPooledWriter bounds the buffers retained by the writer pool; an
+// occasional huge encoding should not pin its buffer forever.
+const maxPooledWriter = 1 << 16
+
+var writerPool = sync.Pool{New: func() any { return NewWriter(256) }}
+
+// GetWriter returns an empty Writer from a shared pool. Callers on hot
+// paths pair it with PutWriter to avoid per-encoding allocations; the pool
+// is safe for concurrent use.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter returns w to the shared pool. The caller must not retain w or
+// any slice obtained from Bytes afterwards.
+func PutWriter(w *Writer) {
+	if cap(w.buf) > maxPooledWriter {
+		return
+	}
+	writerPool.Put(w)
+}
+
+// HashOf encodes v into a pooled scratch Writer and fingerprints the
+// result. Steady state it performs no heap allocations for encodings up to
+// the pooled buffer capacity.
 func HashOf(v Encoder) Fingerprint {
-	var w Writer
-	v.Encode(&w)
-	return Hash(w.Bytes())
+	w := GetWriter()
+	v.Encode(w)
+	fp := Hash(w.buf)
+	PutWriter(w)
+	return fp
 }
 
 // Combine mixes fingerprints into one, order-sensitively. It is used to
 // derive composite identities (for example an event identity from the
 // handler kind plus the consumed message).
 func Combine(fps ...Fingerprint) Fingerprint {
-	h := fnv.New64a()
-	var b [8]byte
+	h := fnvOffset64
 	for _, fp := range fps {
-		binary.BigEndian.PutUint64(b[:], uint64(fp))
-		h.Write(b[:])
+		h = fnvUint64(h, uint64(fp))
 	}
-	return Fingerprint(h.Sum64())
+	return Fingerprint(h)
 }
+
+// Hasher combines fingerprints incrementally without allocating; a sequence
+// of Add calls yields exactly Combine over the same sequence. Checkers use
+// it to derive composite fingerprints (such as a system state's) from
+// memoized parts instead of re-encoding.
+type Hasher struct{ h uint64 }
+
+// NewHasher returns a Hasher in the empty-sequence state.
+func NewHasher() Hasher { return Hasher{h: fnvOffset64} }
+
+// Add folds one fingerprint into the running combination.
+func (s *Hasher) Add(fp Fingerprint) { s.h = fnvUint64(s.h, uint64(fp)) }
+
+// Sum returns the combined fingerprint of the sequence added so far.
+func (s Hasher) Sum() Fingerprint { return Fingerprint(s.h) }
 
 // CombineUnordered mixes fingerprints into one, insensitively to order, via
 // commutative addition. It identifies multisets such as "the messages
@@ -208,11 +274,7 @@ func CombineUnordered(fps []Fingerprint) Fingerprint {
 	var sum uint64
 	for _, fp := range fps {
 		// Pre-mix each element so that {a,a} and {b} with b=2a collide less.
-		h := fnv.New64a()
-		var b [8]byte
-		binary.BigEndian.PutUint64(b[:], uint64(fp))
-		h.Write(b[:])
-		sum += h.Sum64()
+		sum += fnvUint64(fnvOffset64, uint64(fp))
 	}
 	return Fingerprint(sum)
 }

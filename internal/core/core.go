@@ -107,10 +107,37 @@ type Options struct {
 	// means the default of 0.5; negative disables deferral.
 	SoundnessShare float64
 
-	// Workers parallelizes system-state invariant checking across
-	// goroutines ("the model checking process can be embarrassingly
-	// parallelized", §1). Values <2 run sequentially.
+	// Workers sets the size of the worker pool used for exploration rounds,
+	// system-state invariant checking, and speculative soundness
+	// confirmation ("the model checking process can be embarrassingly
+	// parallelized", §1). Zero auto-detects runtime.NumCPU(); a negative
+	// value forces fully sequential execution; a positive value is used
+	// as-is. Results are bit-for-bit identical for every setting: workers
+	// buffer their discoveries per round and the engine merges them in the
+	// canonical sequential order. Exploration phases additionally fall back
+	// to the canonical order whenever MaxTransitions is set, so a bounded
+	// run truncates at the same transition regardless of Workers.
 	Workers int
+
+	// ParallelThreshold is the Cartesian-product size above which
+	// system-state invariant checking fans out across the worker pool;
+	// below it the dispatch overhead dominates any gain. Zero means the
+	// default of 64.
+	ParallelThreshold int
+
+	// RoundDeliveryCap bounds the message-handler executions each node
+	// performs per exploration round. Late rounds can deliver thousands of
+	// I+ entries across a six-figure visited list; uncapped, one such round
+	// monopolizes the whole wall-clock budget while every deferred
+	// invariant check waits at the round barrier — and a budget-bounded run
+	// then stops having explored much and checked nothing. The cap splits
+	// giant rounds into bounded slices (each entry resumes from its Applied
+	// prefix next round), so checks run at bounded intervals just as they
+	// do in the inline sequential formulation. The boundary is structural —
+	// a fixed execution count, never wall time — so results stay identical
+	// for every worker count. Zero means the default of 8192; negative
+	// disables the cap.
+	RoundDeliveryCap int
 
 	// RecordSeries collects per-round progress samples (Figures 10–13).
 	RecordSeries bool
@@ -128,6 +155,15 @@ const (
 	DefaultMaxPathsPerNode      = 512
 	DefaultMaxSequencesPerCheck = 1 << 14
 	DefaultMaxPredecessors      = 64
+
+	// DefaultParallelThreshold is the Options.ParallelThreshold default: the
+	// combination count above which system-state checking fans out.
+	DefaultParallelThreshold = 64
+
+	// DefaultRoundDeliveryCap is the Options.RoundDeliveryCap default:
+	// per-node message deliveries per round before the round barrier (and
+	// its deferred checks) must run.
+	DefaultRoundDeliveryCap = 8192
 
 	// witnessPairPathCap bounds the alternate paths tried per member of the
 	// conflicting pair during a witness search; witnessCompletionPathCap

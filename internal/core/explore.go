@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"runtime"
 	"time"
 
 	"lmc/internal/codec"
@@ -18,7 +19,7 @@ type checker struct {
 	start model.SystemState
 
 	spaces []*space
-	net    *netstate.Shared
+	net    *netstate.SharedNet
 
 	// initialNet lists message fingerprints available before any event
 	// executes (Options.InitialMessages); soundness verification seeds its
@@ -30,6 +31,13 @@ type checker struct {
 	begin      time.Time
 	deadline   time.Time
 	localBound int
+
+	// workers is the resolved worker-pool size (>= 1); parThreshold the
+	// resolved Options.ParallelThreshold; roundCap the resolved
+	// Options.RoundDeliveryCap (0 = uncapped).
+	workers      int
+	parThreshold int
+	roundCap     int
 
 	// keyer is non-nil when the reduction supports canonical interest keys
 	// (the grouped LMC-OPT path).
@@ -53,8 +61,23 @@ type checker struct {
 	stopped        bool // a stop criterion (budget/transitions/first-bug) fired
 	passSuppressed bool // the local bound suppressed an action this pass
 	// localExecuted counts internal-action handler executions per node in
-	// the current pass, charged against localBound.
+	// the current pass, charged against localBound. During a parallel phase
+	// each slot is owned by its node's worker.
 	localExecuted []int
+}
+
+// resolveWorkers maps Options.Workers to a concrete pool size: negative
+// forces sequential (one worker), zero auto-detects the CPU count, positive
+// is used as-is.
+func resolveWorkers(w int) int {
+	switch {
+	case w < 0:
+		return 1
+	case w == 0:
+		return runtime.NumCPU()
+	default:
+		return w
+	}
 }
 
 // Check runs the local model checker on machine m from the given start
@@ -81,6 +104,17 @@ func Check(m model.Machine, start model.SystemState, opt Options) *Result {
 		verdicts:  make(map[codec.Fingerprint]bool),
 		reported:  make(map[codec.Fingerprint]bool),
 		witnessed: make(map[witnessKey]struct{}),
+	}
+	c.workers = resolveWorkers(opt.Workers)
+	c.parThreshold = opt.ParallelThreshold
+	if c.parThreshold <= 0 {
+		c.parThreshold = DefaultParallelThreshold
+	}
+	switch {
+	case opt.RoundDeliveryCap > 0:
+		c.roundCap = opt.RoundDeliveryCap
+	case opt.RoundDeliveryCap == 0:
+		c.roundCap = DefaultRoundDeliveryCap
 	}
 	if k, ok := opt.Reduction.(spec.Keyer); ok {
 		c.keyer = k
@@ -120,9 +154,19 @@ func Check(m model.Machine, start model.SystemState, opt Options) *Result {
 // pass explores to a fixpoint under the current local bound, starting from
 // scratch (fresh LS sets and fresh I+). It reports whether the fixpoint was
 // reached (as opposed to a stop criterion firing).
+//
+// Each round runs in two phases — internal events, then network events —
+// and each phase fans every node's share out to its own worker goroutine
+// (the per-node exploration is independent: a worker touches only its own
+// LS set and, in the delivery phase, the Applied counters of its own
+// inbound entries, reading the network through an immutable epoch
+// snapshot). Workers buffer emissions and discoveries; the round barrier
+// merges them into I+ in the canonical sequential order and then runs the
+// deferred invariant checks against virtual-time prefix views, so results
+// are bit-for-bit identical for every worker count.
 func (c *checker) pass() bool {
 	c.passSuppressed = false
-	c.net = netstate.NewShared(c.opt.DupLimit)
+	c.net = netstate.NewSharedNet(c.opt.DupLimit)
 	c.localExecuted = make([]int, c.m.NumNodes())
 	c.spaces = make([]*space, c.m.NumNodes())
 	for n := range c.spaces {
@@ -158,49 +202,31 @@ func (c *checker) pass() bool {
 	// The start system state itself is checked once, before exploration.
 	c.checkStartState()
 
+	// Exploration phases fan out only when the transition budget is
+	// unbounded: a MaxTransitions cap must be charged in the canonical
+	// sequential order so a bounded run cuts off at the same transition for
+	// every worker count.
+	parallel := c.workers >= 2 && c.m.NumNodes() >= 2 && c.opt.MaxTransitions <= 0
+
 	for !c.stopped {
 		progress := false
 
 		// Internal events: execute the enabled actions of every node state
 		// that has not been processed yet (new states from the previous
 		// round included).
-		for n := range c.spaces {
-			list := c.spaces[n].states
-			for i := 0; i < len(list); i++ { // list may grow while iterating
-				list = c.spaces[n].states
-				ns := list[i]
-				if ns.actionsDone || c.stopped {
-					continue
-				}
-				ns.actionsDone = true
-				if c.opt.MaxPathDepth > 0 && ns.depth >= c.opt.MaxPathDepth {
-					continue
-				}
-				if c.runActions(ns) {
-					progress = true
-				}
-			}
+		runsA := c.runActionPhase(parallel)
+		if c.mergeActionPhase(runsA) {
+			progress = true
 		}
 
 		// Network events (lines 6 and 8 of Figure 9): each message in I+ is
 		// executed on every visited state of its destination node; the
 		// Applied counter skips states already covered in earlier rounds.
-		// Messages appended during this round are picked up next round
-		// (snapshot of the entry count), matching the paper's rounds.
-		numEntries := c.net.Len()
-		for i := 0; i < numEntries && !c.stopped; i++ {
-			e := c.net.Entry(i)
-			dst := int(e.Msg.Dst())
-			if dst < 0 || dst >= len(c.spaces) {
-				continue
-			}
-			destList := c.spaces[dst].states
-			limit := len(destList)
-			for j := e.Applied; j < limit && !c.stopped; j++ {
-				c.deliver(e, destList[j])
-			}
-			if e.Applied < limit {
-				e.Applied = limit
+		// Messages appended during this round are picked up next round (the
+		// epoch snapshot), matching the paper's rounds.
+		if !c.stopped {
+			runsB := c.runDeliveryPhase(parallel)
+			if c.mergeDeliveryPhase(runsB) {
 				progress = true
 			}
 		}
@@ -218,14 +244,15 @@ func (c *checker) pass() bool {
 
 // drainPending runs deferred witness searches: all of them when force is
 // set (the exploration fixpoint), otherwise only while the soundness share
-// allows.
+// allows. Deferred searches resolve their candidate lists at run time (nil
+// view), so they see everything visited by then.
 func (c *checker) drainPending(force bool) {
 	for c.pending.Len() > 0 && !c.stopped {
 		if !force && c.soundnessShareExceeded() {
 			return
 		}
 		p := heap.Pop(&c.pending).(pendingSearch)
-		c.searchWitness(p.ns, p.node, p.group, true)
+		c.searchWitness(p.ns, p.node, p.group, true, nil)
 	}
 }
 
@@ -244,127 +271,6 @@ func (c *checker) soundnessShareExceeded() bool {
 		return false
 	}
 	return float64(spent) > share*float64(time.Since(c.begin))
-}
-
-// deliver executes message entry e's handler on node state s, unless the
-// message is already in s's history.
-func (c *checker) deliver(e *netstate.Entry, s *nodeState) {
-	if c.opt.MaxPathDepth > 0 && s.depth >= c.opt.MaxPathDepth {
-		return
-	}
-	evfp := e.EventFingerprint()
-	if s.history.contains(evfp) {
-		return
-	}
-	if !c.chargeTransition() {
-		return
-	}
-	next, emitted := c.m.HandleMessage(s.node, s.state.Clone(), e.Msg)
-	if next == nil {
-		c.res.Stats.Rejections++
-		return
-	}
-	ev := model.RecvEvent(e.Msg)
-	c.addNext(s, ev, evfp, next, emitted, e.FP)
-}
-
-// runActions executes the internal actions enabled at s, subject to the
-// per-node, per-pass local-event budget of §4.2. It reports whether any
-// handler ran.
-func (c *checker) runActions(s *nodeState) bool {
-	acts := c.m.Actions(s.node, s.state)
-	if len(acts) == 0 {
-		return false
-	}
-	ran := false
-	for _, a := range acts {
-		if c.stopped {
-			break
-		}
-		if c.localExecuted[s.node] >= c.localBound {
-			s.suppressed = true
-			c.passSuppressed = true
-			break
-		}
-		if !c.chargeTransition() {
-			break
-		}
-		c.localExecuted[s.node]++
-		next, emitted := c.m.HandleAction(s.node, s.state.Clone(), a)
-		ran = true
-		if next == nil {
-			c.res.Stats.Rejections++
-			continue
-		}
-		ev := model.ActEvent(a)
-		c.addNext(s, ev, 0, next, emitted, 0)
-	}
-	return ran
-}
-
-// addNext is Procedure addNextState of Figure 9: add the generated messages
-// to I+, add the successor to LSn if new, and record the predecessor edge.
-// historyFP is the delivery-event fingerprint for network events (zero for
-// internal events); msgFP is the consumed message's content fingerprint.
-func (c *checker) addNext(prev *nodeState, ev model.Event, historyFP codec.Fingerprint,
-	next model.State, emitted []model.Message, msgFP codec.Fingerprint) {
-
-	generated := make([]codec.Fingerprint, len(emitted))
-	for i, m := range emitted {
-		generated[i] = model.MessageFingerprint(m)
-	}
-	added := c.net.AddAll(emitted)
-	c.res.Stats.DuplicatesDropped += len(emitted) - len(added)
-
-	fp := model.StateFingerprint(next)
-	sp := c.spaces[prev.node]
-	edge := pred{
-		prev:      prev,
-		kind:      ev.Kind,
-		event:     ev,
-		eventFP:   ev.Fingerprint(),
-		msgFP:     msgFP,
-		generated: generated,
-	}
-
-	if existing := sp.lookup(fp); existing != nil {
-		// The state exists: only a predecessor pointer is added (the paper
-		// keeps all immediate predecessors). The history rule (i) of §4.2
-		// is deliberately not applied to existing states, matching the
-		// paper's simplification.
-		c.addPred(existing, edge)
-		return
-	}
-
-	ns := &nodeState{
-		node:    prev.node,
-		state:   next,
-		fp:      fp,
-		depth:   prev.depth + 1,
-		history: prev.history,
-		preds:   []pred{edge},
-	}
-	if ev.Kind == model.NetworkEvent {
-		ns.history = &historyNode{parent: prev.history, fp: historyFP}
-	}
-	ns.gen = prev.gen
-	if len(generated) > 0 {
-		ns.gen = &genNode{parent: prev.gen, fps: generated}
-	}
-	c.project(ns)
-	sp.add(ns)
-	if c.keyer != nil {
-		sp.classify(ns, c.keyer)
-	}
-	c.res.Stats.NodeStates++
-	if ns.depth > c.res.Stats.MaxDepth {
-		c.res.Stats.MaxDepth = ns.depth
-	}
-
-	c.checkLocalInvariants(ns)
-	if !c.stopped {
-		c.checkNewState(ns)
-	}
 }
 
 // addPred appends a predecessor edge unless it duplicates an existing one
@@ -390,8 +296,8 @@ func (c *checker) project(ns *nodeState) {
 }
 
 // chargeTransition accounts for one handler execution and evaluates the
-// global stop criteria. It returns false when the execution must not
-// proceed.
+// global stop criteria in canonical (sequential) exploration mode. It
+// returns false when the execution must not proceed.
 func (c *checker) chargeTransition() bool {
 	if c.stopped {
 		return false
@@ -414,7 +320,7 @@ func (c *checker) chargeTransition() bool {
 // verification — the node state must be reachable in a real run, and the
 // messages its path consumed must be generated by some completion of the
 // other nodes — via the same lazy witness search system violations use.
-func (c *checker) checkLocalInvariants(ns *nodeState) {
+func (c *checker) checkLocalInvariants(ns *nodeState, view []int) {
 	for _, li := range c.opt.LocalInvariants {
 		msg := li.CheckNode(ns.node, ns.state)
 		if msg == "" {
@@ -425,7 +331,7 @@ func (c *checker) checkLocalInvariants(ns *nodeState) {
 			Invariant: li.Name(),
 			Detail:    "node " + ns.node.String() + ": " + msg,
 		}
-		c.confirmLocalViolation(ns, v)
+		c.confirmLocalViolation(ns, v, view)
 		if c.stopped {
 			return
 		}

@@ -33,17 +33,121 @@ func TestGenOptExploreSameNodeStates(t *testing.T) {
 	}
 }
 
-// TestWorkersParity: parallel system-state checking is an implementation
-// detail — counts must match the sequential run.
+// TestWorkersParity: the worker pool is an implementation detail — every
+// worker count must produce bit-for-bit identical results: the same bugs,
+// in the same order, with the same system states, and identical
+// deterministic counters. SoundnessShare is disabled in every case because
+// time-based deferral is the one intentionally wall-clock-dependent knob.
 func TestWorkersParity(t *testing.T) {
-	m, start := paxosSpace()
-	seq := Check(m, start, Options{Invariant: paxos.Agreement()})
-	par := Check(m, start, Options{Invariant: paxos.Agreement(), Workers: 4})
-	if seq.Stats.SystemStates != par.Stats.SystemStates ||
-		seq.Stats.NodeStates != par.Stats.NodeStates ||
-		seq.Stats.PreliminaryViolations != par.Stats.PreliminaryViolations {
-		t.Fatalf("parallel run diverged:\nseq: %s\npar: %s",
-			seq.Stats.String(), par.Stats.String())
+	treeInflight := tree.NewPaperTree()
+	cases := []struct {
+		name string
+		m    model.Machine
+		opt  Options
+	}{
+		{
+			name: "paxos-gen",
+			m:    paxos.New(3, paxos.NoBug, paxos.OnceAt{Node: 0, Index: 0, Value: 7}),
+			opt:  Options{Invariant: paxos.Agreement(), SoundnessShare: -1},
+		},
+		{
+			name: "paxos-opt",
+			m:    paxos.New(3, paxos.NoBug, paxos.OnceAt{Node: 0, Index: 0, Value: 7}),
+			opt: Options{Invariant: paxos.Agreement(), Reduction: paxos.Reduction{},
+				SoundnessShare: -1},
+		},
+		{
+			// A bug-bearing space: exercises preliminary violations, the
+			// speculative confirmation batch, and Bug ordering.
+			name: "twophase-majority",
+			m:    twophase.New(4, twophase.MajorityBug, 2),
+			opt:  Options{Invariant: twophase.Atomicity(), SoundnessShare: -1},
+		},
+		{
+			// Local invariants + seeded in-flight messages: exercises the
+			// deferred local-invariant checks and witness searches.
+			name: "tree-inflight",
+			m:    treeInflight,
+			opt: Options{
+				Invariant: treeInflight.CausalityInvariant(),
+				InitialMessages: []model.Message{
+					tree.Forward{From: 0, To: 1},
+					tree.Forward{From: 0, To: 2},
+				},
+				SoundnessShare: -1,
+			},
+		},
+		{
+			// A transition cap forces canonical charge order; the pool must
+			// still agree bit-for-bit at the cutoff.
+			name: "paxos-gen-capped",
+			m:    paxos.New(3, paxos.NoBug, paxos.OnceAt{Node: 0, Index: 0, Value: 7}),
+			opt: Options{Invariant: paxos.Agreement(), MaxTransitions: 500,
+				SoundnessShare: -1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			start := model.InitialSystem(tc.m)
+			run := func(workers int) *Result {
+				o := tc.opt
+				o.Workers = workers
+				return Check(tc.m, start, o)
+			}
+			base := run(-1) // forced sequential reference
+			for _, w := range []int{0, 1, 4, 8} {
+				got := run(w)
+				assertSameResult(t, w, base, got)
+			}
+		})
+	}
+}
+
+// assertSameResult fails the test if two runs differ in any deterministic
+// counter or in their confirmed bug list.
+func assertSameResult(t *testing.T, workers int, base, got *Result) {
+	t.Helper()
+	b, g := base.Stats, got.Stats
+	if b.SystemStates != g.SystemStates ||
+		b.InvariantChecks != g.InvariantChecks ||
+		b.NodeStates != g.NodeStates ||
+		b.Transitions != g.Transitions ||
+		b.PreliminaryViolations != g.PreliminaryViolations ||
+		b.SoundnessCalls != g.SoundnessCalls ||
+		b.SequencesChecked != g.SequencesChecked ||
+		b.ConfirmedBugs != g.ConfirmedBugs ||
+		b.DuplicatesDropped != g.DuplicatesDropped {
+		t.Fatalf("workers=%d diverged from sequential:\nseq: %s\ngot: %s",
+			workers, b.String(), g.String())
+	}
+	if base.Complete != got.Complete {
+		t.Fatalf("workers=%d completeness diverged: seq=%v got=%v",
+			workers, base.Complete, got.Complete)
+	}
+	if len(base.Bugs) != len(got.Bugs) {
+		t.Fatalf("workers=%d bug count diverged: seq=%d got=%d",
+			workers, len(base.Bugs), len(got.Bugs))
+	}
+	for i := range base.Bugs {
+		bb, gb := base.Bugs[i], got.Bugs[i]
+		if bb.Violation.Invariant != gb.Violation.Invariant ||
+			bb.Violation.Detail != gb.Violation.Detail {
+			t.Fatalf("workers=%d bug %d violation diverged:\nseq: %s %s\ngot: %s %s",
+				workers, i, bb.Violation.Invariant, bb.Violation.Detail,
+				gb.Violation.Invariant, gb.Violation.Detail)
+		}
+		if bb.Depth != gb.Depth {
+			t.Fatalf("workers=%d bug %d depth diverged: seq=%d got=%d",
+				workers, i, bb.Depth, gb.Depth)
+		}
+		if bb.System.Fingerprint() != gb.System.Fingerprint() {
+			t.Fatalf("workers=%d bug %d system state diverged:\nseq: %s\ngot: %s",
+				workers, i, bb.System.String(), gb.System.String())
+		}
+		if len(bb.Schedule) != len(gb.Schedule) {
+			t.Fatalf("workers=%d bug %d schedule length diverged: seq=%d got=%d",
+				workers, i, len(bb.Schedule), len(gb.Schedule))
+		}
 	}
 }
 

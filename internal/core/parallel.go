@@ -1,0 +1,564 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+	"lmc/internal/netstate"
+)
+
+// nodeRun is one node's share of one exploration phase, accumulated
+// privately by its worker goroutine and merged at the round barrier. A
+// worker touches only its own LS set (states, history chains, predecessor
+// edges), its own localExecuted slot, and — in the delivery phase — the
+// Applied counters of entries destined to its node, so phase workers never
+// contend; everything that must interleave deterministically (network
+// appends, stats, invariant checks) is buffered here and replayed at the
+// barrier in the canonical sequential order.
+type nodeRun struct {
+	c    *checker
+	node int
+
+	// halt is the shared cross-worker stop flag of a parallel phase (only
+	// the wall-clock deadline can raise it mid-phase); nil in canonical
+	// mode, where the checker's global stop criteria apply directly.
+	halt *atomic.Bool
+
+	// emits are the emission batches in execution order; news the node
+	// states discovered this phase, in discovery order. entry tags carry
+	// the producing network-entry index in the delivery phase (-1 for
+	// internal events), which is what the barrier sorts by.
+	emits []emitBatch
+	news  []discovery
+
+	// Stats deltas, merged into Result.Stats at the barrier. transitions
+	// stays zero in canonical mode (chargeTransition charges the global
+	// counter directly there).
+	transitions int
+	rejections  int
+	maxDepth    int
+
+	ran        bool // an action handler executed (phase A progress)
+	advanced   bool // an Applied prefix advanced (phase B progress)
+	suppressed bool // the local bound suppressed an action
+
+	// delivered counts this node's message-handler executions this round,
+	// against the checker's round delivery cap.
+	delivered int
+
+	deadlineTick int
+}
+
+// capped reports whether this node has exhausted its per-round delivery
+// budget; the sweep pauses and resumes from the Applied prefixes next round.
+func (r *nodeRun) capped() bool {
+	return r.c.roundCap > 0 && r.delivered >= r.c.roundCap
+}
+
+// emitBatch is one handler execution's emitted messages.
+type emitBatch struct {
+	entry int // producing network-entry index; -1 for internal events
+	msgs  []model.Message
+}
+
+// discovery is one newly visited node state awaiting its deferred
+// invariant checks.
+type discovery struct {
+	ns    *nodeState
+	entry int // producing network-entry index; -1 for internal events
+}
+
+// halted reports whether the phase must stop promptly: the shared halt flag
+// in parallel mode, the checker's stop flag in canonical mode.
+func (r *nodeRun) halted() bool {
+	if r.halt != nil {
+		return r.halt.Load()
+	}
+	return r.c.stopped
+}
+
+// charge accounts for one handler execution. Canonical mode charges the
+// global counters so MaxTransitions truncates exactly like a sequential
+// run; parallel mode (only entered with MaxTransitions unset) counts
+// locally and polls the wall-clock deadline.
+func (r *nodeRun) charge() bool {
+	if r.halt == nil {
+		return r.c.chargeTransition()
+	}
+	if r.halt.Load() {
+		return false
+	}
+	r.deadlineTick++
+	if r.deadlineTick&63 == 0 && !r.c.deadline.IsZero() && time.Now().After(r.c.deadline) {
+		r.halt.Store(true)
+		return false
+	}
+	r.transitions++
+	return true
+}
+
+// sweepActions is the internal-events sweep of one node: execute the
+// enabled actions of every unprocessed state, including states discovered
+// during the sweep itself (the list grows while iterating).
+func (r *nodeRun) sweepActions() {
+	c := r.c
+	sp := c.spaces[r.node]
+	for i := 0; i < len(sp.states); i++ {
+		ns := sp.states[i]
+		if ns.actionsDone || r.halted() {
+			continue
+		}
+		ns.actionsDone = true
+		if c.opt.MaxPathDepth > 0 && ns.depth >= c.opt.MaxPathDepth {
+			continue
+		}
+		if r.runActions(ns) {
+			r.ran = true
+		}
+	}
+}
+
+// runActions executes the internal actions enabled at s, subject to the
+// per-node, per-pass local-event budget of §4.2. It reports whether any
+// handler ran.
+func (r *nodeRun) runActions(s *nodeState) bool {
+	c := r.c
+	acts := c.m.Actions(s.node, s.state)
+	if len(acts) == 0 {
+		return false
+	}
+	ran := false
+	for _, a := range acts {
+		if r.halted() {
+			break
+		}
+		if c.localExecuted[s.node] >= c.localBound {
+			s.suppressed = true
+			r.suppressed = true
+			break
+		}
+		if !r.charge() {
+			break
+		}
+		c.localExecuted[s.node]++
+		next, emitted := c.m.HandleAction(s.node, s.state.Clone(), a)
+		ran = true
+		if next == nil {
+			r.rejections++
+			continue
+		}
+		r.addNext(s, model.ActEvent(a), 0, next, emitted, 0, -1)
+	}
+	return ran
+}
+
+// sweepDeliveries is the network-events sweep of one node: every epoch
+// entry destined here executes on every visited state past its Applied
+// prefix. Entries are processed in index order, so the per-node buffers
+// come out pre-sorted by entry tag.
+func (r *nodeRun) sweepDeliveries(ep netstate.Epoch) {
+	c := r.c
+	sp := c.spaces[r.node]
+	for i := 0; i < ep.Len(); i++ {
+		if r.halted() || r.capped() {
+			return
+		}
+		e := ep.Entry(i)
+		if int(e.Msg.Dst()) != r.node {
+			continue
+		}
+		r.deliverEntry(e, i, sp)
+	}
+}
+
+// deliverEntry executes one entry on every uncovered state of its
+// destination node and advances the Applied prefix. A delivery-cap pause
+// records the exact resume position; a halt (stop criterion) covers the
+// whole prefix like the sequential algorithm, whose pass ends there anyway.
+func (r *nodeRun) deliverEntry(e *netstate.Entry, i int, sp *space) {
+	limit := len(sp.states)
+	j := e.Applied
+	for ; j < limit; j++ {
+		if r.halted() {
+			break
+		}
+		if r.capped() {
+			if j > e.Applied {
+				e.Applied = j
+				r.advanced = true
+			}
+			return
+		}
+		r.deliver(e, sp.states[j], i)
+	}
+	if e.Applied < limit {
+		e.Applied = limit
+		r.advanced = true
+	}
+}
+
+// deliver executes message entry e's handler on node state s, unless the
+// message is already in s's history.
+func (r *nodeRun) deliver(e *netstate.Entry, s *nodeState, entry int) {
+	c := r.c
+	if c.opt.MaxPathDepth > 0 && s.depth >= c.opt.MaxPathDepth {
+		return
+	}
+	evfp := e.EventFingerprint()
+	if s.history.contains(evfp) {
+		return
+	}
+	if !r.charge() {
+		return
+	}
+	r.delivered++
+	next, emitted := c.m.HandleMessage(s.node, s.state.Clone(), e.Msg)
+	if next == nil {
+		r.rejections++
+		return
+	}
+	r.addNext(s, model.RecvEvent(e.Msg), evfp, next, emitted, e.FP, entry)
+}
+
+// addNext is Procedure addNextState of Figure 9, split around the round
+// barrier: the successor joins LSn (and records its predecessor edge)
+// immediately — the worker owns its node's space — while the generated
+// messages and the deferred invariant checks are buffered for the barrier.
+// historyFP is the delivery-event fingerprint for network events (zero for
+// internal events); msgFP the consumed message's content fingerprint;
+// entry the producing network-entry index (-1 for internal events).
+func (r *nodeRun) addNext(prev *nodeState, ev model.Event, historyFP codec.Fingerprint,
+	next model.State, emitted []model.Message, msgFP codec.Fingerprint, entry int) {
+
+	c := r.c
+	generated := make([]codec.Fingerprint, len(emitted))
+	for i, m := range emitted {
+		generated[i] = model.MessageFingerprint(m)
+	}
+	if len(emitted) > 0 {
+		r.emits = append(r.emits, emitBatch{entry: entry, msgs: emitted})
+	}
+
+	fp := model.StateFingerprint(next)
+	sp := c.spaces[prev.node]
+	edge := pred{
+		prev:      prev,
+		kind:      ev.Kind,
+		event:     ev,
+		eventFP:   ev.Fingerprint(),
+		msgFP:     msgFP,
+		generated: generated,
+	}
+
+	if existing := sp.lookup(fp); existing != nil {
+		// The state exists: only a predecessor pointer is added (the paper
+		// keeps all immediate predecessors). The history rule (i) of §4.2
+		// is deliberately not applied to existing states, matching the
+		// paper's simplification.
+		c.addPred(existing, edge)
+		return
+	}
+
+	ns := &nodeState{
+		node:    prev.node,
+		state:   next,
+		fp:      fp,
+		depth:   prev.depth + 1,
+		history: prev.history,
+		preds:   []pred{edge},
+	}
+	if ev.Kind == model.NetworkEvent {
+		ns.history = &historyNode{parent: prev.history, fp: historyFP}
+	}
+	ns.gen = prev.gen
+	if len(generated) > 0 {
+		ns.gen = &genNode{parent: prev.gen, fps: generated}
+	}
+	c.project(ns)
+	sp.add(ns)
+	if c.keyer != nil {
+		sp.classify(ns, c.keyer)
+	}
+	if ns.depth > r.maxDepth {
+		r.maxDepth = ns.depth
+	}
+	r.news = append(r.news, discovery{ns: ns, entry: entry})
+}
+
+// runActionPhase executes the internal-events half of a round. In parallel
+// mode every node sweeps on its own worker; in canonical mode the sweeps
+// run inline in node order, exactly like the sequential algorithm.
+func (c *checker) runActionPhase(parallel bool) []*nodeRun {
+	runs := c.newRuns(parallel)
+	if !parallel {
+		for _, r := range runs {
+			if c.stopped {
+				break
+			}
+			r.sweepActions()
+		}
+		return runs
+	}
+	c.eachRunParallel(runs, func(r *nodeRun) { r.sweepActions() })
+	return runs
+}
+
+// runDeliveryPhase executes the network-events half of a round against one
+// epoch snapshot. Parallel mode partitions entries by destination across
+// node workers; canonical mode interleaves entries in index order — the
+// exact sequential charging order, which matters when MaxTransitions
+// truncates mid-phase.
+func (c *checker) runDeliveryPhase(parallel bool) []*nodeRun {
+	ep := c.net.Epoch()
+	runs := c.newRuns(parallel)
+	if !parallel {
+		for i := 0; i < ep.Len() && !c.stopped; i++ {
+			e := ep.Entry(i)
+			dst := int(e.Msg.Dst())
+			if dst < 0 || dst >= len(runs) || runs[dst].capped() {
+				continue
+			}
+			runs[dst].deliverEntry(e, i, c.spaces[dst])
+		}
+		return runs
+	}
+	c.eachRunParallel(runs, func(r *nodeRun) { r.sweepDeliveries(ep) })
+	return runs
+}
+
+// newRuns allocates the per-node runs for one phase; parallel runs share a
+// halt flag.
+func (c *checker) newRuns(parallel bool) []*nodeRun {
+	var halt *atomic.Bool
+	if parallel {
+		halt = new(atomic.Bool)
+	}
+	runs := make([]*nodeRun, len(c.spaces))
+	for n := range runs {
+		runs[n] = &nodeRun{c: c, node: n, halt: halt}
+	}
+	return runs
+}
+
+// eachRunParallel fans the per-node work out across the worker pool and
+// waits for the phase barrier. A deadline halt raised by any worker stops
+// the whole run.
+func (c *checker) eachRunParallel(runs []*nodeRun, work func(*nodeRun)) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.workers)
+	for _, r := range runs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(r *nodeRun) {
+			defer wg.Done()
+			work(r)
+			<-sem
+		}(r)
+	}
+	wg.Wait()
+	if len(runs) > 0 && runs[0].halt != nil && runs[0].halt.Load() {
+		c.stopped = true
+	}
+}
+
+// absorbRun folds one run's stats deltas into the result.
+func (c *checker) absorbRun(r *nodeRun) {
+	c.res.Stats.Transitions += r.transitions
+	c.res.Stats.Rejections += r.rejections
+	c.res.Stats.NodeStates += len(r.news)
+	if r.maxDepth > c.res.Stats.MaxDepth {
+		c.res.Stats.MaxDepth = r.maxDepth
+	}
+	if r.suppressed {
+		c.passSuppressed = true
+	}
+}
+
+// mergeActionPhase is the barrier after the internal-events phase:
+// emissions enter I+ in node order — the order the sequential sweep
+// produces them, so entry indexes and duplicate drops are identical for
+// every worker count — and the deferred checks run in the same canonical
+// order. A discovery by node n is checked against the prefix view in which
+// nodes k < n have finished their sweeps and nodes k > n have not, which is
+// exactly what the sequential interleaving exposes at that moment.
+func (c *checker) mergeActionPhase(runs []*nodeRun) bool {
+	progress := false
+	for _, r := range runs {
+		for _, b := range r.emits {
+			added := c.net.AddAll(b.msgs)
+			c.res.Stats.DuplicatesDropped += len(b.msgs) - len(added)
+		}
+		c.absorbRun(r)
+		if r.ran {
+			progress = true
+		}
+	}
+
+	pre := c.phaseStarts(runs)
+	defer c.suspendStop()()
+	for n, r := range runs {
+		if len(r.news) == 0 {
+			continue
+		}
+		view := make([]int, len(runs))
+		for k := range view {
+			view[k] = pre[k]
+			if k <= n {
+				view[k] += len(runs[k].news)
+			}
+		}
+		for _, d := range r.news {
+			if c.stopped {
+				return progress
+			}
+			c.checkDiscovery(d.ns, view)
+		}
+	}
+	return progress
+}
+
+// suspendStop prepares the barrier's deferred checks to run after an
+// exploration stop (transition cap or deadline) fired mid-phase: in the
+// sequential algorithm every discovery is charged before the cap and
+// checked immediately, so its checks always start un-stopped. The stop flag
+// is cleared for the duration of the checks and re-asserted by the returned
+// restore func; a stop raised by the checks themselves (a confirmed
+// first bug, or the deadline observed inside a check) still halts the
+// remaining checks through c.stopped as usual.
+func (c *checker) suspendStop() func() {
+	explorationStopped := c.stopped
+	c.stopped = false
+	return func() {
+		if explorationStopped {
+			c.stopped = true
+		}
+	}
+}
+
+// mergeDeliveryPhase is the barrier after the network-events phase. The
+// sequential sweep interleaves nodes entry by entry, so both the emissions
+// and the deferred checks are replayed in ascending entry order (within an
+// entry, per-node execution order is already correct; entries have a single
+// destination, so cross-node ties cannot occur). The prefix view of a
+// discovery from entry i exposes every node's discoveries from entries
+// before i and nothing later.
+func (c *checker) mergeDeliveryPhase(runs []*nodeRun) bool {
+	progress := false
+	for _, r := range runs {
+		c.absorbRun(r)
+		if r.advanced {
+			progress = true
+		}
+	}
+
+	// Emissions, ascending by producing entry.
+	var emits []emitBatch
+	for _, r := range runs {
+		emits = append(emits, r.emits...)
+	}
+	sort.SliceStable(emits, func(i, j int) bool { return emits[i].entry < emits[j].entry })
+	for _, b := range emits {
+		added := c.net.AddAll(b.msgs)
+		c.res.Stats.DuplicatesDropped += len(b.msgs) - len(added)
+	}
+
+	// Discoveries, ascending by producing entry, checked group-by-group
+	// with running per-node counts: a check for a discovery from entry i
+	// sees all discoveries from entries i' < i.
+	type tagged struct {
+		discovery
+		node int
+	}
+	var all []tagged
+	for n, r := range runs {
+		for _, d := range r.news {
+			all = append(all, tagged{discovery: d, node: n})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].entry < all[j].entry })
+
+	pre := c.phaseStarts(runs)
+	counts := make([]int, len(runs))
+	defer c.suspendStop()()
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].entry == all[i].entry {
+			j++
+		}
+		view := make([]int, len(runs))
+		for k := range view {
+			view[k] = pre[k] + counts[k]
+		}
+		// The group's own discoveries are all on one node, whose list never
+		// participates in its own checks; expose it fully for uniformity.
+		view[all[i].node] += j - i
+		for g := i; g < j; g++ {
+			if c.stopped {
+				return progress
+			}
+			c.checkDiscovery(all[g].ns, view)
+		}
+		counts[all[i].node] += j - i
+		i = j
+	}
+	return progress
+}
+
+// phaseStarts recovers each node's visited-list length at phase start from
+// the current length minus this phase's discoveries.
+func (c *checker) phaseStarts(runs []*nodeRun) []int {
+	pre := make([]int, len(runs))
+	for n, r := range runs {
+		pre[n] = len(c.spaces[n].states) - len(r.news)
+	}
+	return pre
+}
+
+// checkDiscovery runs the deferred per-discovery checks in their canonical
+// order: node-local invariants first, then the system-state combination
+// check, both against the discovery's virtual-time prefix view.
+func (c *checker) checkDiscovery(ns *nodeState, view []int) {
+	c.checkLocalInvariants(ns, view)
+	if !c.stopped {
+		c.checkNewState(ns, view)
+	}
+}
+
+// runParallel runs fn(0..n-1) across the worker pool and waits for all of
+// them. Work items must be independent; callers use it for pure
+// precomputation whose results are merged in canonical order afterwards.
+func (c *checker) runParallel(n int, fn func(int)) {
+	if n == 0 {
+		return
+	}
+	workers := c.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -15,13 +15,15 @@ import (
 // counterexample witness.
 func (c *checker) isStateSound(combo []*nodeState) (bool, trace.Schedule) {
 	budget := c.opt.MaxSequencesPerCheck
-	return c.isStateSoundBudget(combo, &budget)
+	return c.isStateSoundBudget(combo, &budget, &c.res.Stats.SequencesChecked)
 }
 
 // isStateSoundBudget is isStateSound with an externally shared sequence
 // budget, so one witness search can spread its allowance across many
-// candidate combinations.
-func (c *checker) isStateSoundBudget(combo []*nodeState, budget *int) (bool, trace.Schedule) {
+// candidate combinations. Checked sequences are counted into seqs rather
+// than the result stats directly, so speculative confirmations can run on
+// worker goroutines and merge their counts at the canonical point.
+func (c *checker) isStateSoundBudget(combo []*nodeState, budget *int, seqs *int) (bool, trace.Schedule) {
 	paths := make([][][]pred, len(combo))
 	for k, ns := range combo {
 		paths[k] = c.enumeratePaths(ns)
@@ -35,13 +37,13 @@ func (c *checker) isStateSoundBudget(combo []*nodeState, budget *int) (bool, tra
 	// budget (the exponential cost §5.2 identifies).
 	idx := make([]int, len(paths))
 	for {
-		seqs := make([][]pred, len(paths))
+		cand := make([][]pred, len(paths))
 		for k := range paths {
-			seqs[k] = paths[k][idx[k]]
+			cand[k] = paths[k][idx[k]]
 		}
 		*budget--
-		c.res.Stats.SequencesChecked++
-		if ok, sched := c.isSequenceValid(seqs); ok {
+		*seqs++
+		if ok, sched := c.isSequenceValid(cand); ok {
 			return true, sched
 		}
 		if *budget <= 0 {
@@ -142,8 +144,9 @@ func (c *checker) enumeratePathsCapped(ns *nodeState, maxPaths int) [][]pred {
 // witnessSequences validates one candidate witness combination: the two
 // conflicting pair members (indices pairA, pairB) contribute a capped set
 // of alternate paths; every completion node contributes only its creation
-// path. The shared budget caps the total sequence combinations tried.
-func (c *checker) witnessSequences(combo []*nodeState, pairA, pairB int, budget *int) (bool, trace.Schedule) {
+// path. The shared budget caps the total sequence combinations tried;
+// checked sequences are counted into seqs.
+func (c *checker) witnessSequences(combo []*nodeState, pairA, pairB int, budget *int, seqs *int) (bool, trace.Schedule) {
 	paths := make([][][]pred, len(combo))
 	for k, ns := range combo {
 		if k == pairA || k == pairB {
@@ -157,13 +160,13 @@ func (c *checker) witnessSequences(combo []*nodeState, pairA, pairB int, budget 
 	}
 	idx := make([]int, len(paths))
 	for {
-		seqs := make([][]pred, len(paths))
+		cand := make([][]pred, len(paths))
 		for k := range paths {
-			seqs[k] = paths[k][idx[k]]
+			cand[k] = paths[k][idx[k]]
 		}
 		*budget--
-		c.res.Stats.SequencesChecked++
-		if ok, sched := c.isSequenceValid(seqs); ok {
+		*seqs++
+		if ok, sched := c.isSequenceValid(cand); ok {
 			return true, sched
 		}
 		if *budget <= 0 {

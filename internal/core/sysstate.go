@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,10 +13,41 @@ import (
 	"lmc/internal/trace"
 )
 
-// parallelThreshold is the combination count above which system-state
-// invariant checking fans out to worker goroutines (when Options.Workers
-// allows it). Below it the dispatch overhead dominates any gain.
-const parallelThreshold = 64
+// viewStates is the visited-state list of node n as seen at a discovery's
+// virtual time. Deferred witness searches pass a nil view and see everything
+// visited by the time they run, matching the sequential algorithm's deferral
+// semantics.
+func (c *checker) viewStates(n int, view []int) []*nodeState {
+	sp := c.spaces[n]
+	if view == nil {
+		return sp.states
+	}
+	return sp.states[:view[n]]
+}
+
+// visibleMembers is the prefix of an interest group visible under view.
+// Members join in discovery order, so their seq numbers are ascending and
+// the visible prefix is found by binary search.
+func (c *checker) visibleMembers(g *interestGroup, n int, view []int) []*nodeState {
+	if view == nil {
+		return g.members
+	}
+	lim := view[n]
+	i := sort.Search(len(g.members), func(i int) bool { return g.members[i].seq >= lim })
+	return g.members[:i]
+}
+
+// comboFP fingerprints a combination without re-encoding any member state:
+// node-state fingerprints are memoized at discovery, and
+// model.SystemState.Fingerprint is the same order-sensitive combination of
+// member fingerprints.
+func comboFP(combo []*nodeState) codec.Fingerprint {
+	h := codec.NewHasher()
+	for _, ns := range combo {
+		h.Add(ns.fp)
+	}
+	return h.Sum()
+}
 
 // checkStartState evaluates the invariant once on the start system state
 // itself, before exploration.
@@ -37,7 +69,7 @@ func (c *checker) checkStartState() {
 	if v := c.opt.Invariant.Check(c.comboSystem(combo)); v != nil {
 		c.res.Stats.PreliminaryViolations++
 		// The start state is the live state of a real run: trivially sound.
-		fp := c.comboSystem(combo).Fingerprint()
+		fp := comboFP(combo)
 		if !c.reported[fp] {
 			c.reported[fp] = true
 			c.res.Stats.ConfirmedBugs++
@@ -57,8 +89,10 @@ func (c *checker) checkStartState() {
 // ns with already-visited states of the other nodes, and evaluate the
 // invariant on each. Combinations of previously visited states were checked
 // in earlier rounds, so fixing ns avoids revisiting system states (§4.2,
-// "System states").
-func (c *checker) checkNewState(ns *nodeState) {
+// "System states"). The other nodes' lists are taken at the discovery's
+// virtual-time view, so a deferred (round-barrier) check sees exactly the
+// states an inline sequential check would have seen.
+func (c *checker) checkNewState(ns *nodeState, view []int) {
 	if c.opt.Invariant == nil || c.opt.DisableSystemStates {
 		return
 	}
@@ -66,7 +100,7 @@ func (c *checker) checkNewState(ns *nodeState) {
 	defer func() { c.res.Stats.SystemStateTime += time.Since(t0) }()
 
 	if c.opt.Reduction != nil {
-		c.checkNewStateOpt(ns)
+		c.checkNewStateOpt(ns, view)
 		return
 	}
 
@@ -76,10 +110,10 @@ func (c *checker) checkNewState(ns *nodeState) {
 		if n == int(ns.node) {
 			lists[n] = []*nodeState{ns}
 		} else {
-			lists[n] = c.spaces[n].states
+			lists[n] = c.viewStates(n, view)
 		}
 	}
-	c.forEachCombo(lists, nil)
+	c.forEachCombo(lists)
 }
 
 // checkNewStateOpt is the invariant-specific system-state creation of
@@ -92,8 +126,11 @@ func (c *checker) checkNewState(ns *nodeState) {
 // interest key and conflicts are decided once per key profile — the shape
 // of the paper's Paxos mapping ("we map the node states to the values that
 // are chosen in them") — so the non-conflicting case costs a handful of key
-// comparisons instead of a scan of the whole Cartesian product.
-func (c *checker) checkNewStateOpt(ns *nodeState) {
+// comparisons instead of a scan of the whole Cartesian product. Groups with
+// no member visible at the discovery's virtual time did not exist yet from
+// the sequential algorithm's point of view and are skipped without leaving
+// any witnessed mark.
+func (c *checker) checkNewStateOpt(ns *nodeState, view []int) {
 	if !ns.interesting {
 		return
 	}
@@ -115,34 +152,37 @@ func (c *checker) checkNewStateOpt(ns *nodeState) {
 		if c.keyer != nil {
 			for _, key := range sp.groupOrder {
 				g := sp.groups[key]
+				if len(c.visibleMembers(g, k, view)) == 0 {
+					continue
+				}
 				if !c.opt.Reduction.Conflict(ns.interest, g.interest) {
 					continue
 				}
-				c.searchWitness(ns, k, "g:"+key, false)
+				c.searchWitness(ns, k, "g:"+key, false, view)
 				if c.stopped {
 					return
 				}
 			}
 			continue
 		}
-		c.searchWitness(ns, k, "all", false)
+		c.searchWitness(ns, k, "all", false, view)
 		if c.stopped {
 			return
 		}
 	}
 }
 
-// resolveCandidates returns the current conflicting candidate states of
-// node k for a (deferred or immediate) witness search. Resolving at run
-// time rather than enqueue time lets a deferred search see members that
-// joined the group in the meantime.
-func (c *checker) resolveCandidates(ns *nodeState, k int, groupKey string) []*nodeState {
+// resolveCandidates returns the conflicting candidate states of node k for
+// a witness search, restricted to the search's view. Deferred searches
+// resolve with a nil view at run time, so they see members that joined in
+// the meantime.
+func (c *checker) resolveCandidates(ns *nodeState, k int, groupKey string, view []int) []*nodeState {
 	sp := c.spaces[k]
 	if g, ok := c.keyerGroup(sp, groupKey); ok {
-		return g.members
+		return c.visibleMembers(g, k, view)
 	}
 	var cands []*nodeState
-	for _, b := range sp.states {
+	for _, b := range c.viewStates(k, view) {
 		if b.interesting && c.opt.Reduction.Conflict(ns.interest, b.interest) {
 			cands = append(cands, b)
 		}
@@ -158,18 +198,31 @@ func (c *checker) keyerGroup(sp *space, groupKey string) (*interestGroup, bool) 
 	return g, g != nil
 }
 
+// witnessPrepFanout is the candidate count above which a witness search
+// pre-resolves its per-candidate missing sets and coverage verdicts on the
+// worker pool.
+const witnessPrepFanout = 16
+
 // searchWitness looks for a real run in which ns coexists with one of the
 // conflicting candidate states of node k. Other nodes are completed with
-// any visited state, iterated lazily in discovery order — their events are
-// what generated the messages the pair consumed. Each candidate system
-// state is materialized and invariant-checked; a violating one goes through
-// soundness verification; the first confirmed witness is reported and ends
-// the search. The whole search counts as one soundness-verification
-// invocation, with the sequence budget shared across candidates.
+// any visited state (within the search's view), iterated lazily in
+// discovery order — their events are what generated the messages the pair
+// consumed. Each candidate system state is materialized and
+// invariant-checked; a violating one goes through soundness verification;
+// the first confirmed witness is reported and ends the search. The whole
+// search counts as one soundness-verification invocation, with the sequence
+// budget shared across candidates.
 //
 // Unless force is set, the search defers to the pending queue when the
 // soundness share is exhausted, so exploration keeps progressing.
-func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force bool) {
+//
+// When the candidate list is large and a worker pool is available, the
+// per-candidate feasibility inputs — each pair's missing-message set and
+// the coverage verdict of every distinct missing fingerprint — are
+// pre-resolved in parallel. Those are pure functions of the (immutable)
+// view, so the sequential walk below consumes them in the exact sequential
+// order with the exact sequential budget charges.
+func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force bool, view []int) {
 	cacheKey := witnessKey{fp: ns.fp, node: k, group: groupKey}
 	if _, done := c.witnessed[cacheKey]; done {
 		return
@@ -180,7 +233,7 @@ func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force boo
 	}
 	c.witnessed[cacheKey] = struct{}{}
 
-	cands := c.resolveCandidates(ns, k, groupKey)
+	cands := c.resolveCandidates(ns, k, groupKey, view)
 	if len(cands) == 0 {
 		return
 	}
@@ -203,32 +256,61 @@ func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force boo
 	// message, and the coverage-ordered completion list per (node, missing
 	// set). Completion spaces are fixed for the duration of the search.
 	coverCache := make(map[codec.Fingerprint]bool)
+	coverScan := func(fp codec.Fingerprint) bool {
+		for _, n := range completionNodes {
+			for _, s := range c.viewStates(n, view) {
+				if s.gen.contains(fp) {
+					return true
+				}
+			}
+		}
+		return false
+	}
 	coveredByAny := func(fp codec.Fingerprint) bool {
 		if v, ok := coverCache[fp]; ok {
 			return v
 		}
-		covered := false
-		for _, n := range completionNodes {
-			for _, s := range c.spaces[n].states {
-				if s.gen.contains(fp) {
-					covered = true
-					break
-				}
-			}
-			if covered {
-				break
-			}
-		}
+		covered := coverScan(fp)
 		coverCache[fp] = covered
 		return covered
 	}
+
+	var preMissing [][]codec.Fingerprint
+	if c.workers >= 2 && len(cands) >= witnessPrepFanout {
+		// Memoize the shared pair member's creation path before fanning out:
+		// pairMissing memoizes lazily, and only the state it is called on is
+		// written.
+		creationPath(ns)
+		preMissing = make([][]codec.Fingerprint, len(cands))
+		c.runParallel(len(cands), func(i int) {
+			preMissing[i] = c.pairMissing(ns, cands[i])
+		})
+		var distinct []codec.Fingerprint
+		seen := make(map[codec.Fingerprint]bool)
+		for _, miss := range preMissing {
+			for _, fp := range miss {
+				if !seen[fp] {
+					seen[fp] = true
+					distinct = append(distinct, fp)
+				}
+			}
+		}
+		verdicts := make([]bool, len(distinct))
+		c.runParallel(len(distinct), func(i int) {
+			verdicts[i] = coverScan(distinct[i])
+		})
+		for i, fp := range distinct {
+			coverCache[fp] = verdicts[i]
+		}
+	}
+
 	type orderKey struct {
 		node int
 		miss codec.Fingerprint
 	}
 	orderCache := make(map[orderKey][]*nodeState)
 
-	for _, b := range cands {
+	for ci, b := range cands {
 		if c.stopped || budget <= 0 {
 			return
 		}
@@ -251,7 +333,12 @@ func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force boo
 		// message are tried last; a message nobody can cover refutes this
 		// pair outright (modulo alternate-path generation, the same kind of
 		// incompleteness the paper's caps accept).
-		missing := c.pairMissing(ns, b)
+		var missing []codec.Fingerprint
+		if preMissing != nil {
+			missing = preMissing[ci]
+		} else {
+			missing = c.pairMissing(ns, b)
+		}
 		feasible := true
 		for _, fp := range missing {
 			if !coveredByAny(fp) {
@@ -268,7 +355,7 @@ func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force boo
 			key := orderKey{node: n, miss: missKey}
 			ordered, ok := orderCache[key]
 			if !ok {
-				ordered, _ = orderByCoverage(c.spaces[n].states, missing)
+				ordered, _ = orderByCoverage(c.viewStates(n, view), missing)
 				orderCache[key] = ordered
 				// A coverage scan touches every visited state of the node.
 				budget -= len(ordered) / 64
@@ -311,9 +398,9 @@ func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force boo
 
 // confirmLocalViolation runs the witness search for a node-local invariant
 // violation: the violating state alone is the "pair"; every other node is a
-// completion ranged over lazily, ordered by which missing messages its
-// creation path can supply.
-func (c *checker) confirmLocalViolation(ns *nodeState, v *spec.Violation) {
+// completion ranged over lazily (within the discovery's view), ordered by
+// which missing messages its creation path can supply.
+func (c *checker) confirmLocalViolation(ns *nodeState, v *spec.Violation, view []int) {
 	cacheKey := witnessKey{fp: ns.fp, node: int(ns.node), group: "local:" + v.Invariant}
 	if _, done := c.witnessed[cacheKey]; done {
 		return
@@ -331,7 +418,7 @@ func (c *checker) confirmLocalViolation(ns *nodeState, v *spec.Violation) {
 	missing := c.missingOf(ns)
 	lists := make([][]*nodeState, len(completionNodes))
 	for i, n := range completionNodes {
-		lists[i], _ = orderByCoverage(c.spaces[n].states, missing)
+		lists[i], _ = orderByCoverage(c.viewStates(n, view), missing)
 	}
 
 	combo := make([]*nodeState, len(c.spaces))
@@ -349,12 +436,12 @@ func (c *checker) confirmLocalViolation(ns *nodeState, v *spec.Violation) {
 				return false
 			}
 			ss := c.comboSystem(combo)
-			fp := ss.Fingerprint()
+			fp := comboFP(combo)
 			if verdict, cached := c.verdicts[fp]; cached {
 				return verdict && c.reported[fp]
 			}
 			t0 := time.Now()
-			sound, sched := c.witnessSequences(combo, int(ns.node), int(ns.node), &budget)
+			sound, sched := c.witnessSequences(combo, int(ns.node), int(ns.node), &budget, &c.res.Stats.SequencesChecked)
 			c.res.Stats.SoundnessTime += time.Since(t0)
 			if sound && !c.opt.DisableReplay {
 				rr := trace.ReplayWith(c.m, c.start, c.opt.InitialMessages, sched)
@@ -493,12 +580,12 @@ func (c *checker) tryWitness(combo []*nodeState, pairA, pairB int, budget *int) 
 	if c.opt.DisableSoundness {
 		return false
 	}
-	fp := ss.Fingerprint()
+	fp := comboFP(combo)
 	if verdict, cached := c.verdicts[fp]; cached {
 		return verdict && c.reported[fp]
 	}
 	t0 := time.Now()
-	sound, sched := c.witnessSequences(combo, pairA, pairB, budget)
+	sound, sched := c.witnessSequences(combo, pairA, pairB, budget, &c.res.Stats.SequencesChecked)
 	c.res.Stats.SoundnessTime += time.Since(t0)
 	if sound && !c.opt.DisableReplay {
 		rr := trace.ReplayWith(c.m, c.start, c.opt.InitialMessages, sched)
@@ -543,13 +630,29 @@ func (c *checker) comboConflicts(combo []*nodeState) bool {
 	return false
 }
 
-// forEachCombo enumerates the Cartesian product of lists, applying the
-// admit filter (nil admits everything), materializing each admitted
-// combination as a system state and checking the invariant. Preliminary
-// violations are then confirmed sequentially. When the product is large and
-// Options.Workers allows, invariant evaluation fans out across goroutines
-// (§1: "the model checking process can be embarrassingly parallelized").
-func (c *checker) forEachCombo(lists [][]*nodeState, admit func([]*nodeState) bool) {
+// prelim is one preliminary violation found during combination enumeration,
+// tagged with its global enumeration index so confirmation runs in the
+// canonical sequential order regardless of how the product was chunked.
+type prelim struct {
+	idx   int
+	fp    codec.Fingerprint
+	combo []*nodeState
+	v     *spec.Violation
+}
+
+// forEachCombo enumerates the Cartesian product of lists in the canonical
+// lexicographic order (last list fastest), materializes each combination
+// into a reused scratch system state, and checks the invariant. When the
+// product is large and Options.Workers allows, the widest dimension is
+// chunked across the worker pool (§1: "the model checking process can be
+// embarrassingly parallelized"); each chunk works on private scratch and
+// private counters, and preliminary violations are replayed for
+// confirmation in ascending enumeration index — so stats and reported bugs
+// are identical for every worker count.
+func (c *checker) forEachCombo(lists [][]*nodeState) {
+	if c.stopped {
+		return
+	}
 	total := 1
 	for _, l := range lists {
 		total *= len(l)
@@ -558,135 +661,270 @@ func (c *checker) forEachCombo(lists [][]*nodeState, admit func([]*nodeState) bo
 		}
 	}
 
-	type prelim struct {
-		combo []*nodeState
-		v     *spec.Violation
+	// Strides of the mixed-radix enumeration index.
+	strides := make([]int, len(lists))
+	s := 1
+	for d := len(lists) - 1; d >= 0; d-- {
+		strides[d] = s
+		s *= len(lists[d])
 	}
-	var found []prelim
-	var mu sync.Mutex
+
+	// Chunk the widest dimension for balance.
+	widest := 0
+	for d, l := range lists {
+		if len(l) > len(lists[widest]) {
+			widest = d
+		}
+	}
+	nchunks := c.workers
+	if nchunks > len(lists[widest]) {
+		nchunks = len(lists[widest])
+	}
+	if nchunks < 2 || total < c.parThreshold {
+		nchunks = 1
+	}
+	chunk := (len(lists[widest]) + nchunks - 1) / nchunks
+
+	type chunkOut struct {
+		systemStates int
+		invChecks    int
+		maxDepth     int
+		prelims      []prelim
+	}
+	outs := make([]chunkOut, nchunks)
 	var halt atomic.Bool
-	if c.stopped {
-		return
-	}
-	var sinceDeadlineCheck atomic.Int64
 
-	workers := c.opt.Workers
-	parallel := workers >= 2 && total >= parallelThreshold
+	runChunk := func(ci int) {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > len(lists[widest]) {
+			hi = len(lists[widest])
+		}
+		if lo >= hi {
+			return
+		}
+		out := &outs[ci]
+		sub := make([][]*nodeState, len(lists))
+		copy(sub, lists)
+		sub[widest] = lists[widest][lo:hi]
 
-	examine := func(combo []*nodeState) {
-		if halt.Load() {
-			return
-		}
-		// The system-state phase can dominate a run (Figure 13), so the
-		// wall-clock budget must be enforced here too, not only between
-		// handler executions.
-		if !c.deadline.IsZero() && sinceDeadlineCheck.Add(1)%1024 == 0 &&
-			time.Now().After(c.deadline) {
-			halt.Store(true)
-			return
-		}
-		if c.opt.MaxSystemDepth > 0 && comboDepth(combo) > c.opt.MaxSystemDepth {
-			return
-		}
-		if admit != nil && !admit(combo) {
-			return
-		}
-		ss := c.comboSystem(combo)
-		v := c.opt.Invariant.Check(ss)
-		mu.Lock()
-		c.res.Stats.SystemStates++
-		c.res.Stats.InvariantChecks++
-		d := comboDepth(combo)
-		if d > c.res.Stats.MaxDepth {
-			c.res.Stats.MaxDepth = d
-		}
-		if v != nil {
-			c.res.Stats.PreliminaryViolations++
-			if !parallel {
-				// Confirm inline: waiting for the full product to finish
-				// could starve soundness verification of the entire budget
-				// when conflicting groups are large.
-				mu.Unlock()
-				c.confirmAndReport(combo, v)
-				if c.stopped {
-					halt.Store(true)
+		// Scratch reused across the whole chunk: the combination, its
+		// materialized system state, and the enumeration position.
+		combo := make([]*nodeState, len(lists))
+		ss := make(model.SystemState, len(lists))
+		pos := make([]int, len(lists))
+		base := lo * strides[widest]
+		tick := 0
+		halted := false
+		last := len(lists) - 1
+
+		var rec func(d, depth int)
+		rec = func(d, depth int) {
+			if d == last {
+				for i, st := range sub[d] {
+					pos[d] = i
+					combo[d] = st
+					ss[d] = st.state
+					leafDepth := depth + st.depth
+
+					tick++
+					if tick&1023 == 0 {
+						// The system-state phase can dominate a run
+						// (Figure 13), so the wall-clock budget must be
+						// enforced here too, not only between handler
+						// executions.
+						if halt.Load() {
+							halted = true
+							return
+						}
+						if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+							halt.Store(true)
+							halted = true
+							return
+						}
+					}
+					if c.opt.MaxSystemDepth > 0 && leafDepth > c.opt.MaxSystemDepth {
+						continue
+					}
+					out.systemStates++
+					out.invChecks++
+					if leafDepth > out.maxDepth {
+						out.maxDepth = leafDepth
+					}
+					if v := c.opt.Invariant.Check(ss); v != nil {
+						// pos[widest] is relative to the chunk; base covers lo.
+						gidx := base
+						for dd := range pos {
+							gidx += pos[dd] * strides[dd]
+						}
+						cp := make([]*nodeState, len(combo))
+						copy(cp, combo)
+						// The violation may retain the scratch system state
+						// (spec.Violate stores it as-is); repoint it at a
+						// stable copy before the scratch is reused.
+						sys := make(model.SystemState, len(ss))
+						copy(sys, ss)
+						if len(v.System) == len(ss) && len(ss) > 0 && &v.System[0] == &ss[0] {
+							v.System = sys
+						}
+						out.prelims = append(out.prelims, prelim{idx: gidx, combo: cp, v: v})
+					}
 				}
 				return
 			}
-			cp := make([]*nodeState, len(combo))
-			copy(cp, combo)
-			found = append(found, prelim{combo: cp, v: v})
+			for i, st := range sub[d] {
+				pos[d] = i
+				combo[d] = st
+				ss[d] = st.state
+				rec(d+1, depth+st.depth)
+				if halted {
+					return
+				}
+			}
 		}
-		mu.Unlock()
+		rec(0, 0)
 	}
 
-	if !parallel {
-		combo := make([]*nodeState, len(lists))
-		c.enumerate(lists, 0, combo, examine, &halt)
+	if nchunks == 1 {
+		runChunk(0)
 	} else {
-		c.enumerateParallel(lists, workers, examine, &halt)
+		var wg sync.WaitGroup
+		for ci := 0; ci < nchunks; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				runChunk(ci)
+			}(ci)
+		}
+		wg.Wait()
 	}
 	if halt.Load() && !c.deadline.IsZero() && time.Now().After(c.deadline) {
 		c.stopped = true
 	}
 
-	for _, p := range found {
+	var all []prelim
+	for i := range outs {
+		c.res.Stats.SystemStates += outs[i].systemStates
+		c.res.Stats.InvariantChecks += outs[i].invChecks
+		if outs[i].maxDepth > c.res.Stats.MaxDepth {
+			c.res.Stats.MaxDepth = outs[i].maxDepth
+		}
+		all = append(all, outs[i].prelims...)
+	}
+	c.res.Stats.PreliminaryViolations += len(all)
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].idx < all[j].idx })
+	c.confirmBatch(all)
+}
+
+// confirmResult is one precomputed soundness verdict.
+type confirmResult struct {
+	sound     bool
+	sched     trace.Schedule
+	soundTime time.Duration
+	seqs      int
+}
+
+// confirmBatch confirms preliminary violations in canonical enumeration
+// order (Figure 9 lines 19–21). The soundness runs themselves — path
+// enumeration, sequence validation, and the final replay — are pure given
+// the immutable exploration structures, so they are precomputed on the
+// worker pool, one per distinct undecided fingerprint; the sequential merge
+// then replays the exact bookkeeping of an inline confirmation loop:
+// verdict and reported caches, stats, and the StopAtFirstBug cutoff, with
+// stats charged only for the confirmations that actually execute.
+func (c *checker) confirmBatch(prelims []prelim) {
+	if c.opt.DisableSoundness {
+		// Figure 13's "LMC-system-state" configuration: preliminary
+		// violations are counted but never confirmed or reported.
+		return
+	}
+
+	type job struct {
+		fp    codec.Fingerprint
+		combo []*nodeState
+	}
+	var jobs []job
+	need := make(map[codec.Fingerprint]int)
+	for i := range prelims {
+		fp := comboFP(prelims[i].combo)
+		prelims[i].fp = fp
+		if c.reported[fp] {
+			continue
+		}
+		if _, cached := c.verdicts[fp]; cached {
+			continue
+		}
+		if _, dup := need[fp]; dup {
+			continue
+		}
+		need[fp] = len(jobs)
+		jobs = append(jobs, job{fp: fp, combo: prelims[i].combo})
+	}
+
+	results := make([]confirmResult, len(jobs))
+	run := func(i int) {
+		r := &results[i]
+		budget := c.opt.MaxSequencesPerCheck
+		t0 := time.Now()
+		sound, sched := c.isStateSoundBudget(jobs[i].combo, &budget, &r.seqs)
+		r.soundTime = time.Since(t0)
+		if sound && !c.opt.DisableReplay {
+			// Final defense: replay the schedule on the real handlers with
+			// the real message-consuming network and confirm it reproduces
+			// the violating system state.
+			rr := trace.ReplayWith(c.m, c.start, c.opt.InitialMessages, sched)
+			if rr.Err != nil || rr.Final.Fingerprint() != jobs[i].fp {
+				sound = false
+			}
+		}
+		r.sound = sound
+		r.sched = sched
+	}
+	if c.workers >= 2 && len(jobs) >= 2 {
+		c.runParallel(len(jobs), run)
+	} else {
+		for i := range jobs {
+			run(i)
+		}
+	}
+
+	for i := range prelims {
 		if c.stopped {
 			return
 		}
-		c.confirmAndReport(p.combo, p.v)
-	}
-}
-
-// enumerate walks the Cartesian product recursively (sequential path).
-func (c *checker) enumerate(lists [][]*nodeState, i int, combo []*nodeState, fn func([]*nodeState), halt *atomic.Bool) {
-	if halt.Load() {
-		return
-	}
-	if i == len(lists) {
-		fn(combo)
-		return
-	}
-	for _, s := range lists[i] {
-		combo[i] = s
-		c.enumerate(lists, i+1, combo, fn, halt)
-	}
-}
-
-// enumerateParallel splits the product along the largest dimension across a
-// worker pool. Node states are immutable once stored, so workers only need
-// synchronization when recording results (handled by the caller's mutex).
-func (c *checker) enumerateParallel(lists [][]*nodeState, workers int, fn func([]*nodeState), halt *atomic.Bool) {
-	// Split on the widest list to get balanced chunks.
-	widest := 0
-	for i, l := range lists {
-		if len(l) > len(lists[widest]) {
-			widest = i
+		p := &prelims[i]
+		if c.reported[p.fp] {
+			continue
+		}
+		if _, cached := c.verdicts[p.fp]; cached {
+			// Sound verdicts are reported immediately when first computed,
+			// so a cache hit of either polarity means nothing is left to do.
+			continue
+		}
+		r := results[need[p.fp]]
+		c.res.Stats.SoundnessCalls++
+		c.res.Stats.SoundnessTime += r.soundTime
+		c.res.Stats.SequencesChecked += r.seqs
+		c.verdicts[p.fp] = r.sound
+		if !r.sound {
+			continue
+		}
+		c.reported[p.fp] = true
+		c.res.Stats.ConfirmedBugs++
+		ss := c.comboSystem(p.combo)
+		c.res.Bugs = append(c.res.Bugs, Bug{
+			Violation: p.v,
+			Schedule:  r.sched,
+			System:    ss.Clone(),
+			Depth:     comboDepth(p.combo),
+		})
+		if c.opt.StopAtFirstBug {
+			c.stopped = true
 		}
 	}
-	items := lists[widest]
-	chunk := (len(items) + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(items) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(items) {
-			hi = len(items)
-		}
-		wg.Add(1)
-		go func(part []*nodeState) {
-			defer wg.Done()
-			sub := make([][]*nodeState, len(lists))
-			copy(sub, lists)
-			sub[widest] = part
-			combo := make([]*nodeState, len(lists))
-			c.enumerate(sub, 0, combo, fn, halt)
-		}(items[lo:hi])
-	}
-	wg.Wait()
 }
 
 // comboSystem materializes the temporary system state for a combination.
@@ -706,57 +944,4 @@ func comboDepth(combo []*nodeState) int {
 		d += ns.depth
 	}
 	return d
-}
-
-// confirmAndReport runs the a-posteriori soundness verification on a
-// preliminary violation and, if the system state is confirmed valid,
-// reports the bug with its realizing schedule (Figure 9 lines 19–21).
-func (c *checker) confirmAndReport(combo []*nodeState, v *spec.Violation) {
-	ss := c.comboSystem(combo)
-	fp := ss.Fingerprint()
-	if c.reported[fp] {
-		return
-	}
-	if c.opt.DisableSoundness {
-		// Figure 13's "LMC-system-state" configuration: the preliminary
-		// violation is counted but never confirmed or reported.
-		return
-	}
-	if verdict, cached := c.verdicts[fp]; cached {
-		// Sound verdicts are reported immediately when first computed, so a
-		// cache hit of either polarity means there is nothing left to do.
-		_ = verdict
-		return
-	}
-
-	c.res.Stats.SoundnessCalls++
-	t0 := time.Now()
-	sound, sched := c.isStateSound(combo)
-	c.res.Stats.SoundnessTime += time.Since(t0)
-
-	if sound && !c.opt.DisableReplay {
-		// Final defense: replay the schedule on the real handlers with the
-		// real message-consuming network and confirm it reproduces the
-		// violating system state.
-		rr := trace.ReplayWith(c.m, c.start, c.opt.InitialMessages, sched)
-		if rr.Err != nil || rr.Final.Fingerprint() != fp {
-			sound = false
-		}
-	}
-	c.verdicts[fp] = sound
-	if !sound {
-		return
-	}
-
-	c.reported[fp] = true
-	c.res.Stats.ConfirmedBugs++
-	c.res.Bugs = append(c.res.Bugs, Bug{
-		Violation: v,
-		Schedule:  sched,
-		System:    ss.Clone(),
-		Depth:     comboDepth(combo),
-	})
-	if c.opt.StopAtFirstBug {
-		c.stopped = true
-	}
 }

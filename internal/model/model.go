@@ -108,13 +108,16 @@ func (ss SystemState) Clone() SystemState {
 	return out
 }
 
-// Fingerprint hashes the canonical encoding of all node states in order.
+// Fingerprint combines the fingerprints of the node states in order. The
+// value equals codec.Combine over the per-state StateFingerprints, which
+// lets checkers derive a system fingerprint from memoized node-state
+// fingerprints without re-encoding any state.
 func (ss SystemState) Fingerprint() codec.Fingerprint {
-	var w codec.Writer
+	h := codec.NewHasher()
 	for _, s := range ss {
-		s.Encode(&w)
+		h.Add(StateFingerprint(s))
 	}
-	return codec.Hash(w.Bytes())
+	return h.Sum()
 }
 
 // String renders the system state as node states joined by " | ".

@@ -3,6 +3,7 @@ package netstate
 import (
 	"flag"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"lmc/internal/model"
@@ -100,6 +101,121 @@ func TestSharedMonotone(t *testing.T) {
 		}
 		if got := len(sh.Entries()); got != sh.Len() {
 			t.Fatalf("seed=%d trial=%d: Entries()=%d but Len()=%d", seed, trial, got, sh.Len())
+		}
+	}
+}
+
+// TestSharedNetConcurrentMonotone is the concurrent version of the I+
+// monotonicity property, exercised under -race: several writer goroutines
+// append randomized duplicate-heavy batches to one SharedNet while reader
+// goroutines continuously snapshot epochs. Every reader must observe only
+// monotone growth — each epoch a prefix-extension of the previous one, with
+// entry identities stable at their indexes — which is the property the
+// parallel exploration engine's per-round epoch snapshots rely on.
+func TestSharedNetConcurrentMonotone(t *testing.T) {
+	seed := *sharedPropSeed
+	t.Logf("seed %d (reproduce with -netstate.seed=%d)", seed, seed)
+
+	const (
+		writers       = 4
+		readers       = 3
+		stepsPerTrial = 150
+	)
+	for trial := 0; trial < 20; trial++ {
+		dupLimit := trial % 3
+		sn := NewSharedNet(dupLimit)
+		done := make(chan struct{})
+		errs := make(chan string, readers)
+
+		var readerWG sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			readerWG.Add(1)
+			go func() {
+				defer readerWG.Done()
+				var prev Epoch
+				var prevIDs []uint64
+				for {
+					ep := sn.Epoch()
+					if ep.Len() < prev.Len() {
+						errs <- "epoch shrank"
+						return
+					}
+					for i := 0; i < prev.Len(); i++ {
+						if ep.Entry(i) != prev.Entry(i) {
+							errs <- "entry replaced across epochs"
+							return
+						}
+						if uint64(ep.Entry(i).EventFingerprint()) != prevIDs[i] {
+							errs <- "entry changed identity"
+							return
+						}
+					}
+					prev = ep
+					prevIDs = prevIDs[:0]
+					for i := 0; i < ep.Len(); i++ {
+						prevIDs = append(prevIDs, uint64(ep.Entry(i).EventFingerprint()))
+					}
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+			}()
+		}
+
+		offered := make([]int, writers)
+		var writerWG sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			writerWG.Add(1)
+			go func(w int) {
+				defer writerWG.Done()
+				rng := rand.New(rand.NewSource(seed + int64(trial*writers+w)))
+				for s := 0; s < stepsPerTrial; s++ {
+					batch := make([]model.Message, 1+rng.Intn(3))
+					for i := range batch {
+						batch[i] = testMsg{
+							From: model.NodeID(w),
+							To:   model.NodeID(1 + rng.Intn(3)),
+							Body: rng.Intn(5),
+						}
+					}
+					offered[w] += len(batch)
+					sn.AddAll(batch)
+				}
+			}(w)
+		}
+
+		writerWG.Wait()
+		close(done)
+		readerWG.Wait()
+
+		select {
+		case msg := <-errs:
+			t.Fatalf("seed=%d trial=%d: %s", seed, trial, msg)
+		default:
+		}
+
+		// Post-conditions on the final network: accounting and dup limits as
+		// in the sequential property test.
+		total := 0
+		for _, n := range offered {
+			total += n
+		}
+		if sn.Len()+sn.Dropped() != total {
+			t.Fatalf("seed=%d trial=%d: len %d + dropped %d != offered %d",
+				seed, trial, sn.Len(), sn.Dropped(), total)
+		}
+		finalEp := sn.Epoch()
+		copies := map[uint64]int{}
+		for i := 0; i < finalEp.Len(); i++ {
+			copies[uint64(finalEp.Entry(i).FP)]++
+		}
+		for fp, n := range copies {
+			if n > 1+dupLimit {
+				t.Fatalf("seed=%d trial=%d: message %x stored %d copies, limit %d",
+					seed, trial, fp, n, 1+dupLimit)
+			}
 		}
 	}
 }

@@ -35,7 +35,7 @@ func TestOnlineFindsPaxosBug(t *testing.T) {
 			Invariant:      paxos.Agreement(),
 			Reduction:      paxos.Reduction{},
 			StopAtFirstBug: true,
-			Budget:         2 * time.Second,
+			Budget:         raceBudgetScale * 2 * time.Second,
 			LocalBoundStep: 1,
 			MaxLocalBound:  3,
 		},

@@ -1,0 +1,7 @@
+//go:build !race
+
+package online
+
+// raceBudgetScale stretches wall-clock exploration budgets in tests when
+// the race detector is active. In a normal build it is 1.
+const raceBudgetScale = 1

@@ -1,0 +1,10 @@
+//go:build race
+
+package online
+
+// raceBudgetScale stretches wall-clock exploration budgets in tests when
+// the race detector is active: instrumented runs are an order of magnitude
+// slower, so a budget tuned for a plain build would starve the exploration
+// before the detection point and fail the test for a reason that has
+// nothing to do with races.
+const raceBudgetScale = 15

@@ -23,9 +23,26 @@ func Agreement() spec.Invariant {
 				if !ok {
 					return nil
 				}
-				for idx, vi := range si.Chosen {
-					for j := i + 1; j < len(ss); j++ {
-						sj := ss[j].(*State)
+				// Most node states in an exploration have chosen nothing;
+				// skip the pairwise scan entirely for them.
+				if len(si.Chosen) == 0 {
+					continue
+				}
+				pi, fastI := si.chosenSeq()
+				for j := i + 1; j < len(ss); j++ {
+					sj := ss[j].(*State)
+					if len(sj.Chosen) == 0 {
+						continue
+					}
+					if fastI {
+						if pj, fastJ := sj.chosenSeq(); fastJ {
+							if v := conflictScan(ss, i, j, pi, pj); v != nil {
+								return v
+							}
+							continue
+						}
+					}
+					for idx, vi := range si.Chosen {
 						if vj, ok := sj.Chosen[idx]; ok && vj != vi {
 							return spec.Violate(AgreementName, ss,
 								"index %d: %v chose %d but %v chose %d",
@@ -39,9 +56,33 @@ func Agreement() spec.Invariant {
 	}
 }
 
-// chosenInterest is the LMC-OPT projection of a node state: the set of
-// values it has chosen, per index.
-type chosenInterest map[int]int
+// conflictScan merge-scans two sorted choice sequences for a common index
+// with different values. It allocates nothing on the (overwhelmingly common)
+// agreeing path.
+func conflictScan(ss model.SystemState, i, j int, pi, pj []ChoicePair) *spec.Violation {
+	a, b := 0, 0
+	for a < len(pi) && b < len(pj) {
+		switch {
+		case pi[a].Index < pj[b].Index:
+			a++
+		case pi[a].Index > pj[b].Index:
+			b++
+		default:
+			if pi[a].Value != pj[b].Value {
+				return spec.Violate(AgreementName, ss,
+					"index %d: %v chose %d but %v chose %d",
+					pi[a].Index, model.NodeID(i), pi[a].Value, model.NodeID(j), pj[b].Value)
+			}
+			a++
+			b++
+		}
+	}
+	return nil
+}
+
+// chosenInterest is the LMC-OPT projection of a node state: the values it
+// has chosen, per index, sorted by index.
+type chosenInterest []ChoicePair
 
 // Reduction is the invariant-specific system-state creation rule of §4.2
 // (the LMC-OPT configuration): "we map the node states to the values that
@@ -57,7 +98,17 @@ func (Reduction) Interest(_ model.NodeID, s model.State) (spec.Interest, bool) {
 	if !ok || len(st.Chosen) == 0 {
 		return nil, false
 	}
-	return chosenInterest(st.ChosenSet()), true
+	if pairs, fast := st.chosenSeq(); fast {
+		// Copy: the interest outlives this call and the state's mirror may
+		// be edited in place by a later choice.
+		return chosenInterest(append([]ChoicePair(nil), pairs...)), true
+	}
+	pairs := make([]ChoicePair, 0, len(st.Chosen))
+	for idx, v := range st.Chosen {
+		pairs = append(pairs, ChoicePair{Index: idx, Value: v})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].Index < pairs[b].Index })
+	return chosenInterest(pairs), true
 }
 
 // Conflict implements spec.Reduction: two interests conflict when they
@@ -71,29 +122,34 @@ func (Reduction) Conflict(a, b spec.Interest) bool {
 	if !ok {
 		return false
 	}
-	for idx, va := range ca {
-		if vb, ok := cb[idx]; ok && va != vb {
-			return true
+	x, y := 0, 0
+	for x < len(ca) && y < len(cb) {
+		switch {
+		case ca[x].Index < cb[y].Index:
+			x++
+		case ca[x].Index > cb[y].Index:
+			y++
+		default:
+			if ca[x].Value != cb[y].Value {
+				return true
+			}
+			x++
+			y++
 		}
 	}
 	return false
 }
 
 // InterestKey implements spec.Keyer: the canonical rendering of the chosen
-// map, so node states that chose the same values group together.
+// set, so node states that chose the same values group together.
 func (Reduction) InterestKey(i spec.Interest) string {
 	ci, ok := i.(chosenInterest)
 	if !ok {
 		return ""
 	}
-	idxs := make([]int, 0, len(ci))
-	for idx := range ci {
-		idxs = append(idxs, idx)
-	}
-	sort.Ints(idxs)
 	var b strings.Builder
-	for _, idx := range idxs {
-		fmt.Fprintf(&b, "%d=%d;", idx, ci[idx])
+	for _, p := range ci {
+		fmt.Fprintf(&b, "%d=%d;", p.Index, p.Value)
 	}
 	return b.String()
 }

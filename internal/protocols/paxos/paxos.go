@@ -140,6 +140,44 @@ type State struct {
 	// Learner role.
 	Learns map[int][]*learnRecord // per index, ordered canonically
 	Chosen map[int]int            // chosen value per index (first choice kept)
+
+	// chosenPairs mirrors Chosen as a slice sorted by index, maintained at
+	// the choose site and by Clone. The agreement invariant runs on every
+	// materialized system state — hundreds of thousands per exploration —
+	// and iterating a Go map there costs a randomized-iterator setup per
+	// combination; the sorted mirror makes the check an allocation-free
+	// merge scan. States built by hand (tests poking Chosen directly) are
+	// detected by a length mismatch and fall back to the map.
+	chosenPairs []ChoicePair
+}
+
+// ChoicePair is one (index, value) choice, in ascending index order.
+type ChoicePair struct{ Index, Value int }
+
+// addChoice records a choice in both representations; the caller has
+// already checked the index is new.
+func (s *State) addChoice(index, value int) {
+	s.Chosen[index] = value
+	at := len(s.chosenPairs)
+	for i, p := range s.chosenPairs {
+		if index < p.Index {
+			at = i
+			break
+		}
+	}
+	s.chosenPairs = append(s.chosenPairs, ChoicePair{})
+	copy(s.chosenPairs[at+1:], s.chosenPairs[at:])
+	s.chosenPairs[at] = ChoicePair{Index: index, Value: value}
+}
+
+// chosenSeq returns the sorted mirror when it is in sync with the map; a
+// mismatch means the map was written directly and the caller must iterate
+// the map instead.
+func (s *State) chosenSeq() ([]ChoicePair, bool) {
+	if len(s.chosenPairs) == len(s.Chosen) {
+		return s.chosenPairs, true
+	}
+	return nil, false
 }
 
 // NewState returns an empty node state.
@@ -175,6 +213,9 @@ func (s *State) Clone() model.State {
 	}
 	for i, v := range s.Chosen {
 		c.Chosen[i] = v
+	}
+	if len(s.chosenPairs) > 0 {
+		c.chosenPairs = append([]ChoicePair(nil), s.chosenPairs...)
 	}
 	return c
 }

@@ -185,7 +185,7 @@ func stepLearn(p Params, n model.NodeID, st *State, m Learn) {
 	rec.Acceptors[m.From] = true
 	if len(rec.Acceptors) >= p.Majority() {
 		if _, done := st.Chosen[m.Index]; !done {
-			st.Chosen[m.Index] = m.Value
+			st.addChoice(m.Index, m.Value)
 		}
 	}
 }
