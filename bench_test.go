@@ -10,6 +10,8 @@ package lmc_test
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"testing"
 	"time"
@@ -178,6 +180,37 @@ func BenchmarkChainAblation(b *testing.B) {
 func BenchmarkDupAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		dump(b, bench.DupAblation(time.Minute))
+	}
+}
+
+// BenchmarkPaxosGEN measures the observer layer's overhead on the §5.1 GEN
+// run: nil observer (the fast path the ≤2% budget protects), a slog
+// observer into a discard handler (event production without terminal I/O),
+// and the expvar observer. EXPERIMENTS.md tabulates the ratios.
+func BenchmarkPaxosGEN(b *testing.B) {
+	discard := lmc.NewLogObserver(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	cases := []struct {
+		name string
+		obs  lmc.Observer
+	}{
+		{"nil", nil},
+		{"obs-log", discard},
+		{"obs-expvar", lmc.NewExpvarObserver("lmc_bench_test")},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			m, start := oneProposal()
+			for i := 0; i < b.N; i++ {
+				res := lmc.Check(m, start, lmc.Options{
+					Invariant:      paxos.Agreement(),
+					SoundnessShare: -1,
+					Observer:       tc.obs,
+				})
+				if !res.Complete || len(res.Bugs) != 0 {
+					b.Fatalf("unexpected result: %+v", res.Stats)
+				}
+			}
+		})
 	}
 }
 

@@ -23,6 +23,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof and pulls in /debug/vars
 	"os"
 	"runtime"
 	"testing"
@@ -31,6 +35,7 @@ import (
 	"lmc/internal/codec"
 	"lmc/internal/core"
 	"lmc/internal/model"
+	"lmc/internal/obs"
 	"lmc/internal/protocols/paxos"
 )
 
@@ -72,13 +77,31 @@ func paxosOpt() (model.Machine, model.SystemState, core.Options) {
 	return m, start, opt
 }
 
+// space is one checker configuration to measure.
+type space func() (model.Machine, model.SystemState, core.Options)
+
+// withObserver attaches an observer to a configuration, for the
+// observer-overhead entries.
+func withObserver(s space, o obs.Observer) space {
+	return func() (model.Machine, model.SystemState, core.Options) {
+		m, start, opt := s()
+		opt.Observer = o
+		return m, start, opt
+	}
+}
+
+// progress is the observer attached to every measured run under -progress
+// (nil otherwise); its logging overhead is part of the reported timings.
+var progress obs.Observer
+
 // measureExplore runs one checker configuration reps times and reports the
 // fastest run's wall clock, per-run allocation deltas, and throughput.
-func measureExplore(name string, reps, workers int,
-	space func() (model.Machine, model.SystemState, core.Options)) Entry {
-
-	m, start, opt := space()
+func measureExplore(name string, reps, workers int, s space) Entry {
+	m, start, opt := s()
 	opt.Workers = workers
+	if progress != nil {
+		opt.Observer = obs.Multi(opt.Observer, progress)
+	}
 
 	var best time.Duration
 	var states int
@@ -181,9 +204,30 @@ func main() {
 	short := flag.Bool("short", false, "single repetition per entry (CI smoke)")
 	baseline := flag.String("baseline", "", "baseline JSON to gate against")
 	maxRatio := flag.Float64("maxratio", 2.0, "fail when ns/op exceeds baseline by this factor")
+	showProgress := flag.Bool("progress", false,
+		"log run milestones and heartbeats to stderr while measuring (the logging overhead is part of the reported timings)")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof and expvar on this address (e.g. localhost:6060); live counters appear under /debug/vars key \"lmc\"")
+	obsGate := flag.Float64("obsgate", 0,
+		"fail when the nil-observer explore/paxos-gen/seq entry exceeds the baseline's by this factor (e.g. 1.02 for the 2% budget); 0 disables")
 	var notes noteFlags
 	flag.Var(&notes, "note", "free-form note to embed in the report (repeatable)")
 	flag.Parse()
+
+	if *showProgress {
+		progress = obs.NewLogObserver(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
+	if *pprofAddr != "" {
+		// Live counters for the /debug/vars endpoint: the expvar observer
+		// rides along on every measured run.
+		progress = obs.Multi(progress, obs.NewExpvarObserver("lmc"))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "benchjson: serving pprof+expvar on http://%s/debug/\n", *pprofAddr)
+	}
 
 	reps := 3
 	if *short {
@@ -206,6 +250,17 @@ func main() {
 		measureExplore("explore/paxos-gen/w8", reps, 8, paxosGen),
 		measureExplore("explore/paxos-opt/seq", reps, -1, paxosOpt),
 		measureExplore("explore/paxos-opt/w8", reps, 8, paxosOpt),
+	)
+
+	// Observer-overhead entries: the same sequential Paxos GEN run with a
+	// slog observer writing to a discard handler (isolates event production
+	// from terminal I/O) and with the expvar observer. Compare against
+	// explore/paxos-gen/seq, the nil-observer run.
+	discardLog := obs.NewLogObserver(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	rep.Entries = append(rep.Entries,
+		measureExplore("explore/paxos-gen/obs-log", reps, -1, withObserver(paxosGen, discardLog)),
+		measureExplore("explore/paxos-gen/obs-expvar", reps, -1,
+			withObserver(paxosGen, obs.NewExpvarObserver("lmc_bench"))),
 	)
 
 	s := &fpState{round: 3, value: 7, active: true, peers: []int{2, 0, 1}}
@@ -236,6 +291,8 @@ func main() {
 	rep.Derived["gen_seq_over_w8"] = ratio("explore/paxos-gen/seq", "explore/paxos-gen/w8")
 	rep.Derived["opt_seq_over_w8"] = ratio("explore/paxos-opt/seq", "explore/paxos-opt/w8")
 	rep.Derived["fingerprint_unpooled_over_pooled"] = ratio("fingerprint/unpooled", "fingerprint/pooled")
+	rep.Derived["obs_log_over_nil"] = ratio("explore/paxos-gen/obs-log", "explore/paxos-gen/seq")
+	rep.Derived["obs_expvar_over_nil"] = ratio("explore/paxos-gen/obs-expvar", "explore/paxos-gen/seq")
 	if rep.NumCPU == 1 {
 		rep.Notes = append(rep.Notes,
 			"single-CPU host: worker-pool speedups are not observable; seq-over-w8 ratios reflect pool overhead only")
@@ -259,5 +316,48 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
+		if *obsGate > 0 {
+			if err := gateObserverOverhead(rep, *baseline, *obsGate); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// gateObserverOverhead enforces the observability layer's budget: the
+// nil-observer sequential Paxos GEN run must stay within maxRatio of the
+// checked-in baseline's (the observer plumbing may not tax runs that do
+// not use it).
+func gateObserverOverhead(cur Report, baselinePath string, maxRatio float64) error {
+	const entry = "explore/paxos-gen/seq"
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	var curNs, baseNs float64
+	for _, e := range cur.Entries {
+		if e.Name == entry {
+			curNs = e.NsPerOp
+		}
+	}
+	for _, e := range base.Entries {
+		if e.Name == entry {
+			baseNs = e.NsPerOp
+		}
+	}
+	if curNs <= 0 || baseNs <= 0 {
+		return fmt.Errorf("obsgate: entry %q missing from report or baseline", entry)
+	}
+	if r := curNs / baseNs; r > maxRatio {
+		return fmt.Errorf("obsgate: nil-observer %s is %.3fx the baseline (budget %.3fx): %.0f ns vs %.0f ns",
+			entry, r, maxRatio, curNs, baseNs)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: obsgate ok: %s at %.3fx of baseline (budget %.3fx)\n",
+		entry, curNs/baseNs, maxRatio)
+	return nil
 }

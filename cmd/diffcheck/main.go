@@ -18,6 +18,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof and pulls in /debug/vars
 	"os"
 	"path/filepath"
 	"runtime"
@@ -25,6 +28,7 @@ import (
 	"time"
 
 	"lmc/internal/diffcheck"
+	"lmc/internal/obs"
 )
 
 func main() {
@@ -36,9 +40,27 @@ func main() {
 	budget := flag.Duration("budget", 0, "per-checker budget (0 = default)")
 	workers := flag.Int("workers", 0, "concurrent scenarios per batch (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print every scenario verdict")
+	progress := flag.Bool("progress", false,
+		"log checker run events to stderr (streams from concurrent scenarios interleave; combine with -workers 1 for a linear log)")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof and expvar on this address (e.g. localhost:6060); live counters appear under /debug/vars key \"diffcheck\"")
 	flag.Parse()
 
 	tun := diffcheck.Tuning{Budget: *budget}
+	if *progress {
+		tun.Observer = obs.NewLogObserver(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
+	if *pprofAddr != "" {
+		// The expvar observer reflects whichever checker run most recently
+		// heartbeated or finished — a liveness signal for long soaks.
+		tun.Observer = obs.Multi(tun.Observer, obs.NewExpvarObserver("diffcheck"))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "diffcheck: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "diffcheck: serving pprof+expvar on http://%s/debug/\n", *pprofAddr)
+	}
 
 	if *repro != "" {
 		os.Exit(reproduce(*repro, tun, *verbose))

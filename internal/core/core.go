@@ -14,13 +14,28 @@
 package core
 
 import (
+	"errors"
 	"time"
 
 	"lmc/internal/codec"
 	"lmc/internal/model"
+	"lmc/internal/obs"
 	"lmc/internal/spec"
 	"lmc/internal/stats"
 	"lmc/internal/trace"
+)
+
+// StopReason says why a run ended; the vocabulary is shared with the global
+// baseline through the observability layer. See obs.StopReason.
+type StopReason = obs.StopReason
+
+// Re-exported stop reasons.
+const (
+	StopFixpoint    = obs.StopFixpoint
+	StopBudget      = obs.StopBudget
+	StopTransitions = obs.StopTransitions
+	StopCancelled   = obs.StopCancelled
+	StopFirstBug    = obs.StopFirstBug
 )
 
 // Options configures a run of the local checker.
@@ -145,6 +160,42 @@ type Options struct {
 	// AssertionPolicy selects how handler rejections are treated; both
 	// policies discard the successor state (§4.2, "Local assertions").
 	AssertionPolicy spec.AssertionPolicy
+
+	// Observer receives typed run events: round start/end, pass restarts,
+	// system-state batches, soundness calls, preliminary and confirmed
+	// violations, and periodic heartbeat snapshots of the counters. Events
+	// are buffered per round and flushed at the round's merge barrier on the
+	// sequential merge goroutine, so an active observer never runs inside
+	// the parallel workers' hot path and cannot perturb the bit-for-bit
+	// determinism of parallel runs. Nil disables emission entirely (a single
+	// branch per barrier).
+	Observer obs.Observer
+	// HeartbeatEvery is the minimum wall time between heartbeat events.
+	// Zero means one second when an Observer is set; negative disables
+	// heartbeats (useful for deterministic event-stream tests). Heartbeats
+	// fire at round barriers, so a long round delays the next beat.
+	HeartbeatEvery time.Duration
+}
+
+// Validate checks the options for configurations that cannot produce a
+// meaningful run. It is called by CheckContext (and by the facade's
+// context APIs); the legacy Check entry point deliberately skips it for
+// backward compatibility.
+//
+// A nil Invariant is legal in two documented configurations: when
+// LocalInvariants are supplied (node-local properties are checked directly
+// on visited node states, with no Cartesian combination — §4's RandTree
+// case), and when DisableSystemStates is set (the pure-exploration
+// "LMC-explore" configuration of Figure 13). With neither, the run would
+// explore and materialize system states but check nothing on them.
+func (o *Options) Validate() error {
+	if o.Invariant == nil && len(o.LocalInvariants) == 0 && !o.DisableSystemStates {
+		return errors.New("core: Options.Invariant is required (or supply LocalInvariants, or set DisableSystemStates for a pure exploration run)")
+	}
+	if o.SoundnessShare > 1 {
+		return errors.New("core: Options.SoundnessShare is a fraction of elapsed wall time and must be <= 1 (negative disables deferral)")
+	}
+	return nil
 }
 
 // Defaults for the soundness-verification caps. The caps trade completeness
@@ -204,6 +255,11 @@ type Result struct {
 	// tell "explored everything" apart from "explored everything the bound
 	// allowed".
 	Suppressed bool
+	// StopReason says why the run ended: StopFixpoint for a Complete run,
+	// otherwise the first stop criterion that fired (budget, transition
+	// cap, cancellation, or first confirmed bug). It disambiguates the
+	// bool-only Complete signal.
+	StopReason StopReason
 	// FinalLocalBound is the local-event bound of the last pass.
 	FinalLocalBound int
 }

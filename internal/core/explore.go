@@ -2,12 +2,14 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"runtime"
 	"time"
 
 	"lmc/internal/codec"
 	"lmc/internal/model"
 	"lmc/internal/netstate"
+	"lmc/internal/obs"
 	"lmc/internal/spec"
 	"lmc/internal/stats"
 )
@@ -17,6 +19,12 @@ type checker struct {
 	m     model.Machine
 	opt   Options
 	start model.SystemState
+
+	// ctx is polled at round barriers only, so cancellation cuts off at the
+	// same round for every worker count.
+	ctx context.Context
+	// em buffers run events and flushes them at the same barriers.
+	em emitter
 
 	spaces []*space
 	net    *netstate.SharedNet
@@ -58,7 +66,10 @@ type checker struct {
 	// prioritized by the triggering state's depth.
 	pending searchQueue
 
-	stopped        bool // a stop criterion (budget/transitions/first-bug) fired
+	stopped bool // a stop criterion (budget/transitions/first-bug) fired
+	// reason records which criterion fired first; meaningful only while
+	// stopped is set.
+	reason         obs.StopReason
 	passSuppressed bool // the local bound suppressed an action this pass
 	// localExecuted counts internal-action handler executions per node in
 	// the current pass, charged against localBound. During a parallel phase
@@ -82,8 +93,30 @@ func resolveWorkers(w int) int {
 
 // Check runs the local model checker on machine m from the given start
 // system state — the live state in online use, or model.InitialSystem(m)
-// for offline checking — under opt.
+// for offline checking — under opt. It is a thin wrapper over CheckContext
+// with a background context and, for backward compatibility, no option
+// validation.
 func Check(m model.Machine, start model.SystemState, opt Options) *Result {
+	return run(context.Background(), m, start, opt)
+}
+
+// CheckContext is Check with option validation and cooperative
+// cancellation. The context is polled at round barriers only — between
+// rounds the merge goroutine flushes buffered run events and then checks
+// ctx — so a cancelled run stops at the same round for every Workers
+// setting, and an Observer hook that cancels on a given round produces
+// identical partial results sequentially and in parallel. A cancelled run
+// is not an error: it returns the partial Result with Complete=false and
+// StopReason=StopCancelled. The error return is reserved for invalid
+// Options (see Options.Validate).
+func CheckContext(ctx context.Context, m model.Machine, start model.SystemState, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return run(ctx, m, start, opt), nil
+}
+
+func run(ctx context.Context, m model.Machine, start model.SystemState, opt Options) *Result {
 	if opt.LocalBound <= 0 {
 		opt.LocalBound = 1
 	}
@@ -127,12 +160,19 @@ func Check(m model.Machine, start model.SystemState, opt Options) *Result {
 	if opt.Budget > 0 {
 		c.deadline = c.begin.Add(opt.Budget)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.ctx = ctx
+	c.em = newEmitter(opt.Observer, opt.HeartbeatEvery, c.begin)
+	c.em.runStart()
 
 	// Iterative deepening on the local-event bound (§4.2, "Local events"):
 	// run a pass; if the bound suppressed any action and deepening is
 	// configured, restart from scratch with a larger bound.
 	c.localBound = opt.LocalBound
-	for {
+	for pass := 1; ; pass++ {
+		c.em.passStart(pass, c.localBound)
 		complete := c.pass()
 		c.res.Complete = complete && !c.stopped
 		c.res.Suppressed = c.passSuppressed
@@ -148,7 +188,30 @@ func Check(m model.Machine, start model.SystemState, opt Options) *Result {
 		}
 	}
 	c.res.Stats.Elapsed = time.Since(c.begin)
+	if c.stopped {
+		c.res.StopReason = c.reason
+	} else {
+		c.res.StopReason = obs.StopFixpoint
+	}
+	c.em.runEnd(c.res, &c.probe)
 	return c.res
+}
+
+// stop latches the first stop criterion that fires; later calls keep the
+// original reason.
+func (c *checker) stop(reason obs.StopReason) {
+	if !c.stopped {
+		c.stopped = true
+		c.reason = reason
+	}
+}
+
+// pollCancel checks the run context at a round barrier. A nil context (a
+// checker built directly by tests, bypassing run) never cancels.
+func (c *checker) pollCancel() {
+	if c.ctx != nil && c.ctx.Err() != nil {
+		c.stop(obs.StopCancelled)
+	}
 }
 
 // pass explores to a fixpoint under the current local bound, starting from
@@ -210,6 +273,7 @@ func (c *checker) pass() bool {
 
 	for !c.stopped {
 		progress := false
+		c.em.roundStart()
 
 		// Internal events: execute the enabled actions of every node state
 		// that has not been processed yet (new states from the previous
@@ -233,6 +297,15 @@ func (c *checker) pass() bool {
 
 		c.drainPending(false)
 		c.recordRound()
+		// The round barrier: flush buffered run events, then poll the
+		// context. The observer runs before the poll, so a hook that cancels
+		// on a chosen round stops the run at that exact barrier regardless of
+		// the worker count.
+		c.em.barrier(c.res, &c.probe, true)
+		c.pollCancel()
+		if c.stopped {
+			break
+		}
 		if !progress {
 			// Exploration fixpoint: run every deferred witness search.
 			c.drainPending(true)
@@ -303,11 +376,11 @@ func (c *checker) chargeTransition() bool {
 		return false
 	}
 	if c.opt.MaxTransitions > 0 && c.res.Stats.Transitions >= c.opt.MaxTransitions {
-		c.stopped = true
+		c.stop(obs.StopTransitions)
 		return false
 	}
 	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
-		c.stopped = true
+		c.stop(obs.StopBudget)
 		return false
 	}
 	c.res.Stats.Transitions++

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lmc/internal/model"
+	"lmc/internal/obs"
+	"lmc/internal/protocols/paxos"
+	"lmc/internal/protocols/randtree"
+	"lmc/internal/protocols/twophase"
+	"lmc/internal/spec"
+)
+
+// TestValidate covers the error-returning option check CheckContext runs.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		opt     Options
+		wantErr bool
+	}{
+		{"no invariant at all", Options{}, true},
+		{"system invariant", Options{Invariant: paxos.Agreement()}, false},
+		{"local invariants only", Options{LocalInvariants: []spec.LocalInvariant{randtree.Structure()}}, false},
+		{"pure exploration", Options{DisableSystemStates: true}, false},
+		{"soundness share above 1", Options{Invariant: paxos.Agreement(), SoundnessShare: 1.5}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opt.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() = %v, wantErr=%v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCheckContextValidates: an invalid configuration surfaces as a returned
+// error, never a run.
+func TestCheckContextValidates(t *testing.T) {
+	m, start := paxosSpace()
+	res, err := CheckContext(context.Background(), m, start, Options{})
+	if err == nil {
+		t.Fatal("CheckContext accepted options without any invariant")
+	}
+	if res != nil {
+		t.Fatal("CheckContext returned a result alongside the error")
+	}
+}
+
+// TestStopReasons: every way a run can end is named correctly.
+func TestStopReasons(t *testing.T) {
+	m, start := paxosSpace()
+
+	full := Check(m, start, Options{Invariant: paxos.Agreement(), SoundnessShare: -1})
+	if !full.Complete || full.StopReason != StopFixpoint {
+		t.Fatalf("fixpoint run: complete=%v reason=%v", full.Complete, full.StopReason)
+	}
+
+	capped := Check(m, start, Options{Invariant: paxos.Agreement(), MaxTransitions: 100})
+	if capped.Complete || capped.StopReason != StopTransitions {
+		t.Fatalf("capped run: complete=%v reason=%v", capped.Complete, capped.StopReason)
+	}
+
+	bugged := Check(twophase.New(4, twophase.MajorityBug, 2), model.InitialSystem(twophase.New(4, twophase.MajorityBug, 2)),
+		Options{Invariant: twophase.Atomicity(), SoundnessShare: -1, StopAtFirstBug: true})
+	if len(bugged.Bugs) == 0 {
+		t.Fatal("majority-bug space produced no bug")
+	}
+	if bugged.StopReason != StopFirstBug {
+		t.Fatalf("first-bug run: reason=%v", bugged.StopReason)
+	}
+
+	two := paxos.New(3, paxos.NoBug, paxos.EachOnce{Nodes: []model.NodeID{0, 1}, Index: 0})
+	budgeted := Check(two, model.InitialSystem(two), Options{
+		Invariant: paxos.Agreement(),
+		Budget:    50 * time.Millisecond,
+	})
+	if budgeted.Complete {
+		t.Skip("two-proposal space finished inside the budget")
+	}
+	if budgeted.StopReason != StopBudget {
+		t.Fatalf("budgeted run: reason=%v", budgeted.StopReason)
+	}
+}
+
+// TestCancelledContext: a pre-cancelled context stops the run at the first
+// round barrier with the partial result intact.
+func TestCancelledContext(t *testing.T) {
+	m, start := paxosSpace()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := CheckContext(ctx, m, start, Options{Invariant: paxos.Agreement(), SoundnessShare: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("cancelled run claims completeness")
+	}
+	if res.StopReason != StopCancelled {
+		t.Fatalf("reason=%v, want StopCancelled", res.StopReason)
+	}
+}
+
+// cancelAtRound builds an observer hook that cancels the run's context when
+// round `round` of pass 1 finishes.
+func cancelAtRound(cancel context.CancelFunc, round int) obs.Observer {
+	return obs.FuncObserver(func(e obs.Event) {
+		if e.Kind == obs.KindRoundEnd && e.Pass == 1 && e.Round == round {
+			cancel()
+		}
+	})
+}
+
+// TestCancelDeterminism: cancellation is polled at round barriers, after
+// the observer flush, so a hook cancelling at a fixed round cuts the run
+// off at the same point for every worker count — identical partial stats
+// and bugs.
+func TestCancelDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		m    model.Machine
+		opt  Options
+	}{
+		{
+			name: "paxos-gen",
+			m:    paxos.New(3, paxos.NoBug, paxos.OnceAt{Node: 0, Index: 0, Value: 7}),
+			opt:  Options{Invariant: paxos.Agreement(), SoundnessShare: -1},
+		},
+		{
+			name: "twophase-majority",
+			m:    twophase.New(4, twophase.MajorityBug, 2),
+			opt:  Options{Invariant: twophase.Atomicity(), SoundnessShare: -1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			start := model.InitialSystem(tc.m)
+			run := func(workers, round int) *Result {
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				o := tc.opt
+				o.Workers = workers
+				o.Observer = cancelAtRound(cancel, round)
+				o.HeartbeatEvery = -1
+				res, err := CheckContext(ctx, tc.m, start, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			for _, round := range []int{1, 2, 3} {
+				base := run(1, round)
+				if base.Complete {
+					// The space ran out before the cancel round; still a
+					// valid parity point but no cancellation to compare.
+					continue
+				}
+				if base.StopReason != StopCancelled {
+					t.Fatalf("round=%d: reason=%v, want StopCancelled", round, base.StopReason)
+				}
+				for _, w := range []int{4, 8} {
+					got := run(w, round)
+					if got.StopReason != StopCancelled {
+						t.Fatalf("round=%d workers=%d: reason=%v", round, w, got.StopReason)
+					}
+					assertSameResult(t, w, base, got)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersParityWithObserver: an attached observer must not perturb the
+// parallel engine — results stay bit-for-bit identical to the sequential
+// nil-observer run, and the flushed event stream itself is identical for
+// every worker count (heartbeats disabled; they are wall-clock gated).
+func TestWorkersParityWithObserver(t *testing.T) {
+	m := paxos.New(3, paxos.NoBug, paxos.OnceAt{Node: 0, Index: 0, Value: 7})
+	start := model.InitialSystem(m)
+	base := Check(m, start, Options{Invariant: paxos.Agreement(), SoundnessShare: -1, Workers: -1})
+
+	type runOut struct {
+		res    *Result
+		events []obs.Event
+	}
+	run := func(workers int) runOut {
+		rec := &obs.Recorder{}
+		res := Check(m, start, Options{
+			Invariant:      paxos.Agreement(),
+			SoundnessShare: -1,
+			Workers:        workers,
+			Observer:       rec,
+			HeartbeatEvery: -1,
+		})
+		return runOut{res: res, events: rec.Events()}
+	}
+
+	seq := run(1)
+	assertSameResult(t, 1, base, seq.res)
+	if len(seq.events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for _, w := range []int{4, 8} {
+		got := run(w)
+		assertSameResult(t, w, base, got.res)
+		if len(got.events) != len(seq.events) {
+			t.Fatalf("workers=%d event count diverged: %d vs %d",
+				w, len(got.events), len(seq.events))
+		}
+		for i := range seq.events {
+			a, b := seq.events[i], got.events[i]
+			// Elapsed and phase times are wall clock; everything else must
+			// match exactly.
+			if a.Kind != b.Kind || a.Pass != b.Pass || a.Round != b.Round ||
+				a.Depth != b.Depth || a.Count != b.Count || a.Sequences != b.Sequences ||
+				a.Invariant != b.Invariant || a.Detail != b.Detail || a.Reason != b.Reason {
+				t.Fatalf("workers=%d event %d diverged:\nseq: %+v\ngot: %+v", w, i, a, b)
+			}
+		}
+	}
+}
+
+// TestObserverSeesViolations: each confirmed bug is emitted exactly once.
+func TestObserverSeesViolations(t *testing.T) {
+	m := twophase.New(4, twophase.MajorityBug, 2)
+	rec := &obs.Recorder{}
+	res := Check(m, model.InitialSystem(m), Options{
+		Invariant:      twophase.Atomicity(),
+		SoundnessShare: -1,
+		Observer:       rec,
+		HeartbeatEvery: -1,
+	})
+	if got := rec.Count(obs.KindViolation); got != len(res.Bugs) {
+		t.Fatalf("%d violation events for %d bugs", got, len(res.Bugs))
+	}
+	if rec.Count(obs.KindRunStart) != 1 || rec.Count(obs.KindRunEnd) != 1 {
+		t.Fatalf("run start/end not emitted exactly once: %d/%d",
+			rec.Count(obs.KindRunStart), rec.Count(obs.KindRunEnd))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"lmc/internal/codec"
 	"lmc/internal/model"
 	"lmc/internal/netstate"
+	"lmc/internal/obs"
 )
 
 // nodeRun is one node's share of one exploration phase, accumulated
@@ -361,7 +362,7 @@ func (c *checker) eachRunParallel(runs []*nodeRun, work func(*nodeRun)) {
 	}
 	wg.Wait()
 	if len(runs) > 0 && runs[0].halt != nil && runs[0].halt.Load() {
-		c.stopped = true
+		c.stop(obs.StopBudget)
 	}
 }
 
@@ -430,11 +431,16 @@ func (c *checker) mergeActionPhase(runs []*nodeRun) bool {
 // first bug, or the deadline observed inside a check) still halts the
 // remaining checks through c.stopped as usual.
 func (c *checker) suspendStop() func() {
-	explorationStopped := c.stopped
+	explorationStopped, explorationReason := c.stopped, c.reason
 	c.stopped = false
 	return func() {
-		if explorationStopped {
+		if explorationStopped && !c.stopped {
+			// In the sequential interleaving these checks all ran before the
+			// exploration stop was observed, so a stop the checks raised
+			// themselves keeps its own reason; otherwise the suspended
+			// exploration stop is re-asserted with its original reason.
 			c.stopped = true
+			c.reason = explorationReason
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"lmc/internal/codec"
 	"lmc/internal/model"
+	"lmc/internal/obs"
 	"lmc/internal/spec"
 	"lmc/internal/trace"
 )
@@ -78,7 +79,7 @@ func (c *checker) checkStartState() {
 				System:    c.comboSystem(combo),
 			})
 			if c.opt.StopAtFirstBug {
-				c.stopped = true
+				c.stop(obs.StopFirstBug)
 			}
 		}
 	}
@@ -322,7 +323,7 @@ func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force boo
 		// proportionally below.
 		budget--
 		if !c.deadline.IsZero() && time.Now().After(c.deadline) {
-			c.stopped = true
+			c.stop(obs.StopBudget)
 			return
 		}
 		combo[k] = b
@@ -374,7 +375,7 @@ func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force boo
 			if i == len(lists) {
 				deadlineTick++
 				if deadlineTick%256 == 0 && !c.deadline.IsZero() && time.Now().After(c.deadline) {
-					c.stopped = true
+					c.stop(obs.StopBudget)
 					return false
 				}
 				return c.tryWitness(combo, int(ns.node), k, &budget)
@@ -464,7 +465,7 @@ func (c *checker) confirmLocalViolation(ns *nodeState, v *spec.Violation, view [
 				Depth:     comboDepth(combo),
 			})
 			if c.opt.StopAtFirstBug {
-				c.stopped = true
+				c.stop(obs.StopFirstBug)
 			}
 			return true
 		}
@@ -606,7 +607,7 @@ func (c *checker) tryWitness(combo []*nodeState, pairA, pairB int, budget *int) 
 		Depth:     d,
 	})
 	if c.opt.StopAtFirstBug {
-		c.stopped = true
+		c.stop(obs.StopFirstBug)
 	}
 	return true
 }
@@ -799,7 +800,7 @@ func (c *checker) forEachCombo(lists [][]*nodeState) {
 		wg.Wait()
 	}
 	if halt.Load() && !c.deadline.IsZero() && time.Now().After(c.deadline) {
-		c.stopped = true
+		c.stop(obs.StopBudget)
 	}
 
 	var all []prelim
@@ -922,7 +923,7 @@ func (c *checker) confirmBatch(prelims []prelim) {
 			Depth:     comboDepth(p.combo),
 		})
 		if c.opt.StopAtFirstBug {
-			c.stopped = true
+			c.stop(obs.StopFirstBug)
 		}
 	}
 }

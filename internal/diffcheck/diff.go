@@ -8,6 +8,7 @@ import (
 	"lmc/internal/core"
 	"lmc/internal/mc/global"
 	"lmc/internal/model"
+	"lmc/internal/obs"
 	"lmc/internal/testkit"
 	"lmc/internal/trace"
 )
@@ -31,6 +32,11 @@ type Tuning struct {
 	DisableDeepening bool
 	// SkipOPT skips the LMC-OPT run even when the scenario has a reduction.
 	SkipOPT bool
+	// Observer receives run events from every checker run of the
+	// differential (global, LMC-GEN, LMC-OPT). With concurrent scenarios the
+	// streams interleave; the implementation must be safe for concurrent
+	// use.
+	Observer obs.Observer
 }
 
 // Defaults for Tuning. A differential run executes up to three checkers, so
@@ -142,6 +148,7 @@ func Run(sc Scenario, tun Tuning) (*Verdict, error) {
 		MaxDepth:        sc.Depth,
 		MaxTransitions:  tun.GlobalMaxTransitions,
 		Budget:          tun.Budget,
+		Observer:        tun.Observer,
 		StopAtFirstBug:  true,
 		InitialMessages: inflight,
 	})
@@ -200,6 +207,7 @@ func lmcOptions(sc Scenario, tun Tuning, inst *Instance, inflight []model.Messag
 		LocalBound:      sc.LocalBound,
 		MaxTransitions:  tun.LMCMaxTransitions,
 		Budget:          tun.Budget,
+		Observer:        tun.Observer,
 		// One confirmed violation per run is all the comparison needs;
 		// confirming every violation in the space (the onepaxos live state
 		// has thousands) would dwarf the exploration itself.

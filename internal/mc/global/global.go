@@ -8,11 +8,14 @@
 package global
 
 import (
+	"context"
+	"errors"
 	"time"
 
 	"lmc/internal/codec"
 	"lmc/internal/model"
 	"lmc/internal/netstate"
+	"lmc/internal/obs"
 	"lmc/internal/spec"
 	"lmc/internal/stats"
 	"lmc/internal/trace"
@@ -59,6 +62,25 @@ type Options struct {
 	StopAtFirstBug bool
 	// RecordSeries collects per-depth progress samples (Figures 10–12).
 	RecordSeries bool
+	// Observer receives run events: run start/end, one round-end per
+	// completed BFS depth level, every violation, and periodic heartbeats.
+	// The global search is single-goroutine, so events are emitted inline;
+	// nil costs one branch per site.
+	Observer obs.Observer
+	// HeartbeatEvery is the interval between heartbeat events. Zero means
+	// one second when Observer is set; negative disables heartbeats. The
+	// wall clock is consulted only every few hundred expansions, so the
+	// effective period is approximate.
+	HeartbeatEvery time.Duration
+}
+
+// Validate reports whether the options describe a runnable search. It is
+// the error-returning form of the invariant check Check enforces by panic.
+func (o *Options) Validate() error {
+	if o.Invariant == nil {
+		return errors.New("global: Options.Invariant is required")
+	}
+	return nil
 }
 
 // Bug is a violation found by the global checker. Global search is sound by
@@ -77,6 +99,9 @@ type Result struct {
 	// Complete is true when the search exhausted the reachable state space
 	// within MaxDepth before hitting any transition/time bound.
 	Complete bool
+	// StopReason says why the run ended: StopFixpoint for an exhausted
+	// space, otherwise the bound or cancellation that cut it off.
+	StopReason obs.StopReason
 }
 
 // node is one traversed global state, kept for path reconstruction.
@@ -89,18 +114,80 @@ type node struct {
 }
 
 // Check explores the global state space of machine m from the given start
-// system state (with an empty in-flight network) under opt.
+// system state (with an empty in-flight network) under opt. It panics on
+// invalid options; CheckContext returns the validation error instead.
 func Check(m model.Machine, start model.SystemState, opt Options) *Result {
-	if opt.Invariant == nil {
-		panic("global: Options.Invariant is required")
+	if err := opt.Validate(); err != nil {
+		panic(err.Error())
 	}
-	res := &Result{Complete: true}
+	return run(context.Background(), m, start, opt)
+}
+
+// CheckContext is Check with option validation surfaced as an error and
+// cooperative cancellation. The context is polled once per worklist
+// iteration; a cancelled run returns its partial Result with
+// Complete=false and StopReason=StopCancelled, not an error.
+func CheckContext(ctx context.Context, m model.Machine, start model.SystemState, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return run(ctx, m, start, opt), nil
+}
+
+func run(ctx context.Context, m model.Machine, start model.SystemState, opt Options) *Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := &Result{Complete: true, StopReason: obs.StopFixpoint}
 	if opt.RecordSeries {
 		res.Series = stats.NewSeries()
 	}
 	var probe stats.MemProbe
 	probe.Baseline()
 	begin := time.Now()
+
+	// Inline emission: the global search is single-goroutine, so there is no
+	// hot parallel path to keep events out of; a nil observer reduces every
+	// site to one branch.
+	o := opt.Observer
+	emit := func(ev obs.Event) {
+		if o == nil {
+			return
+		}
+		ev.Checker = "global"
+		ev.Elapsed = time.Since(begin)
+		o.OnEvent(ev)
+	}
+	beat := opt.HeartbeatEvery
+	if o == nil || beat < 0 {
+		beat = 0
+	} else if beat == 0 {
+		beat = time.Second
+	}
+	nextBeat := beat
+	heartbeat := func(el time.Duration) {
+		cur := res.Stats
+		cur.Elapsed = el
+		emit(obs.Event{
+			Kind:      obs.KindHeartbeat,
+			Counters:  cur,
+			HeapBytes: probe.Sample(),
+			Phases:    obs.Attribution(&cur, el),
+		})
+	}
+	finish := func() *Result {
+		res.Stats.Elapsed = time.Since(begin)
+		cur := res.Stats
+		emit(obs.Event{
+			Kind:     obs.KindRunEnd,
+			Reason:   res.StopReason,
+			Depth:    cur.MaxDepth,
+			Counters: cur,
+			Phases:   obs.Attribution(&cur, cur.Elapsed),
+		})
+		return res
+	}
+	emit(obs.Event{Kind: obs.KindRunStart})
 
 	arena := make([]node, 0, 1024)
 	rootNet := netstate.NewMultiset()
@@ -118,9 +205,12 @@ func Check(m model.Machine, start model.SystemState, opt Options) *Result {
 		res.Stats.PreliminaryViolations++
 		res.Stats.ConfirmedBugs++
 		res.Bugs = append(res.Bugs, Bug{Violation: v})
+		emit(obs.Event{Kind: obs.KindViolation, Invariant: v.Invariant, Detail: v.Detail})
 		if opt.StopAtFirstBug {
-			res.Stats.Elapsed = time.Since(begin)
-			return res
+			// The root state is the whole explored space here, so Complete
+			// keeps its seed semantics (true).
+			res.StopReason = obs.StopFirstBug
+			return finish()
 		}
 	}
 
@@ -145,13 +235,26 @@ func Check(m model.Machine, start model.SystemState, opt Options) *Result {
 	}
 
 	for len(work) > 0 {
+		if ctx.Err() != nil {
+			res.Complete = false
+			res.StopReason = obs.StopCancelled
+			break
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			res.Complete = false
+			res.StopReason = obs.StopBudget
 			break
 		}
 		if opt.MaxTransitions > 0 && res.Stats.Transitions >= opt.MaxTransitions {
 			res.Complete = false
+			res.StopReason = obs.StopTransitions
 			break
+		}
+		if beat > 0 {
+			if el := time.Since(begin); el >= nextBeat {
+				heartbeat(el)
+				nextBeat = el + beat
+			}
 		}
 
 		var cur int
@@ -167,8 +270,15 @@ func Check(m model.Machine, start model.SystemState, opt Options) *Result {
 			res.Stats.MaxDepth = n.depth
 		}
 		if opt.Strategy == BFS && n.depth > lastLevel {
-			// All states of depth lastLevel are fully expanded.
+			// All states of depth lastLevel are fully expanded: the global
+			// checker's analogue of a round barrier.
 			record(lastLevel)
+			emit(obs.Event{
+				Kind:  obs.KindRoundEnd,
+				Round: lastLevel,
+				Depth: lastLevel,
+				Count: res.Stats.GlobalStates,
+			})
 			lastLevel = n.depth
 		}
 		if opt.MaxDepth > 0 && n.depth >= opt.MaxDepth {
@@ -206,13 +316,14 @@ func Check(m model.Machine, start model.SystemState, opt Options) *Result {
 				res.Stats.PreliminaryViolations++
 				res.Stats.ConfirmedBugs++
 				res.Bugs = append(res.Bugs, Bug{Violation: v, Schedule: pathTo(arena, idx)})
+				emit(obs.Event{Kind: obs.KindViolation, Invariant: v.Invariant, Detail: v.Detail, Depth: d2})
 				if opt.StopAtFirstBug {
 					if d2 > res.Stats.MaxDepth {
 						res.Stats.MaxDepth = d2
 					}
-					res.Stats.Elapsed = time.Since(begin)
 					res.Complete = false
-					return res
+					res.StopReason = obs.StopFirstBug
+					return finish()
 				}
 			}
 			work = append(work, idx)
@@ -221,9 +332,14 @@ func Check(m model.Machine, start model.SystemState, opt Options) *Result {
 
 	if opt.Strategy == BFS {
 		record(lastLevel)
+		emit(obs.Event{
+			Kind:  obs.KindRoundEnd,
+			Round: lastLevel,
+			Depth: lastLevel,
+			Count: res.Stats.GlobalStates,
+		})
 	}
-	res.Stats.Elapsed = time.Since(begin)
-	return res
+	return finish()
 }
 
 // enabledEvents enumerates the transitions enabled at a global state: one

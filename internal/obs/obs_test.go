@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"lmc/internal/stats"
+)
+
+func TestStopReasonStrings(t *testing.T) {
+	want := map[StopReason]string{
+		StopFixpoint:    "fixpoint",
+		StopBudget:      "budget",
+		StopTransitions: "transitions",
+		StopCancelled:   "cancelled",
+		StopFirstBug:    "first-bug",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(r), r.String(), s)
+		}
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("empty Multi must collapse to nil (the checkers' fast path)")
+	}
+	r := &Recorder{}
+	if Multi(nil, r) != Observer(r) {
+		t.Fatal("single-observer Multi must not wrap")
+	}
+	r2 := &Recorder{}
+	Multi(r, r2).OnEvent(Event{Kind: KindRunStart})
+	if r.Count(KindRunStart) != 1 || r2.Count(KindRunStart) != 1 {
+		t.Fatal("fan-out did not reach every observer")
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	c := &stats.Counters{
+		SystemStateTime: 30 * time.Millisecond,
+		SoundnessTime:   20 * time.Millisecond,
+	}
+	p := Attribution(c, 100*time.Millisecond)
+	if p.Explore != 50*time.Millisecond {
+		t.Fatalf("Explore = %v, want 50ms", p.Explore)
+	}
+	// Clock skew between the phase timers and the caller's elapsed reading
+	// must clamp at zero, not go negative.
+	p = Attribution(c, 40*time.Millisecond)
+	if p.Explore != 0 {
+		t.Fatalf("Explore = %v, want 0 under skew", p.Explore)
+	}
+}
+
+func TestLogObserverLevels(t *testing.T) {
+	var buf bytes.Buffer
+	o := NewLogObserver(slog.New(slog.NewTextHandler(&buf, nil))) // Info level
+	o.OnEvent(Event{Kind: KindRunStart, Checker: "lmc"})
+	o.OnEvent(Event{Kind: KindRoundStart, Checker: "lmc", Pass: 1, Round: 1})
+	o.OnEvent(Event{Kind: KindViolation, Checker: "lmc", Invariant: "agreement", Detail: "split"})
+	out := buf.String()
+	if !strings.Contains(out, "checker run started") {
+		t.Fatalf("run start not logged at Info:\n%s", out)
+	}
+	if strings.Contains(out, "round started") {
+		t.Fatalf("per-round chatter leaked to Info:\n%s", out)
+	}
+	if !strings.Contains(out, "agreement") {
+		t.Fatalf("violation not logged:\n%s", out)
+	}
+}
+
+func TestExpvarObserverReuse(t *testing.T) {
+	a := NewExpvarObserver("obs_test_reuse")
+	b := NewExpvarObserver("obs_test_reuse")
+	if a != b {
+		t.Fatal("same name must return the same observer (expvar names are process-global)")
+	}
+	a.OnEvent(Event{Kind: KindRunEnd, Reason: StopBudget,
+		Counters: stats.Counters{Transitions: 42}, Elapsed: time.Second})
+	if got := a.transitions.Value(); got != 42 {
+		t.Fatalf("transitions = %d, want 42", got)
+	}
+	if got := a.reason.Value(); got != "budget" {
+		t.Fatalf("reason = %q, want %q", got, "budget")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := &Recorder{}
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				r.OnEvent(Event{Kind: KindHeartbeat})
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if r.Count(KindHeartbeat) != 400 {
+		t.Fatalf("recorded %d events, want 400", r.Count(KindHeartbeat))
+	}
+}

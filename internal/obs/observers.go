@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"expvar"
+	"log/slog"
+	"sync"
+)
+
+// LogObserver logs events through log/slog: run/pass milestones,
+// violations, heartbeats and run ends at Info, per-round chatter
+// (round start/end and the barrier batch aggregates) at Debug — so the
+// default Info level yields a readable progress log and Debug yields the
+// full stream.
+type LogObserver struct {
+	l *slog.Logger
+}
+
+// NewLogObserver builds a LogObserver; a nil logger means slog.Default().
+func NewLogObserver(l *slog.Logger) *LogObserver {
+	if l == nil {
+		l = slog.Default()
+	}
+	return &LogObserver{l: l}
+}
+
+// OnEvent implements Observer.
+func (o *LogObserver) OnEvent(e Event) {
+	attrs := []any{
+		slog.String("checker", e.Checker),
+		slog.Duration("elapsed", e.Elapsed),
+	}
+	switch e.Kind {
+	case KindRunStart:
+		o.l.Info("checker run started", attrs...)
+	case KindPassStart:
+		o.l.Info("exploration pass", append(attrs,
+			slog.Int("pass", e.Pass), slog.Int("localBound", e.LocalBound))...)
+	case KindRoundStart:
+		o.l.Debug("round started", append(attrs,
+			slog.Int("pass", e.Pass), slog.Int("round", e.Round))...)
+	case KindRoundEnd:
+		o.l.Debug("round finished", append(attrs,
+			slog.Int("pass", e.Pass), slog.Int("round", e.Round),
+			slog.Int("depth", e.Depth), slog.Int("nodeStates", e.Count))...)
+	case KindSystemStates:
+		o.l.Debug("system states checked", append(attrs,
+			slog.Int("round", e.Round), slog.Int("count", e.Count),
+			slog.Duration("phaseTime", e.Phases.SystemStates))...)
+	case KindSoundness:
+		o.l.Debug("soundness calls", append(attrs,
+			slog.Int("round", e.Round), slog.Int("calls", e.Count),
+			slog.Int("sequences", e.Sequences),
+			slog.Duration("phaseTime", e.Phases.Soundness))...)
+	case KindPrelimViolations:
+		o.l.Debug("preliminary violations", append(attrs,
+			slog.Int("round", e.Round), slog.Int("count", e.Count))...)
+	case KindViolation:
+		o.l.Info("violation confirmed", append(attrs,
+			slog.String("invariant", e.Invariant),
+			slog.String("detail", e.Detail), slog.Int("depth", e.Depth))...)
+	case KindHeartbeat:
+		o.l.Info("heartbeat", append(attrs,
+			slog.Int("transitions", e.Counters.Transitions),
+			slog.Int("nodeStates", e.Counters.NodeStates),
+			slog.Int("systemStates", e.Counters.SystemStates),
+			slog.Int("soundnessCalls", e.Counters.SoundnessCalls),
+			slog.Int("confirmedBugs", e.Counters.ConfirmedBugs),
+			slog.Uint64("heapBytes", e.HeapBytes),
+			slog.Duration("explore", e.Phases.Explore),
+			slog.Duration("systemStateTime", e.Phases.SystemStates),
+			slog.Duration("soundnessTime", e.Phases.Soundness))...)
+	case KindSnapshot:
+		o.l.Info("online snapshot", append(attrs,
+			slog.Int("run", e.Count), slog.Float64("simTime", e.SimTime))...)
+	case KindRunEnd:
+		o.l.Info("checker run finished", append(attrs,
+			slog.String("reason", e.Reason.String()),
+			slog.Int("transitions", e.Counters.Transitions),
+			slog.Int("nodeStates", e.Counters.NodeStates),
+			slog.Int("systemStates", e.Counters.SystemStates),
+			slog.Int("confirmedBugs", e.Counters.ConfirmedBugs),
+			slog.Duration("explore", e.Phases.Explore),
+			slog.Duration("systemStateTime", e.Phases.SystemStates),
+			slog.Duration("soundnessTime", e.Phases.Soundness))...)
+	default:
+		o.l.Debug(e.Kind.String(), attrs...)
+	}
+}
+
+// ExpvarObserver publishes the live counters of a run under an expvar map,
+// so any process that imports net/http/pprof (or expvar itself) serves them
+// on /debug/vars. The same named map is reused across observers — expvar
+// names are process-global and cannot be unregistered — which lets
+// consecutive runs (the online driver's restarts, a soak loop) update one
+// dashboard.
+type ExpvarObserver struct {
+	transitions, nodeStates, systemStates   *expvar.Int
+	soundnessCalls, sequences, prelim, bugs *expvar.Int
+	rounds, passes, heapBytes, elapsedMS    *expvar.Int
+	reason                                  *expvar.String
+}
+
+var (
+	expvarMu   sync.Mutex
+	expvarMaps = map[string]*ExpvarObserver{}
+)
+
+// NewExpvarObserver returns the observer publishing under map name (e.g.
+// "lmc"). Calling it again with the same name returns the same observer.
+func NewExpvarObserver(name string) *ExpvarObserver {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if o, ok := expvarMaps[name]; ok {
+		return o
+	}
+	m := expvar.NewMap(name)
+	o := &ExpvarObserver{
+		transitions:    new(expvar.Int),
+		nodeStates:     new(expvar.Int),
+		systemStates:   new(expvar.Int),
+		soundnessCalls: new(expvar.Int),
+		sequences:      new(expvar.Int),
+		prelim:         new(expvar.Int),
+		bugs:           new(expvar.Int),
+		rounds:         new(expvar.Int),
+		passes:         new(expvar.Int),
+		heapBytes:      new(expvar.Int),
+		elapsedMS:      new(expvar.Int),
+		reason:         new(expvar.String),
+	}
+	m.Set("transitions", o.transitions)
+	m.Set("node_states", o.nodeStates)
+	m.Set("system_states", o.systemStates)
+	m.Set("soundness_calls", o.soundnessCalls)
+	m.Set("sequences_checked", o.sequences)
+	m.Set("prelim_violations", o.prelim)
+	m.Set("confirmed_bugs", o.bugs)
+	m.Set("rounds", o.rounds)
+	m.Set("passes", o.passes)
+	m.Set("heap_bytes", o.heapBytes)
+	m.Set("elapsed_ms", o.elapsedMS)
+	m.Set("stop_reason", o.reason)
+	expvarMaps[name] = o
+	return o
+}
+
+// OnEvent implements Observer.
+func (o *ExpvarObserver) OnEvent(e Event) {
+	switch e.Kind {
+	case KindRunStart:
+		o.rounds.Set(0)
+		o.passes.Set(0)
+		o.reason.Set("running")
+	case KindPassStart:
+		o.passes.Set(int64(e.Pass))
+	case KindRoundEnd:
+		o.rounds.Set(int64(e.Round))
+	case KindHeartbeat, KindRunEnd:
+		o.transitions.Set(int64(e.Counters.Transitions))
+		o.nodeStates.Set(int64(e.Counters.NodeStates))
+		o.systemStates.Set(int64(e.Counters.SystemStates))
+		o.soundnessCalls.Set(int64(e.Counters.SoundnessCalls))
+		o.sequences.Set(int64(e.Counters.SequencesChecked))
+		o.prelim.Set(int64(e.Counters.PreliminaryViolations))
+		o.bugs.Set(int64(e.Counters.ConfirmedBugs))
+		o.heapBytes.Set(int64(e.HeapBytes))
+		o.elapsedMS.Set(e.Elapsed.Milliseconds())
+		if e.Kind == KindRunEnd {
+			o.reason.Set(e.Reason.String())
+		}
+	}
+}
+
+// Recorder collects every event, for tests and post-hoc analysis. It is
+// safe for concurrent use (an online session interleaves driver and checker
+// events from one goroutine, but harnesses may share a Recorder across
+// runs).
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// OnEvent implements Observer.
+func (r *Recorder) OnEvent(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Count returns how many events of kind k were recorded.
+func (r *Recorder) Count(k Kind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset drops everything recorded.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}

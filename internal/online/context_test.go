@@ -1,0 +1,104 @@
+package online
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lmc/internal/core"
+	"lmc/internal/obs"
+	"lmc/internal/protocols/paxos"
+	"lmc/internal/sim"
+	"lmc/internal/simnet"
+)
+
+func sessionConfig(o obs.Observer) (*sim.Sim, Config) {
+	m := paxos.New(3, paxos.NoBug, paxos.ActiveIndex{})
+	live := sim.New(sim.Config{
+		Machine:   m,
+		Net:       simnet.Config{Seed: 5, DropProb: 0.2},
+		Seed:      3,
+		AppPeriod: 60,
+		App:       paxos.LiveApp(m.P),
+	})
+	return live, Config{
+		Machine:    m,
+		Interval:   60,
+		MaxSimTime: 5 * 60,
+		Checker: core.Options{
+			Invariant:      paxos.Agreement(),
+			Reduction:      paxos.Reduction{},
+			Budget:         200 * time.Millisecond,
+			Observer:       o,
+			HeartbeatEvery: -1,
+		},
+	}
+}
+
+// TestRunContextValidates: an invalid checker configuration surfaces as an
+// error before the live run is touched.
+func TestRunContextValidates(t *testing.T) {
+	live, cfg := sessionConfig(nil)
+	cfg.Checker.Invariant = nil
+	if _, err := RunContext(context.Background(), live, cfg); err == nil {
+		t.Fatal("RunContext accepted a checker configuration without an invariant")
+	}
+}
+
+// TestRunContextSnapshotEvents: every checker restart is announced with a
+// KindSnapshot event carrying the snapshot's simulated time, interleaved
+// with that run's own events.
+func TestRunContextSnapshotEvents(t *testing.T) {
+	rec := &obs.Recorder{}
+	live, cfg := sessionConfig(rec)
+	rep, err := RunContext(context.Background(), live, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) == 0 {
+		t.Fatal("no checker restarts")
+	}
+	snaps := 0
+	for _, e := range rec.Events() {
+		if e.Kind != obs.KindSnapshot {
+			continue
+		}
+		snaps++
+		if e.Checker != "online" || e.SimTime <= 0 || e.Count != snaps {
+			t.Fatalf("malformed snapshot event %d: %+v", snaps, e)
+		}
+	}
+	if snaps != len(rep.Runs) {
+		t.Fatalf("%d snapshot events for %d runs", snaps, len(rep.Runs))
+	}
+	if rec.Count(obs.KindRunStart) != len(rep.Runs) {
+		t.Fatalf("%d run-start events for %d runs", rec.Count(obs.KindRunStart), len(rep.Runs))
+	}
+}
+
+// TestRunContextCancellation: a context cancelled from an observer hook
+// mid-session stops the current restart at its next round barrier and ends
+// the session with the partial report.
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runs := 0
+	hook := obs.FuncObserver(func(e obs.Event) {
+		if e.Kind == obs.KindSnapshot {
+			runs++
+			if runs == 2 {
+				cancel()
+			}
+		}
+	})
+	live, cfg := sessionConfig(hook)
+	rep, err := RunContext(ctx, live, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second restart observes the cancelled context at its first round
+	// barrier, records its partial run, and the session stops.
+	if len(rep.Runs) != 2 {
+		t.Fatalf("session recorded %d runs, want 2", len(rep.Runs))
+	}
+}

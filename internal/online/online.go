@@ -8,10 +8,12 @@
 package online
 
 import (
+	"context"
 	"time"
 
 	"lmc/internal/core"
 	"lmc/internal/model"
+	"lmc/internal/obs"
 	"lmc/internal/sim"
 	"lmc/internal/stats"
 )
@@ -60,20 +62,58 @@ type Report struct {
 }
 
 // Run drives the live simulation, snapshotting every Interval simulated
-// seconds and restarting the local checker from the snapshot.
+// seconds and restarting the local checker from the snapshot. It is the
+// legacy entry point: no option validation, no cancellation.
 func Run(live *sim.Sim, cfg Config) *Report {
+	return run(context.Background(), live, cfg, false)
+}
+
+// RunContext is Run with checker-option validation surfaced as an error
+// and cooperative cancellation. The context is threaded into every checker
+// restart (cancellation cuts the current restart off at its next round
+// barrier) and polled between restarts; a cancelled session returns the
+// partial Report accumulated so far, not an error. Each restart is
+// announced to cfg.Checker.Observer with a KindSnapshot event before the
+// checker run's own events.
+func RunContext(ctx context.Context, live *sim.Sim, cfg Config) (*Report, error) {
+	if err := cfg.Checker.Validate(); err != nil {
+		return nil, err
+	}
+	return run(ctx, live, cfg, true), nil
+}
+
+func run(ctx context.Context, live *sim.Sim, cfg Config, validated bool) *Report {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 60
 	}
 	if cfg.MaxSimTime <= 0 {
 		cfg.MaxSimTime = 24 * 3600
 	}
+	begin := time.Now()
 	rep := &Report{}
 	var wall time.Duration
 	for t := cfg.Interval; t <= cfg.MaxSimTime; t += cfg.Interval {
+		if ctx.Err() != nil {
+			break
+		}
 		live.RunUntil(t)
 		snap := live.Snapshot()
-		res := core.Check(cfg.Machine, snap, cfg.Checker)
+		if cfg.Checker.Observer != nil {
+			cfg.Checker.Observer.OnEvent(obs.Event{
+				Kind:    obs.KindSnapshot,
+				Checker: "online",
+				Elapsed: time.Since(begin),
+				Count:   len(rep.Runs) + 1,
+				SimTime: live.Now(),
+			})
+		}
+		var res *core.Result
+		if validated {
+			// Validation already passed, so CheckContext cannot error here.
+			res, _ = core.CheckContext(ctx, cfg.Machine, snap, cfg.Checker)
+		} else {
+			res = core.Check(cfg.Machine, snap, cfg.Checker)
+		}
 		wall += res.Stats.Elapsed
 		rep.Runs = append(rep.Runs, RunReport{
 			SimTime: live.Now(),
@@ -89,6 +129,9 @@ func Run(live *sim.Sim, cfg Config) *Report {
 			if cfg.StopAtFirstBug {
 				return rep
 			}
+		}
+		if res.StopReason == core.StopCancelled {
+			break
 		}
 	}
 	return rep

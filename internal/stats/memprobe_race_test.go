@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMemProbeConcurrent: the probe must be usable from many goroutines at
+// once — heartbeat snapshots sample mid-run while exploration workers are
+// allocating, and an online harness may re-baseline between checker
+// restarts while an expvar scraper still samples the previous run. Run
+// under -race (the CI race job covers internal/...), this fails on any
+// unsynchronized access to the baseline.
+func TestMemProbeConcurrent(t *testing.T) {
+	var p MemProbe
+	p.Baseline()
+
+	const goroutines = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	sink := make([]uint64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if g == 0 && i%50 == 0 {
+					p.Baseline()
+				}
+				sink[g] += p.Sample() & 1
+				// Churn the heap so samples actually move.
+				buf := make([]byte, 1024)
+				sink[g] += uint64(buf[0])
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestMemProbeGrowthVisible: a large live allocation is visible to a
+// mid-run Sample without any GC in between (the cheap-sampling contract the
+// heartbeat relies on).
+func TestMemProbeGrowthVisible(t *testing.T) {
+	var p MemProbe
+	p.Baseline()
+	block := make([]int64, 1<<20) // 8 MiB live
+	for i := range block {
+		block[i] = int64(i)
+	}
+	got := p.Sample()
+	if got < 4<<20 {
+		t.Fatalf("8 MiB live allocation invisible to Sample: %d bytes", got)
+	}
+	_ = block[len(block)-1]
+}

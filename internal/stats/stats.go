@@ -6,8 +6,10 @@ package stats
 import (
 	"fmt"
 	"runtime"
+	"runtime/metrics"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -124,28 +126,48 @@ func (se *Series) Len() int { return len(se.byDepth) }
 // MemProbe measures heap growth relative to a baseline, the way Figure 12
 // reports "increased memory size". Call Baseline once before the run, then
 // Sample at measurement points.
+//
+// The probe is re-entrant and data-race-free: the baseline is an atomic,
+// and Sample reads the heap through runtime/metrics — which takes no
+// stop-the-world pause, unlike runtime.ReadMemStats — so periodic heartbeat
+// snapshots can sample mid-run, concurrently with exploration workers
+// (Options.Workers > 1) and with other samplers, without perturbing the run
+// they are observing.
 type MemProbe struct {
-	base uint64
+	base atomic.Uint64
+}
+
+// heapInUse reads the live heap-object bytes without stopping the world.
+func heapInUse() uint64 {
+	var s [1]metrics.Sample
+	s[0].Name = "/memory/classes/heap/objects:bytes"
+	metrics.Read(s[:])
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	// Metric unavailable (a future runtime renamed it): fall back to the
+	// stop-the-world reader rather than reporting garbage.
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
 }
 
 // Baseline garbage-collects and records the current heap allocation.
 func (p *MemProbe) Baseline() {
 	runtime.GC()
-	var m runtime.MemStats
-	runtime.ReadMemStats(&m)
-	p.base = m.HeapAlloc
+	p.base.Store(heapInUse())
 }
 
 // Sample returns the heap growth since Baseline, clamped at zero. It does
 // not force a GC — sampling is frequent and must stay cheap — so values are
 // an upper estimate, as in the paper's coarse MB-scale plot.
 func (p *MemProbe) Sample() uint64 {
-	var m runtime.MemStats
-	runtime.ReadMemStats(&m)
-	if m.HeapAlloc < p.base {
+	cur := heapInUse()
+	base := p.base.Load()
+	if cur < base {
 		return 0
 	}
-	return m.HeapAlloc - p.base
+	return cur - base
 }
 
 // SamplePrecise forces a GC first, for end-of-run measurements.

@@ -39,9 +39,13 @@
 package lmc
 
 import (
+	"context"
+	"log/slog"
+
 	"lmc/internal/core"
 	"lmc/internal/mc/global"
 	"lmc/internal/model"
+	"lmc/internal/obs"
 	"lmc/internal/online"
 	"lmc/internal/sim"
 	"lmc/internal/simnet"
@@ -103,6 +107,73 @@ type (
 	Schedule = trace.Schedule
 )
 
+// Run-event observability (see internal/obs). Both checkers and the online
+// driver emit typed events into Options.Observer: run and pass boundaries,
+// per-round progress, system-state and soundness batches, violations, and
+// periodic heartbeats carrying the live Counters plus heap growth. The
+// local checker buffers events per round and flushes them at the
+// sequential merge barrier, so an observer never runs on the parallel
+// workers' hot path and results stay bit-for-bit identical for every
+// Workers setting. RunEvent is the event type ("Event" already names a
+// transition in the model vocabulary above).
+type (
+	// Observer receives run events; implementations must be cheap or
+	// offload their own work.
+	Observer = obs.Observer
+	// RunEvent is one observability event.
+	RunEvent = obs.Event
+	// RunEventKind discriminates RunEvent payloads.
+	RunEventKind = obs.Kind
+	// FuncObserver adapts a function to Observer.
+	FuncObserver = obs.FuncObserver
+	// StopReason says why a checker run ended.
+	StopReason = obs.StopReason
+	// PhaseTimes attributes a run's wall time to its phases.
+	PhaseTimes = obs.PhaseTimes
+	// EventRecorder collects every event, for tests and analysis.
+	EventRecorder = obs.Recorder
+)
+
+// RunEvent kinds.
+const (
+	KindRunStart         = obs.KindRunStart
+	KindPassStart        = obs.KindPassStart
+	KindRoundStart       = obs.KindRoundStart
+	KindRoundEnd         = obs.KindRoundEnd
+	KindSystemStates     = obs.KindSystemStates
+	KindSoundness        = obs.KindSoundness
+	KindPrelimViolations = obs.KindPrelimViolations
+	KindViolation        = obs.KindViolation
+	KindHeartbeat        = obs.KindHeartbeat
+	KindSnapshot         = obs.KindSnapshot
+	KindRunEnd           = obs.KindRunEnd
+)
+
+// StopReason values.
+const (
+	// StopFixpoint: the exploration reached its natural end (LMC fixpoint,
+	// or the global search exhausted its bounded space).
+	StopFixpoint = obs.StopFixpoint
+	// StopBudget: the wall-time budget expired.
+	StopBudget = obs.StopBudget
+	// StopTransitions: the transition cap was reached.
+	StopTransitions = obs.StopTransitions
+	// StopCancelled: the run context was cancelled.
+	StopCancelled = obs.StopCancelled
+	// StopFirstBug: StopAtFirstBug ended the run at a confirmed bug.
+	StopFirstBug = obs.StopFirstBug
+)
+
+// NewLogObserver returns an Observer that logs run milestones through
+// log/slog at Info and per-round detail at Debug; nil means slog.Default().
+func NewLogObserver(l *slog.Logger) Observer { return obs.NewLogObserver(l) }
+
+// NewExpvarObserver returns an Observer publishing live counters under the
+// named expvar map, served on /debug/vars by any process that imports
+// expvar's HTTP handler (net/http/pprof pulls it in). The same name always
+// yields the same underlying map.
+func NewExpvarObserver(name string) Observer { return obs.NewExpvarObserver(name) }
+
 // Online checking and live simulation (see internal/online, internal/sim).
 type (
 	// Sim is a discrete-event live run of a protocol over a lossy network.
@@ -126,15 +197,36 @@ const (
 )
 
 // Check runs the local model checker (LMC) on machine m from the given
-// start system state. Set Options.Reduction for LMC-OPT.
+// start system state. Set Options.Reduction for LMC-OPT. It is a thin
+// wrapper over CheckContext with a background context and, for backward
+// compatibility, no option validation.
 func Check(m Machine, start SystemState, opt Options) *Result {
 	return core.Check(m, start, opt)
 }
 
+// CheckContext is Check with option validation (Options.Validate) and
+// cooperative cancellation. Cancellation is honored at round barriers —
+// after the round's buffered run events are flushed — so a run cancelled
+// from an Observer hook stops at the same round for every Workers setting.
+// A cancelled run is not an error: it returns the partial Result with
+// Complete=false and StopReason=StopCancelled.
+func CheckContext(ctx context.Context, m Machine, start SystemState, opt Options) (*Result, error) {
+	return core.CheckContext(ctx, m, start, opt)
+}
+
 // Global runs the classic global-state model checker (B-DFS by default),
-// the baseline the paper compares against.
+// the baseline the paper compares against. It panics on invalid options;
+// GlobalContext returns the validation error instead.
 func Global(m Machine, start SystemState, opt GlobalOptions) *GlobalResult {
 	return global.Check(m, start, opt)
+}
+
+// GlobalContext is Global with option validation surfaced as an error and
+// cooperative cancellation, polled once per worklist iteration. A
+// cancelled search returns the partial GlobalResult with Complete=false
+// and StopReason=StopCancelled.
+func GlobalContext(ctx context.Context, m Machine, start SystemState, opt GlobalOptions) (*GlobalResult, error) {
+	return global.CheckContext(ctx, m, start, opt)
 }
 
 // InitialSystem builds the system state of every node's initial state.
@@ -154,4 +246,12 @@ func NewSim(cfg SimConfig) *Sim { return sim.New(cfg) }
 // from each snapshot (the paper's online model checking scheme, §3.3).
 func Online(live *Sim, cfg OnlineConfig) *OnlineReport {
 	return online.Run(live, cfg)
+}
+
+// OnlineContext is Online with checker-option validation surfaced as an
+// error and cooperative cancellation: the context cuts the current checker
+// restart off at its next round barrier and stops the session. Each
+// restart is announced to cfg.Checker.Observer with a KindSnapshot event.
+func OnlineContext(ctx context.Context, live *Sim, cfg OnlineConfig) (*OnlineReport, error) {
+	return online.RunContext(ctx, live, cfg)
 }

@@ -1,0 +1,215 @@
+package lmc_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"lmc"
+	"lmc/internal/codec"
+)
+
+// ringState is a two-node token ring used as the observability example: a
+// token starts at node 0 and is forwarded around the ring until its hop
+// counter reaches ringMaxHops. The state space is tiny and the round
+// structure fixed, so the emitted event stream is a stable golden.
+const ringMaxHops = 3
+
+type ringState struct {
+	Started bool
+	Tokens  int // tokens this node has held
+}
+
+func (s *ringState) Encode(w *codec.Writer) {
+	w.Bool(s.Started)
+	w.Int(s.Tokens)
+}
+func (s *ringState) Clone() lmc.State { c := *s; return &c }
+func (s *ringState) String() string   { return fmt.Sprintf("tokens=%d", s.Tokens) }
+
+type ringToken struct {
+	From, To lmc.NodeID
+	Hop      int
+}
+
+func (m ringToken) Src() lmc.NodeID { return m.From }
+func (m ringToken) Dst() lmc.NodeID { return m.To }
+func (m ringToken) Encode(w *codec.Writer) {
+	w.Int(int(m.From))
+	w.Int(int(m.To))
+	w.Int(m.Hop)
+}
+func (m ringToken) String() string {
+	return fmt.Sprintf("token{%v->%v hop=%d}", m.From, m.To, m.Hop)
+}
+
+type ringStart struct{ On lmc.NodeID }
+
+func (a ringStart) Node() lmc.NodeID       { return a.On }
+func (a ringStart) Encode(w *codec.Writer) { w.String("start"); w.Int(int(a.On)) }
+func (a ringStart) String() string         { return "Start{}" }
+
+type ringMachine struct{}
+
+func (ringMachine) Name() string              { return "ring2" }
+func (ringMachine) NumNodes() int             { return 2 }
+func (ringMachine) Init(lmc.NodeID) lmc.State { return &ringState{} }
+
+func (ringMachine) Actions(n lmc.NodeID, s lmc.State) []lmc.Action {
+	if n == 0 && !s.(*ringState).Started {
+		return []lmc.Action{ringStart{On: 0}}
+	}
+	return nil
+}
+
+func (ringMachine) HandleAction(n lmc.NodeID, s lmc.State, a lmc.Action) (lmc.State, []lmc.Message) {
+	st := s.(*ringState)
+	st.Started = true
+	st.Tokens++
+	return st, []lmc.Message{ringToken{From: 0, To: 1, Hop: 1}}
+}
+
+func (ringMachine) HandleMessage(n lmc.NodeID, s lmc.State, m lmc.Message) (lmc.State, []lmc.Message) {
+	st := s.(*ringState)
+	tok := m.(ringToken)
+	st.Tokens++
+	if tok.Hop >= ringMaxHops {
+		return st, nil
+	}
+	return st, []lmc.Message{ringToken{From: n, To: 1 - n, Hop: tok.Hop + 1}}
+}
+
+func ringInvariant() lmc.Invariant {
+	return lmc.InvariantFunc{
+		InvName: "token-conservation",
+		Fn: func(ss lmc.SystemState) *lmc.Violation {
+			// Total token holds can never exceed the ring's hop budget + 1.
+			total := 0
+			for _, s := range ss {
+				total += s.(*ringState).Tokens
+			}
+			if total > ringMaxHops+1 {
+				return &lmc.Violation{Invariant: "token-conservation", Detail: "over budget"}
+			}
+			return nil
+		},
+	}
+}
+
+// eventTag renders the deterministic coordinates of a run event; wall-clock
+// fields (Elapsed, Phases, HeapBytes, Counters timings) are excluded.
+func eventTag(e lmc.RunEvent) string {
+	switch e.Kind {
+	case lmc.KindRunEnd:
+		return fmt.Sprintf("%v reason=%v depth=%d", e.Kind, e.Reason, e.Depth)
+	case lmc.KindRoundEnd:
+		return fmt.Sprintf("%v p%d.r%d depth=%d states=%d", e.Kind, e.Pass, e.Round, e.Depth, e.Count)
+	case lmc.KindSystemStates, lmc.KindSoundness, lmc.KindPrelimViolations:
+		return fmt.Sprintf("%v p%d.r%d count=%d", e.Kind, e.Pass, e.Round, e.Count)
+	case lmc.KindViolation:
+		return fmt.Sprintf("%v %s depth=%d", e.Kind, e.Invariant, e.Depth)
+	case lmc.KindPassStart:
+		return fmt.Sprintf("%v p%d bound=%d", e.Kind, e.Pass, e.LocalBound)
+	default:
+		return fmt.Sprintf("%v p%d.r%d", e.Kind, e.Pass, e.Round)
+	}
+}
+
+// TestObserverGoldenRing pins the exact event stream a checked two-node
+// ring emits: the golden below is the barrier-buffered emission contract
+// (round start, batched system-state deltas, round end) and must be
+// identical for any Workers setting.
+func TestObserverGoldenRing(t *testing.T) {
+	golden := []string{
+		"run-start p0.r0",
+		"pass-start p1 bound=1",
+		"round-start p1.r1",
+		"system-states p1.r1 count=4",
+		"round-end p1.r1 depth=2 states=4",
+		"round-start p1.r2",
+		"system-states p1.r2 count=4",
+		"round-end p1.r2 depth=3 states=6",
+		"round-start p1.r3",
+		"system-states p1.r3 count=4",
+		"round-end p1.r3 depth=4 states=7",
+		"round-start p1.r4",
+		"round-end p1.r4 depth=4 states=7",
+		"round-start p1.r5",
+		"round-end p1.r5 depth=4 states=7",
+		"run-end reason=fixpoint depth=4",
+	}
+	for _, workers := range []int{1, 4} {
+		rec := &lmc.EventRecorder{}
+		res := lmc.Check(ringMachine{}, lmc.InitialSystem(ringMachine{}), lmc.Options{
+			Invariant:      ringInvariant(),
+			Observer:       rec,
+			HeartbeatEvery: -1, // heartbeats are wall-clock gated: not golden material
+			Workers:        workers,
+		})
+		if !res.Complete || len(res.Bugs) != 0 {
+			t.Fatalf("workers=%d: ring run complete=%v bugs=%d", workers, res.Complete, len(res.Bugs))
+		}
+		events := rec.Events()
+		var got []string
+		for _, e := range events {
+			got = append(got, eventTag(e))
+		}
+		if len(got) != len(golden) {
+			t.Fatalf("workers=%d: %d events, want %d:\n%s", workers, len(got), len(golden), join(got))
+		}
+		for i := range golden {
+			if got[i] != golden[i] {
+				t.Fatalf("workers=%d: event %d = %q, want %q\nfull stream:\n%s",
+					workers, i, got[i], golden[i], join(got))
+			}
+		}
+	}
+}
+
+func join(ss []string) string {
+	out := ""
+	for _, s := range ss {
+		out += "  " + s + "\n"
+	}
+	return out
+}
+
+// TestContextAPIs exercises the context-aware facade: validation errors,
+// cancellation, and the legacy wrappers' equivalence.
+func TestContextAPIs(t *testing.T) {
+	m := ringMachine{}
+	start := lmc.InitialSystem(m)
+
+	if _, err := lmc.CheckContext(context.Background(), m, start, lmc.Options{}); err == nil {
+		t.Fatal("CheckContext accepted an invariant-free configuration")
+	}
+	if _, err := lmc.GlobalContext(context.Background(), m, start, lmc.GlobalOptions{}); err == nil {
+		t.Fatal("GlobalContext accepted an invariant-free configuration")
+	}
+
+	res, err := lmc.CheckContext(context.Background(), m, start, lmc.Options{Invariant: ringInvariant()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.StopReason != lmc.StopFixpoint {
+		t.Fatalf("complete=%v reason=%v", res.Complete, res.StopReason)
+	}
+
+	g, err := lmc.GlobalContext(context.Background(), m, start, lmc.GlobalOptions{Invariant: ringInvariant()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Complete || g.StopReason != lmc.StopFixpoint {
+		t.Fatalf("global: complete=%v reason=%v", g.Complete, g.StopReason)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	gc, err := lmc.GlobalContext(cancelled, m, start, lmc.GlobalOptions{Invariant: ringInvariant()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.Complete || gc.StopReason != lmc.StopCancelled {
+		t.Fatalf("cancelled global: complete=%v reason=%v", gc.Complete, gc.StopReason)
+	}
+}
