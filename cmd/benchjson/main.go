@@ -17,6 +17,12 @@
 //	                                           # additionally gate: fail when
 //	                                           # any entry is >2x slower than
 //	                                           # the baseline file
+//	benchjson -compare BENCH_lmc.json          # print a per-entry delta table
+//	                                           # against an older report
+//	benchjson -baseline BENCH_lmc.json -optgate 0.5
+//	                                           # fail when the LMC-OPT seq
+//	                                           # throughput drops below half
+//	                                           # the baseline's states/sec
 package main
 
 import (
@@ -157,19 +163,34 @@ func measureMicro(name string, fn func(b *testing.B)) Entry {
 	}
 }
 
-func gate(cur Report, baselinePath string, maxRatio float64) error {
-	raw, err := os.ReadFile(baselinePath)
+// loadReport reads and parses a report file written by an earlier run.
+func loadReport(path string) (Report, error) {
+	var r Report
+	raw, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("read baseline: %w", err)
+		return r, fmt.Errorf("read baseline: %w", err)
 	}
-	var base Report
-	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("parse baseline: %w", err)
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return r, fmt.Errorf("parse baseline: %w", err)
 	}
-	byName := make(map[string]Entry, len(base.Entries))
-	for _, e := range base.Entries {
+	return r, nil
+}
+
+// entriesByName indexes a report's entries for lookups.
+func entriesByName(r Report) map[string]Entry {
+	byName := make(map[string]Entry, len(r.Entries))
+	for _, e := range r.Entries {
 		byName[e.Name] = e
 	}
+	return byName
+}
+
+func gate(cur Report, baselinePath string, maxRatio float64) error {
+	base, err := loadReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	byName := entriesByName(base)
 	var failed []string
 	for _, e := range cur.Entries {
 		b, ok := byName[e.Name]
@@ -187,6 +208,57 @@ func gate(cur Report, baselinePath string, maxRatio float64) error {
 		}
 		return fmt.Errorf("%d entries regressed beyond %.2fx", len(failed), maxRatio)
 	}
+	return nil
+}
+
+// printCompare renders a per-entry delta table of the current report against
+// an older one: wall clock, old/new ratio (>1 means the new run is slower),
+// and throughput delta for exploration entries.
+func printCompare(cur Report, oldPath string) error {
+	old, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	byName := entriesByName(old)
+	fmt.Printf("%-34s %14s %14s %7s %14s\n",
+		"entry", "old ns/op", "new ns/op", "ratio", "states/s delta")
+	for _, e := range cur.Entries {
+		b, ok := byName[e.Name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Printf("%-34s %14s %14.0f %7s %14s\n", e.Name, "-", e.NsPerOp, "-", "-")
+			continue
+		}
+		delta := "-"
+		if e.StatesPerSec > 0 && b.StatesPerSec > 0 {
+			delta = fmt.Sprintf("%+14.0f", e.StatesPerSec-b.StatesPerSec)
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %6.2fx %14s\n",
+			e.Name, b.NsPerOp, e.NsPerOp, e.NsPerOp/b.NsPerOp, delta)
+	}
+	return nil
+}
+
+// gateOptThroughput enforces the soundness-engine throughput floor: the
+// sequential Paxos LMC-OPT run's states/sec must stay at or above minFactor
+// times the checked-in baseline's (e.g. 0.9 tolerates 10% host jitter; a
+// real regression in the exploration hot path trips it).
+func gateOptThroughput(cur Report, baselinePath string, minFactor float64) error {
+	const entry = "explore/paxos-opt/seq"
+	base, err := loadReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	curE, okCur := entriesByName(cur)[entry]
+	baseE, okBase := entriesByName(base)[entry]
+	if !okCur || !okBase || curE.StatesPerSec <= 0 || baseE.StatesPerSec <= 0 {
+		return fmt.Errorf("optgate: entry %q missing from report or baseline", entry)
+	}
+	if r := curE.StatesPerSec / baseE.StatesPerSec; r < minFactor {
+		return fmt.Errorf("optgate: %s throughput is %.3fx the baseline (floor %.3fx): %.0f states/s vs %.0f states/s",
+			entry, r, minFactor, curE.StatesPerSec, baseE.StatesPerSec)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: optgate ok: %s at %.3fx of baseline throughput (floor %.3fx)\n",
+		entry, curE.StatesPerSec/baseE.StatesPerSec, minFactor)
 	return nil
 }
 
@@ -210,6 +282,10 @@ func main() {
 		"serve net/http/pprof and expvar on this address (e.g. localhost:6060); live counters appear under /debug/vars key \"lmc\"")
 	obsGate := flag.Float64("obsgate", 0,
 		"fail when the nil-observer explore/paxos-gen/seq entry exceeds the baseline's by this factor (e.g. 1.02 for the 2% budget); 0 disables")
+	optGate := flag.Float64("optgate", 0,
+		"fail when explore/paxos-opt/seq states/sec falls below the baseline's times this factor (e.g. 0.9 tolerates 10% jitter); 0 disables")
+	compare := flag.String("compare", "",
+		"older report JSON to print a per-entry delta table against (stdout)")
 	var notes noteFlags
 	flag.Var(&notes, "note", "free-form note to embed in the report (repeatable)")
 	flag.Parse()
@@ -311,6 +387,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *compare != "" {
+		if err := printCompare(rep, *compare); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *baseline != "" {
 		if err := gate(rep, *baseline, *maxRatio); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -318,6 +401,12 @@ func main() {
 		}
 		if *obsGate > 0 {
 			if err := gateObserverOverhead(rep, *baseline, *obsGate); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}
+		if *optGate > 0 {
+			if err := gateOptThroughput(rep, *baseline, *optGate); err != nil {
 				fmt.Fprintln(os.Stderr, "benchjson:", err)
 				os.Exit(1)
 			}
@@ -331,25 +420,12 @@ func main() {
 // not use it).
 func gateObserverOverhead(cur Report, baselinePath string, maxRatio float64) error {
 	const entry = "explore/paxos-gen/seq"
-	raw, err := os.ReadFile(baselinePath)
+	base, err := loadReport(baselinePath)
 	if err != nil {
-		return fmt.Errorf("read baseline: %w", err)
+		return err
 	}
-	var base Report
-	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("parse baseline: %w", err)
-	}
-	var curNs, baseNs float64
-	for _, e := range cur.Entries {
-		if e.Name == entry {
-			curNs = e.NsPerOp
-		}
-	}
-	for _, e := range base.Entries {
-		if e.Name == entry {
-			baseNs = e.NsPerOp
-		}
-	}
+	curNs := entriesByName(cur)[entry].NsPerOp
+	baseNs := entriesByName(base)[entry].NsPerOp
 	if curNs <= 0 || baseNs <= 0 {
 		return fmt.Errorf("obsgate: entry %q missing from report or baseline", entry)
 	}

@@ -294,6 +294,12 @@ type nodeState struct {
 	// the creation path; witness searches use it to rank and prune
 	// completion candidates by what they can supply.
 	gen *genNode
+	// flow is the state's flow memo: net consumed-minus-generated counts per
+	// message fingerprint along the creation path, sorted by fingerprint
+	// (index.go). Built at discovery from the predecessor's memo; flowDone
+	// guards the lazy fallback for states added outside the exploration loop.
+	flow     []flowEntry
+	flowDone bool
 	// actionsDone marks that this state's enabled internal actions have
 	// been executed (subject to the local bound).
 	actionsDone bool
@@ -357,6 +363,10 @@ type space struct {
 	states []*nodeState
 	byFP   map[codec.Fingerprint]*nodeState
 
+	// minProducer indexes creation-edge message emissions: fingerprint → seq
+	// of the first state whose creation edge generated it (index.go).
+	minProducer map[codec.Fingerprint]int
+
 	// groups buckets interesting states by their canonical interest key
 	// (LMC-OPT with a spec.Keyer reduction); rest holds the non-interesting
 	// states. A conflicting pair must come from two groups, but the other
@@ -410,8 +420,9 @@ type interestGroup struct {
 
 func newSpace() *space {
 	return &space{
-		byFP:   make(map[codec.Fingerprint]*nodeState),
-		groups: make(map[string]*interestGroup),
+		byFP:        make(map[codec.Fingerprint]*nodeState),
+		groups:      make(map[string]*interestGroup),
+		minProducer: make(map[codec.Fingerprint]int),
 	}
 }
 
@@ -419,6 +430,7 @@ func (sp *space) add(ns *nodeState) {
 	ns.seq = len(sp.states)
 	sp.states = append(sp.states, ns)
 	sp.byFP[ns.fp] = ns
+	sp.indexProducers(ns)
 }
 
 // classify registers ns in its interest group (or among the non-interesting

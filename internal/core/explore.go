@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"context"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"lmc/internal/codec"
@@ -31,8 +32,10 @@ type checker struct {
 
 	// initialNet lists message fingerprints available before any event
 	// executes (Options.InitialMessages); soundness verification seeds its
-	// generated-message set with them.
-	initialNet []codec.Fingerprint
+	// generated-message set with them. initNetCount is the same multiset in
+	// counted form, the supply baseline of the flow memos (index.go).
+	initialNet   []codec.Fingerprint
+	initNetCount map[codec.Fingerprint]int
 
 	res        *Result
 	probe      stats.MemProbe
@@ -65,6 +68,10 @@ type checker struct {
 	// pending queues witness searches deferred by the soundness share,
 	// prioritized by the triggering state's depth.
 	pending searchQueue
+	// pairOutcomes is the epoch-gated witness outcome cache (index.go). Its
+	// evidence is positional in the current pass's visited lists, so pass()
+	// resets it along with the LS sets.
+	pairOutcomes map[pairKey]*pairOutcome
 
 	stopped bool // a stop criterion (budget/transitions/first-bug) fired
 	// reason records which criterion fired first; meaningful only while
@@ -214,6 +221,39 @@ func (c *checker) pollCancel() {
 	}
 }
 
+// deadlinePollInterval is the number of charged work units (handler
+// executions during exploration, combinations during the system-state and
+// witness walks) between wall-clock deadline checks. One shared cadence
+// keeps budget cutoffs comparably prompt in every loop while keeping
+// time.Now off the per-unit hot path.
+const deadlinePollInterval = 256
+
+// pollDeadline charges one unit against the poll cadence and reports
+// whether the wall-clock deadline has passed (checked on every
+// deadlinePollInterval-th call). It only reads checker state, so parallel
+// workers may call it concurrently; the caller decides how to latch the
+// stop — c.stop on sequential paths, the shared halt flag inside parallel
+// phases.
+func (c *checker) pollDeadline(tick *int) bool {
+	*tick++
+	if *tick%deadlinePollInterval != 0 {
+		return false
+	}
+	return !c.deadline.IsZero() && time.Now().After(c.deadline)
+}
+
+// underPhase runs f with a pprof "phase" label, so CPU profiles attribute
+// samples to the exploration phases out of the box (goroutines spawned
+// under the label inherit it). Labels nest lexically: soundness work
+// reached from inside a sysstate-labeled barrier reports as soundness.
+func (c *checker) underPhase(phase string, f func()) {
+	ctx := c.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pprof.Do(ctx, pprof.Labels("phase", phase), func(context.Context) { f() })
+}
+
 // pass explores to a fixpoint under the current local bound, starting from
 // scratch (fresh LS sets and fresh I+). It reports whether the fixpoint was
 // reached (as opposed to a stop criterion firing).
@@ -247,6 +287,11 @@ func (c *checker) pass() bool {
 			c.res.Stats.DuplicatesDropped++
 		}
 	}
+	c.initNetCount = make(map[codec.Fingerprint]int, len(c.initialNet))
+	for _, fp := range c.initialNet {
+		c.initNetCount[fp]++
+	}
+	c.pairOutcomes = make(map[pairKey]*pairOutcome)
 
 	// Lines 3–4 of Figure 9: initialize each LSn with the live state.
 	for n := 0; n < c.m.NumNodes(); n++ {
@@ -254,6 +299,8 @@ func (c *checker) pass() bool {
 			node:  model.NodeID(n),
 			state: c.start[n].Clone(),
 			fp:    model.StateFingerprint(c.start[n]),
+			// The empty creation path consumes and generates nothing.
+			flowDone: true,
 		}
 		c.project(ns)
 		c.spaces[n].add(ns)
@@ -277,11 +324,15 @@ func (c *checker) pass() bool {
 
 		// Internal events: execute the enabled actions of every node state
 		// that has not been processed yet (new states from the previous
-		// round included).
-		runsA := c.runActionPhase(parallel)
-		if c.mergeActionPhase(runsA) {
-			progress = true
-		}
+		// round included). The phase sweeps and the barrier's deferred
+		// system-state checks run under distinct pprof phase labels.
+		var runsA []*nodeRun
+		c.underPhase("actions", func() { runsA = c.runActionPhase(parallel) })
+		c.underPhase("sysstate", func() {
+			if c.mergeActionPhase(runsA) {
+				progress = true
+			}
+		})
 
 		// Network events (lines 6 and 8 of Figure 9): each message in I+ is
 		// executed on every visited state of its destination node; the
@@ -289,13 +340,16 @@ func (c *checker) pass() bool {
 		// Messages appended during this round are picked up next round (the
 		// epoch snapshot), matching the paper's rounds.
 		if !c.stopped {
-			runsB := c.runDeliveryPhase(parallel)
-			if c.mergeDeliveryPhase(runsB) {
-				progress = true
-			}
+			var runsB []*nodeRun
+			c.underPhase("delivery", func() { runsB = c.runDeliveryPhase(parallel) })
+			c.underPhase("sysstate", func() {
+				if c.mergeDeliveryPhase(runsB) {
+					progress = true
+				}
+			})
 		}
 
-		c.drainPending(false)
+		c.underPhase("soundness", func() { c.drainPending(false) })
 		c.recordRound()
 		// The round barrier: flush buffered run events, then poll the
 		// context. The observer runs before the poll, so a hook that cancels
@@ -308,7 +362,7 @@ func (c *checker) pass() bool {
 		}
 		if !progress {
 			// Exploration fixpoint: run every deferred witness search.
-			c.drainPending(true)
+			c.underPhase("soundness", func() { c.drainPending(true) })
 			return true
 		}
 	}

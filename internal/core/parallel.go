@@ -4,7 +4,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"lmc/internal/codec"
 	"lmc/internal/model"
@@ -60,10 +59,13 @@ func (r *nodeRun) capped() bool {
 	return r.c.roundCap > 0 && r.delivered >= r.c.roundCap
 }
 
-// emitBatch is one handler execution's emitted messages.
+// emitBatch is one handler execution's emitted messages, with their
+// fingerprints (hashed once at the handler; the barrier's network merge
+// reuses them instead of re-hashing).
 type emitBatch struct {
 	entry int // producing network-entry index; -1 for internal events
 	msgs  []model.Message
+	fps   []codec.Fingerprint
 }
 
 // discovery is one newly visited node state awaiting its deferred
@@ -85,7 +87,7 @@ func (r *nodeRun) halted() bool {
 // charge accounts for one handler execution. Canonical mode charges the
 // global counters so MaxTransitions truncates exactly like a sequential
 // run; parallel mode (only entered with MaxTransitions unset) counts
-// locally and polls the wall-clock deadline.
+// locally and polls the wall-clock deadline on the shared cadence.
 func (r *nodeRun) charge() bool {
 	if r.halt == nil {
 		return r.c.chargeTransition()
@@ -93,8 +95,7 @@ func (r *nodeRun) charge() bool {
 	if r.halt.Load() {
 		return false
 	}
-	r.deadlineTick++
-	if r.deadlineTick&63 == 0 && !r.c.deadline.IsZero() && time.Now().After(r.c.deadline) {
+	if r.c.pollDeadline(&r.deadlineTick) {
 		r.halt.Store(true)
 		return false
 	}
@@ -152,7 +153,8 @@ func (r *nodeRun) runActions(s *nodeState) bool {
 			r.rejections++
 			continue
 		}
-		r.addNext(s, model.ActEvent(a), 0, next, emitted, 0, -1)
+		ev := model.ActEvent(a)
+		r.addNext(s, ev, ev.Fingerprint(), 0, next, emitted, 0, -1)
 	}
 	return ran
 }
@@ -222,17 +224,25 @@ func (r *nodeRun) deliver(e *netstate.Entry, s *nodeState, entry int) {
 		r.rejections++
 		return
 	}
-	r.addNext(s, model.RecvEvent(e.Msg), evfp, next, emitted, e.FP, entry)
+	ev := model.RecvEvent(e.Msg)
+	// The receive event is identical for every state this entry executes
+	// on; memoize its fingerprint on the entry (owned by this worker, like
+	// Applied) instead of re-hashing the message per execution.
+	if e.RecvEventFP == 0 {
+		e.RecvEventFP = ev.Fingerprint()
+	}
+	r.addNext(s, ev, e.RecvEventFP, evfp, next, emitted, e.FP, entry)
 }
 
 // addNext is Procedure addNextState of Figure 9, split around the round
 // barrier: the successor joins LSn (and records its predecessor edge)
 // immediately — the worker owns its node's space — while the generated
 // messages and the deferred invariant checks are buffered for the barrier.
-// historyFP is the delivery-event fingerprint for network events (zero for
-// internal events); msgFP the consumed message's content fingerprint;
-// entry the producing network-entry index (-1 for internal events).
-func (r *nodeRun) addNext(prev *nodeState, ev model.Event, historyFP codec.Fingerprint,
+// evFP is ev's fingerprint (hashed once by the caller); historyFP the
+// delivery-event fingerprint for network events (zero for internal
+// events); msgFP the consumed message's content fingerprint; entry the
+// producing network-entry index (-1 for internal events).
+func (r *nodeRun) addNext(prev *nodeState, ev model.Event, evFP, historyFP codec.Fingerprint,
 	next model.State, emitted []model.Message, msgFP codec.Fingerprint, entry int) {
 
 	c := r.c
@@ -241,7 +251,7 @@ func (r *nodeRun) addNext(prev *nodeState, ev model.Event, historyFP codec.Finge
 		generated[i] = model.MessageFingerprint(m)
 	}
 	if len(emitted) > 0 {
-		r.emits = append(r.emits, emitBatch{entry: entry, msgs: emitted})
+		r.emits = append(r.emits, emitBatch{entry: entry, msgs: emitted, fps: generated})
 	}
 
 	fp := model.StateFingerprint(next)
@@ -250,7 +260,7 @@ func (r *nodeRun) addNext(prev *nodeState, ev model.Event, historyFP codec.Finge
 		prev:      prev,
 		kind:      ev.Kind,
 		event:     ev,
-		eventFP:   ev.Fingerprint(),
+		eventFP:   evFP,
 		msgFP:     msgFP,
 		generated: generated,
 	}
@@ -279,6 +289,12 @@ func (r *nodeRun) addNext(prev *nodeState, ev model.Event, historyFP codec.Finge
 	if len(generated) > 0 {
 		ns.gen = &genNode{parent: prev.gen, fps: generated}
 	}
+	// The flow memo extends the predecessor's by this edge's delta; prev is
+	// either a start state or an earlier discovery of this node, so its
+	// memo is already built (flowOf re-derives it otherwise).
+	var scratch [8]flowEntry
+	ns.flow = mergeFlows(flowOf(prev), edgeFlow(&edge, scratch[:]))
+	ns.flowDone = true
 	c.project(ns)
 	sp.add(ns)
 	if c.keyer != nil {
@@ -390,7 +406,7 @@ func (c *checker) mergeActionPhase(runs []*nodeRun) bool {
 	progress := false
 	for _, r := range runs {
 		for _, b := range r.emits {
-			added := c.net.AddAll(b.msgs)
+			added := c.net.AddAllFP(b.msgs, b.fps)
 			c.res.Stats.DuplicatesDropped += len(b.msgs) - len(added)
 		}
 		c.absorbRun(r)
@@ -468,7 +484,7 @@ func (c *checker) mergeDeliveryPhase(runs []*nodeRun) bool {
 	}
 	sort.SliceStable(emits, func(i, j int) bool { return emits[i].entry < emits[j].entry })
 	for _, b := range emits {
-		added := c.net.AddAll(b.msgs)
+		added := c.net.AddAllFP(b.msgs, b.fps)
 		c.res.Stats.DuplicatesDropped += len(b.msgs) - len(added)
 	}
 

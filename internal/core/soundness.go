@@ -68,6 +68,12 @@ func (c *checker) isStateSoundBudget(combo []*nodeState, budget *int, seqs *int)
 // the node's start state to ns — the path along which ns was discovered.
 // The chain is acyclic by construction: a creation edge always points to an
 // earlier-created state.
+//
+// Concurrency contract: the walk reads ancestors but memoizes ONLY ns
+// itself (ancestors' creation/creationDone are never touched), so parallel
+// precomputation stages — the witness prep fanout, speculative confirmBatch
+// jobs — may call it concurrently as long as each goroutine passes distinct
+// states. flowOf (index.go) follows the same contract.
 func creationPath(ns *nodeState) []pred {
 	if ns.creationDone {
 		return ns.creation

@@ -217,12 +217,14 @@ const witnessPrepFanout = 16
 // Unless force is set, the search defers to the pending queue when the
 // soundness share is exhausted, so exploration keeps progressing.
 //
-// When the candidate list is large and a worker pool is available, the
-// per-candidate feasibility inputs — each pair's missing-message set and
-// the coverage verdict of every distinct missing fingerprint — are
-// pre-resolved in parallel. Those are pure functions of the (immutable)
-// view, so the sequential walk below consumes them in the exact sequential
-// order with the exact sequential budget charges.
+// The search runs on the incremental index layer (index.go): missing sets
+// come from the pair's flow memos, coverage questions go to the producer
+// index, and candidate pairs whose refutation evidence still stands are
+// skipped outright. When the candidate list is large and a worker pool is
+// available, the per-candidate missing sets are pre-resolved in parallel —
+// pure functions of immutable memos — and committed in candidate order, so
+// the sequential walk below consumes them with the exact sequential budget
+// charges.
 func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force bool, view []int) {
 	cacheKey := witnessKey{fp: ns.fp, node: k, group: groupKey}
 	if _, done := c.witnessed[cacheKey]; done {
@@ -233,7 +235,13 @@ func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force boo
 		return
 	}
 	c.witnessed[cacheKey] = struct{}{}
+	c.underPhase("soundness", func() { c.witnessSearch(ns, k, groupKey, view) })
+}
 
+// witnessSearch is the body of searchWitness, separated so the whole search
+// (including the path enumeration and replay it triggers) profiles under
+// the soundness phase label.
+func (c *checker) witnessSearch(ns *nodeState, k int, groupKey string, view []int) {
 	cands := c.resolveCandidates(ns, k, groupKey, view)
 	if len(cands) == 0 {
 		return
@@ -248,61 +256,29 @@ func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force boo
 			completionNodes = append(completionNodes, n)
 		}
 	}
+	// The completion frontier visible to this search: how many states of
+	// each completion node the Cartesian walk below can range over. This is
+	// both the walk's input size and the evidence recorded by a
+	// completed-walk refutation.
+	curLimits := make([]int, len(completionNodes))
+	for i, n := range completionNodes {
+		curLimits[i] = c.viewLimit(n, view)
+	}
 
 	combo := make([]*nodeState, len(c.spaces))
 	combo[ns.node] = ns
 	deadlineTick := 0
 
-	// Per-search caches: whether any completion state generates a given
-	// message, and the coverage-ordered completion list per (node, missing
-	// set). Completion spaces are fixed for the duration of the search.
-	coverCache := make(map[codec.Fingerprint]bool)
-	coverScan := func(fp codec.Fingerprint) bool {
-		for _, n := range completionNodes {
-			for _, s := range c.viewStates(n, view) {
-				if s.gen.contains(fp) {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	coveredByAny := func(fp codec.Fingerprint) bool {
-		if v, ok := coverCache[fp]; ok {
-			return v
-		}
-		covered := coverScan(fp)
-		coverCache[fp] = covered
-		return covered
-	}
-
 	var preMissing [][]codec.Fingerprint
 	if c.workers >= 2 && len(cands) >= witnessPrepFanout {
-		// Memoize the shared pair member's creation path before fanning out:
-		// pairMissing memoizes lazily, and only the state it is called on is
-		// written.
-		creationPath(ns)
+		// Memoize the shared pair member's memos before fanning out: flowOf
+		// (and the creationPath walk under it) writes only the state it is
+		// called on, so each parallel task touches a distinct candidate.
+		flowOf(ns)
 		preMissing = make([][]codec.Fingerprint, len(cands))
 		c.runParallel(len(cands), func(i int) {
 			preMissing[i] = c.pairMissing(ns, cands[i])
 		})
-		var distinct []codec.Fingerprint
-		seen := make(map[codec.Fingerprint]bool)
-		for _, miss := range preMissing {
-			for _, fp := range miss {
-				if !seen[fp] {
-					seen[fp] = true
-					distinct = append(distinct, fp)
-				}
-			}
-		}
-		verdicts := make([]bool, len(distinct))
-		c.runParallel(len(distinct), func(i int) {
-			verdicts[i] = coverScan(distinct[i])
-		})
-		for i, fp := range distinct {
-			coverCache[fp] = verdicts[i]
-		}
 	}
 
 	type orderKey struct {
@@ -322,7 +298,7 @@ func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force boo
 		// coverage scans that node's whole visited list, so it is charged
 		// proportionally below.
 		budget--
-		if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		if c.pollDeadline(&deadlineTick) {
 			c.stop(obs.StopBudget)
 			return
 		}
@@ -340,26 +316,70 @@ func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force boo
 		} else {
 			missing = c.pairMissing(ns, b)
 		}
-		feasible := true
+		missKey := codec.CombineUnordered(missing)
+		key := pairKeyOf(ns, b, missKey)
+		oc := c.outcomeOf(key)
+
+		// Epoch gate 1: the pair was refuted as infeasible, and at least one
+		// of the fingerprints that had no producer then still has none — the
+		// verdict cannot have changed. Once the producer index gains covering
+		// states for all of them the evidence is void, and the pair goes back
+		// through the full feasibility check against the current view.
+		if oc != nil && len(oc.uncovered) > 0 {
+			still := false
+			for _, fp := range oc.uncovered {
+				if !c.coveredByAny(completionNodes, fp, view) {
+					still = true
+					break
+				}
+			}
+			if still {
+				c.res.Stats.WitnessSkips++
+				continue
+			}
+			oc.uncovered = nil
+		}
+
+		// Feasibility, via the producer index. All uncovered fingerprints are
+		// collected — not just the first — so a refutation records the full
+		// evidence the retry gate above must see disproven.
+		var uncovered []codec.Fingerprint
 		for _, fp := range missing {
-			if !coveredByAny(fp) {
-				feasible = false
-				break
+			if !c.coveredByAny(completionNodes, fp, view) {
+				uncovered = append(uncovered, fp)
 			}
 		}
-		if !feasible {
+		if len(uncovered) > 0 {
+			if rec := c.ensureOutcome(key); rec != nil {
+				rec.uncovered = uncovered
+			}
 			continue
 		}
-		missKey := codec.CombineUnordered(missing)
+
+		// Epoch gate 2: a completed walk refuted this pair over a completion
+		// frontier at least as large. The current walk would enumerate a
+		// subset of those combinations, and their verdicts are deterministic
+		// repeats (invariant checks are pure; soundness verdicts are cached
+		// globally) — skip it.
+		if oc != nil && oc.refutedUnder(curLimits) {
+			c.res.Stats.WitnessSkips++
+			continue
+		}
+
 		lists := make([][]*nodeState, len(completionNodes))
 		for i, n := range completionNodes {
-			key := orderKey{node: n, miss: missKey}
-			ordered, ok := orderCache[key]
+			okey := orderKey{node: n, miss: missKey}
+			ordered, ok := orderCache[okey]
 			if !ok {
 				ordered, _ = orderByCoverage(c.viewStates(n, view), missing)
-				orderCache[key] = ordered
-				// A coverage scan touches every visited state of the node.
-				budget -= len(ordered) / 64
+				orderCache[okey] = ordered
+				// A coverage scan touches every visited state of the node;
+				// short lists still cost at least one unit.
+				cost := len(ordered) / 64
+				if cost < 1 {
+					cost = 1
+				}
+				budget -= cost
 			}
 			lists[i] = ordered
 		}
@@ -373,8 +393,7 @@ func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force boo
 				return false
 			}
 			if i == len(lists) {
-				deadlineTick++
-				if deadlineTick%256 == 0 && !c.deadline.IsZero() && time.Now().After(c.deadline) {
+				if c.pollDeadline(&deadlineTick) {
 					c.stop(obs.StopBudget)
 					return false
 				}
@@ -394,6 +413,17 @@ func (c *checker) searchWitness(ns *nodeState, k int, groupKey string, force boo
 		if walk(0) {
 			return
 		}
+		if c.stopped {
+			return
+		}
+		if budget > 0 {
+			// The walk ran to completion (not cut short by budget or a stop
+			// criterion) without finding a witness: record the refuted
+			// frontier so re-encounters under it are skipped.
+			if rec := c.ensureOutcome(key); rec != nil {
+				rec.addRefuted(curLimits)
+			}
+		}
 	}
 }
 
@@ -407,6 +437,12 @@ func (c *checker) confirmLocalViolation(ns *nodeState, v *spec.Violation, view [
 		return
 	}
 	c.witnessed[cacheKey] = struct{}{}
+	c.underPhase("soundness", func() { c.confirmLocal(ns, v, view) })
+}
+
+// confirmLocal is the body of confirmLocalViolation, separated so the
+// search profiles under the soundness phase label.
+func (c *checker) confirmLocal(ns *nodeState, v *spec.Violation, view []int) {
 	c.res.Stats.SoundnessCalls++
 	budget := c.opt.MaxSequencesPerCheck
 
@@ -416,7 +452,7 @@ func (c *checker) confirmLocalViolation(ns *nodeState, v *spec.Violation, view [
 			completionNodes = append(completionNodes, n)
 		}
 	}
-	missing := c.missingOf(ns)
+	missing := c.missingFromFlows(flowOf(ns), nil)
 	lists := make([][]*nodeState, len(completionNodes))
 	for i, n := range completionNodes {
 		lists[i], _ = orderByCoverage(c.viewStates(n, view), missing)
@@ -431,9 +467,8 @@ func (c *checker) confirmLocalViolation(ns *nodeState, v *spec.Violation, view [
 			return false
 		}
 		if i == len(lists) {
-			deadlineTick++
-			if deadlineTick%256 == 0 && !c.deadline.IsZero() && time.Now().After(c.deadline) {
-				c.stopped = true
+			if c.pollDeadline(&deadlineTick) {
+				c.stop(obs.StopBudget)
 				return false
 			}
 			ss := c.comboSystem(combo)
@@ -485,12 +520,16 @@ func (c *checker) confirmLocalViolation(ns *nodeState, v *spec.Violation, view [
 
 // pairMissing lists the message fingerprints the creation paths of the two
 // pair members consume but neither generates (and the seeded network does
-// not supply), counting multiplicities.
+// not supply), counting multiplicities. It is a two-pointer merge of the
+// members' flow memos; missingOf below is the definitional multiset walk it
+// replaced, kept as the oracle the differential tests compare against.
 func (c *checker) pairMissing(a, b *nodeState) []codec.Fingerprint {
-	return c.missingOf(a, b)
+	return c.missingFromFlows(flowOf(a), flowOf(b))
 }
 
-// missingOf generalizes pairMissing to any member set.
+// missingOf computes the missing set of any member set directly from the
+// creation paths. Superseded on the hot path by the flow memos (index.go);
+// retained as the reference implementation for tests.
 func (c *checker) missingOf(states ...*nodeState) []codec.Fingerprint {
 	supply := make(map[codec.Fingerprint]int)
 	for _, fp := range c.initialNet {
@@ -817,7 +856,9 @@ func (c *checker) forEachCombo(lists [][]*nodeState) {
 		return
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].idx < all[j].idx })
-	c.confirmBatch(all)
+	// Confirmation is soundness work (path enumeration plus replay); label
+	// it so profiles separate it from the combination sweep above.
+	c.underPhase("soundness", func() { c.confirmBatch(all) })
 }
 
 // confirmResult is one precomputed soundness verdict.

@@ -158,6 +158,12 @@ type Entry struct {
 	// the checker's per-node visited list) this message has already been
 	// executed on. Maintained by the checker, not by this package.
 	Applied int
+	// RecvEventFP memoizes the fingerprint of the receive event delivering
+	// this entry, which is otherwise re-hashed for every (entry, state)
+	// execution. Like Applied it is maintained by the checker and owned by
+	// the destination node's worker during a delivery phase; zero means not
+	// yet computed.
+	RecvEventFP codec.Fingerprint
 }
 
 // EventFingerprint identifies the delivery of this entry. For copy 0 it is
@@ -192,7 +198,12 @@ func NewShared(dupLimit int) *Shared {
 // Add inserts m unless its duplicate budget is exhausted. It returns the
 // new entry, or nil if the message was dropped as an over-limit duplicate.
 func (sh *Shared) Add(m model.Message) *Entry {
-	fp := model.MessageFingerprint(m)
+	return sh.AddFP(m, model.MessageFingerprint(m))
+}
+
+// AddFP is Add for callers that already hold m's fingerprint (the checker
+// fingerprints emissions once at the handler and reuses the hash here).
+func (sh *Shared) AddFP(m model.Message, fp codec.Fingerprint) *Entry {
 	copies := sh.index[fp]
 	if copies >= 1+sh.DupLimit {
 		sh.dropped++

@@ -72,6 +72,24 @@ func (s *SharedNet) AddAll(c []model.Message) []*Entry {
 	return added
 }
 
+// AddAllFP is AddAll for callers that already hold the messages'
+// fingerprints (fps[i] must be model.MessageFingerprint(c[i])), skipping
+// the re-hash on insert. Readers observe the batch atomically.
+func (s *SharedNet) AddAllFP(c []model.Message, fps []codec.Fingerprint) []*Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var added []*Entry
+	for i, m := range c {
+		if e := s.sh.AddFP(m, fps[i]); e != nil {
+			added = append(added, e)
+		}
+	}
+	if len(added) > 0 {
+		s.publish()
+	}
+	return added
+}
+
 // Epoch snapshots the currently published entries. The snapshot is
 // immutable: it remains a valid prefix of the network forever.
 func (s *SharedNet) Epoch() Epoch { return Epoch{entries: *s.view.Load()} }

@@ -96,6 +96,7 @@ func (o *LogObserver) OnEvent(e Event) {
 type ExpvarObserver struct {
 	transitions, nodeStates, systemStates   *expvar.Int
 	soundnessCalls, sequences, prelim, bugs *expvar.Int
+	coverHits, coverMisses, witnessSkips    *expvar.Int
 	rounds, passes, heapBytes, elapsedMS    *expvar.Int
 	reason                                  *expvar.String
 }
@@ -122,6 +123,9 @@ func NewExpvarObserver(name string) *ExpvarObserver {
 		sequences:      new(expvar.Int),
 		prelim:         new(expvar.Int),
 		bugs:           new(expvar.Int),
+		coverHits:      new(expvar.Int),
+		coverMisses:    new(expvar.Int),
+		witnessSkips:   new(expvar.Int),
 		rounds:         new(expvar.Int),
 		passes:         new(expvar.Int),
 		heapBytes:      new(expvar.Int),
@@ -135,6 +139,9 @@ func NewExpvarObserver(name string) *ExpvarObserver {
 	m.Set("sequences_checked", o.sequences)
 	m.Set("prelim_violations", o.prelim)
 	m.Set("confirmed_bugs", o.bugs)
+	m.Set("cover_index_hits", o.coverHits)
+	m.Set("cover_index_misses", o.coverMisses)
+	m.Set("witness_skips", o.witnessSkips)
 	m.Set("rounds", o.rounds)
 	m.Set("passes", o.passes)
 	m.Set("heap_bytes", o.heapBytes)
@@ -163,6 +170,9 @@ func (o *ExpvarObserver) OnEvent(e Event) {
 		o.sequences.Set(int64(e.Counters.SequencesChecked))
 		o.prelim.Set(int64(e.Counters.PreliminaryViolations))
 		o.bugs.Set(int64(e.Counters.ConfirmedBugs))
+		o.coverHits.Set(int64(e.Counters.CoverIndexHits))
+		o.coverMisses.Set(int64(e.Counters.CoverIndexMisses))
+		o.witnessSkips.Set(int64(e.Counters.WitnessSkips))
 		o.heapBytes.Set(int64(e.HeapBytes))
 		o.elapsedMS.Set(e.Elapsed.Milliseconds())
 		if e.Kind == KindRunEnd {

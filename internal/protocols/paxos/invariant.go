@@ -2,7 +2,6 @@ package paxos
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"lmc/internal/model"
@@ -28,26 +27,13 @@ func Agreement() spec.Invariant {
 				if len(si.Chosen) == 0 {
 					continue
 				}
-				pi, fastI := si.chosenSeq()
 				for j := i + 1; j < len(ss); j++ {
 					sj := ss[j].(*State)
 					if len(sj.Chosen) == 0 {
 						continue
 					}
-					if fastI {
-						if pj, fastJ := sj.chosenSeq(); fastJ {
-							if v := conflictScan(ss, i, j, pi, pj); v != nil {
-								return v
-							}
-							continue
-						}
-					}
-					for idx, vi := range si.Chosen {
-						if vj, ok := sj.Chosen[idx]; ok && vj != vi {
-							return spec.Violate(AgreementName, ss,
-								"index %d: %v chose %d but %v chose %d",
-								idx, model.NodeID(i), vi, model.NodeID(j), vj)
-						}
+					if v := conflictScan(ss, i, j, si.Chosen, sj.Chosen); v != nil {
+						return v
 					}
 				}
 			}
@@ -98,17 +84,9 @@ func (Reduction) Interest(_ model.NodeID, s model.State) (spec.Interest, bool) {
 	if !ok || len(st.Chosen) == 0 {
 		return nil, false
 	}
-	if pairs, fast := st.chosenSeq(); fast {
-		// Copy: the interest outlives this call and the state's mirror may
-		// be edited in place by a later choice.
-		return chosenInterest(append([]ChoicePair(nil), pairs...)), true
-	}
-	pairs := make([]ChoicePair, 0, len(st.Chosen))
-	for idx, v := range st.Chosen {
-		pairs = append(pairs, ChoicePair{Index: idx, Value: v})
-	}
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a].Index < pairs[b].Index })
-	return chosenInterest(pairs), true
+	// Copy: the interest outlives this call and the state's slice may be
+	// edited in place by a later choice.
+	return chosenInterest(append([]ChoicePair(nil), st.Chosen...)), true
 }
 
 // Conflict implements spec.Reduction: two interests conflict when they

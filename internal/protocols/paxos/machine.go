@@ -105,17 +105,17 @@ func (d ActiveIndex) Proposals(p Params, n model.NodeID, s *State) []Propose {
 			active[i] = true
 		}
 	}
-	for i := range s.Promised {
-		consider(i)
+	for _, e := range s.Promised {
+		consider(e.Index)
 	}
-	for i := range s.Accepted {
-		consider(i)
+	for _, e := range s.Accepted {
+		consider(e.Index)
 	}
-	for i := range s.Learns {
-		consider(i)
+	for _, e := range s.Learns {
+		consider(e.Index)
 	}
-	for i := range s.Chosen {
-		consider(i)
+	for _, p := range s.Chosen {
+		consider(p.Index)
 	}
 	if len(active) == 0 {
 		if !d.FreshIndexes {
@@ -144,11 +144,11 @@ func (d ActiveIndex) Proposals(p Params, n model.NodeID, s *State) []Propose {
 // announce it. Unsettled indexes are where safety bugs hide, so they are
 // what the driver re-proposes at.
 func (s *State) settled(p Params, i int) bool {
-	v, chosen := s.Chosen[i]
+	v, chosen := s.HasChosen(i)
 	if !chosen {
 		return false
 	}
-	for _, lr := range s.Learns[i] {
+	for _, lr := range s.learnsFor(i) {
 		if lr.Value == v && len(lr.Acceptors) >= p.N {
 			return true
 		}
@@ -173,20 +173,20 @@ func LiveApp(p Params) func(rng *rand.Rand, n model.NodeID, s model.State) []mod
 				top = i
 			}
 		}
-		for i := range st.Promised {
-			bump(i)
+		for _, e := range st.Promised {
+			bump(e.Index)
 		}
-		for i := range st.Accepted {
-			bump(i)
+		for _, e := range st.Accepted {
+			bump(e.Index)
 		}
-		for i := range st.Learns {
-			bump(i)
+		for _, e := range st.Learns {
+			bump(e.Index)
 		}
-		for i := range st.Chosen {
-			bump(i)
+		for _, p := range st.Chosen {
+			bump(p.Index)
 		}
-		for i := range st.Proposals {
-			bump(i)
+		for _, e := range st.Proposals {
+			bump(e.Index)
 		}
 		return []model.Action{Propose{On: n, Layer: p.Layer, Index: top + 1, Value: int(n) + 1}}
 	}

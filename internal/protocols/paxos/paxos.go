@@ -20,7 +20,6 @@ package paxos
 
 import (
 	"fmt"
-	"sort"
 
 	"lmc/internal/codec"
 	"lmc/internal/model"
@@ -90,12 +89,18 @@ type proposal struct {
 	// Accepting is false while collecting PrepareResponses, true after the
 	// Accept broadcast.
 	Accepting bool
-	// Promises maps responder → the response content, for the value rule.
-	Promises map[model.NodeID]promiseInfo
+	// Promises records the responses received so far, ascending by
+	// responder, for the value rule.
+	Promises []promiseFrom
 }
 
-// promiseInfo is the content of one PrepareResponse as remembered by the
-// proposer.
+// promiseFrom is one PrepareResponse as remembered by the proposer.
+type promiseFrom struct {
+	Node model.NodeID
+	Info promiseInfo
+}
+
+// promiseInfo is the content of one PrepareResponse.
 type promiseInfo struct {
 	AccBallot Ballot // zero if the responder had accepted nothing
 	Value     int    // accepted value, or the echoed submitted value
@@ -103,11 +108,37 @@ type promiseInfo struct {
 
 func (p *proposal) clone() *proposal {
 	c := *p
-	c.Promises = make(map[model.NodeID]promiseInfo, len(p.Promises))
-	for k, v := range p.Promises {
-		c.Promises[k] = v
-	}
+	c.Promises = append([]promiseFrom(nil), p.Promises...)
 	return &c
+}
+
+// promiseOf looks up the remembered response from one node.
+func (p *proposal) promiseOf(n model.NodeID) (promiseInfo, bool) {
+	for _, e := range p.Promises {
+		if e.Node == n {
+			return e.Info, true
+		}
+	}
+	return promiseInfo{}, false
+}
+
+// setPromise records (or overwrites) one responder's promise, keeping the
+// ascending-by-node order.
+func (p *proposal) setPromise(n model.NodeID, pi promiseInfo) {
+	at := len(p.Promises)
+	for i, e := range p.Promises {
+		if e.Node == n {
+			p.Promises[i].Info = pi
+			return
+		}
+		if n < e.Node {
+			at = i
+			break
+		}
+	}
+	p.Promises = append(p.Promises, promiseFrom{})
+	copy(p.Promises[at+1:], p.Promises[at:])
+	p.Promises[at] = promiseFrom{Node: n, Info: pi}
 }
 
 // learnRecord tracks Learn messages received for one (index, ballot, value)
@@ -115,233 +146,325 @@ func (p *proposal) clone() *proposal {
 type learnRecord struct {
 	Ballot    Ballot
 	Value     int
-	Acceptors map[model.NodeID]bool
+	Acceptors []model.NodeID // announcing acceptors, ascending, distinct
 }
 
 func (lr *learnRecord) clone() *learnRecord {
-	c := &learnRecord{Ballot: lr.Ballot, Value: lr.Value,
-		Acceptors: make(map[model.NodeID]bool, len(lr.Acceptors))}
-	for k := range lr.Acceptors {
-		c.Acceptors[k] = true
+	c := *lr
+	c.Acceptors = append([]model.NodeID(nil), lr.Acceptors...)
+	return &c
+}
+
+// addAcceptor records one announcing acceptor, keeping the set distinct and
+// ascending.
+func (lr *learnRecord) addAcceptor(n model.NodeID) {
+	at := len(lr.Acceptors)
+	for i, a := range lr.Acceptors {
+		if a == n {
+			return
+		}
+		if n < a {
+			at = i
+			break
+		}
 	}
-	return c
+	lr.Acceptors = append(lr.Acceptors, 0)
+	copy(lr.Acceptors[at+1:], lr.Acceptors[at:])
+	lr.Acceptors[at] = n
 }
 
 // State is one Paxos node's local state (all three roles).
+//
+// Every per-index collection is a slice sorted ascending by index rather
+// than a map: node states are cloned once per handler execution and
+// fingerprint-encoded once per discovered state — the exploration's two
+// hottest operations — and at the handful of indexes a checker run touches,
+// sorted slices turn both into short linear copies/scans where maps paid
+// for hashing, randomized iteration and per-entry allocation. Lookups go
+// through the *For accessors; mutations through the set* helpers, which
+// maintain the order the canonical encoding relies on.
 type State struct {
-	// Proposer role.
-	Proposals     map[int]*proposal // per index
-	ProposalsMade int               // test-driver budget consumed
+	// Proposer role: in-flight propositions, ascending by index.
+	Proposals     []proposalAt
+	ProposalsMade int // test-driver budget consumed
 
-	// Acceptor role.
-	Promised map[int]Ballot   // highest promised ballot per index
-	Accepted map[int]accepted // highest accepted per index
+	// Acceptor role: highest promised ballot and highest accepted
+	// (ballot, value) per index, each ascending by index.
+	Promised []promisedAt
+	Accepted []acceptedAt
 
-	// Learner role.
-	Learns map[int][]*learnRecord // per index, ordered canonically
-	Chosen map[int]int            // chosen value per index (first choice kept)
+	// Learner role: learn records per index and chosen values (first
+	// choice kept), each ascending by index.
+	Learns []learnsAt
+	Chosen []ChoicePair
+}
 
-	// chosenPairs mirrors Chosen as a slice sorted by index, maintained at
-	// the choose site and by Clone. The agreement invariant runs on every
-	// materialized system state — hundreds of thousands per exploration —
-	// and iterating a Go map there costs a randomized-iterator setup per
-	// combination; the sorted mirror makes the check an allocation-free
-	// merge scan. States built by hand (tests poking Chosen directly) are
-	// detected by a length mismatch and fall back to the map.
-	chosenPairs []ChoicePair
+// proposalAt is one in-flight proposition keyed by its index.
+type proposalAt struct {
+	Index int
+	P     *proposal
+}
+
+// promisedAt is the highest promised ballot for one index.
+type promisedAt struct {
+	Index  int
+	Ballot Ballot
+}
+
+// acceptedAt is the highest accepted (ballot, value) for one index.
+type acceptedAt struct {
+	Index int
+	A     accepted
+}
+
+// learnsAt is the learn records for one index, ordered canonically by
+// (ballot, value).
+type learnsAt struct {
+	Index int
+	Recs  []*learnRecord
 }
 
 // ChoicePair is one (index, value) choice, in ascending index order.
 type ChoicePair struct{ Index, Value int }
 
-// addChoice records a choice in both representations; the caller has
-// already checked the index is new.
-func (s *State) addChoice(index, value int) {
-	s.Chosen[index] = value
-	at := len(s.chosenPairs)
-	for i, p := range s.chosenPairs {
+func (s *State) proposalFor(i int) *proposal {
+	for _, e := range s.Proposals {
+		if e.Index == i {
+			return e.P
+		}
+	}
+	return nil
+}
+
+func (s *State) setProposal(i int, p *proposal) {
+	at := len(s.Proposals)
+	for j, e := range s.Proposals {
+		if e.Index == i {
+			s.Proposals[j].P = p
+			return
+		}
+		if i < e.Index {
+			at = j
+			break
+		}
+	}
+	s.Proposals = append(s.Proposals, proposalAt{})
+	copy(s.Proposals[at+1:], s.Proposals[at:])
+	s.Proposals[at] = proposalAt{Index: i, P: p}
+}
+
+func (s *State) promisedFor(i int) (Ballot, bool) {
+	for _, e := range s.Promised {
+		if e.Index == i {
+			return e.Ballot, true
+		}
+	}
+	return Ballot{}, false
+}
+
+func (s *State) setPromised(i int, b Ballot) {
+	at := len(s.Promised)
+	for j, e := range s.Promised {
+		if e.Index == i {
+			s.Promised[j].Ballot = b
+			return
+		}
+		if i < e.Index {
+			at = j
+			break
+		}
+	}
+	s.Promised = append(s.Promised, promisedAt{})
+	copy(s.Promised[at+1:], s.Promised[at:])
+	s.Promised[at] = promisedAt{Index: i, Ballot: b}
+}
+
+func (s *State) acceptedFor(i int) (accepted, bool) {
+	for _, e := range s.Accepted {
+		if e.Index == i {
+			return e.A, true
+		}
+	}
+	return accepted{}, false
+}
+
+func (s *State) setAccepted(i int, a accepted) {
+	at := len(s.Accepted)
+	for j, e := range s.Accepted {
+		if e.Index == i {
+			s.Accepted[j].A = a
+			return
+		}
+		if i < e.Index {
+			at = j
+			break
+		}
+	}
+	s.Accepted = append(s.Accepted, acceptedAt{})
+	copy(s.Accepted[at+1:], s.Accepted[at:])
+	s.Accepted[at] = acceptedAt{Index: i, A: a}
+}
+
+func (s *State) learnsFor(i int) []*learnRecord {
+	for _, e := range s.Learns {
+		if e.Index == i {
+			return e.Recs
+		}
+	}
+	return nil
+}
+
+func (s *State) setLearns(i int, recs []*learnRecord) {
+	at := len(s.Learns)
+	for j, e := range s.Learns {
+		if e.Index == i {
+			s.Learns[j].Recs = recs
+			return
+		}
+		if i < e.Index {
+			at = j
+			break
+		}
+	}
+	s.Learns = append(s.Learns, learnsAt{})
+	copy(s.Learns[at+1:], s.Learns[at:])
+	s.Learns[at] = learnsAt{Index: i, Recs: recs}
+}
+
+// SetChosen records (or overwrites) the chosen value for an index, keeping
+// the ascending order. The protocol itself only ever records a first choice
+// (stepLearn checks HasChosen); tests and harnesses use SetChosen to build
+// states by hand.
+func (s *State) SetChosen(index, value int) {
+	at := len(s.Chosen)
+	for i, p := range s.Chosen {
+		if p.Index == index {
+			s.Chosen[i].Value = value
+			return
+		}
 		if index < p.Index {
 			at = i
 			break
 		}
 	}
-	s.chosenPairs = append(s.chosenPairs, ChoicePair{})
-	copy(s.chosenPairs[at+1:], s.chosenPairs[at:])
-	s.chosenPairs[at] = ChoicePair{Index: index, Value: value}
+	s.Chosen = append(s.Chosen, ChoicePair{})
+	copy(s.Chosen[at+1:], s.Chosen[at:])
+	s.Chosen[at] = ChoicePair{Index: index, Value: value}
 }
 
-// chosenSeq returns the sorted mirror when it is in sync with the map; a
-// mismatch means the map was written directly and the caller must iterate
-// the map instead.
-func (s *State) chosenSeq() ([]ChoicePair, bool) {
-	if len(s.chosenPairs) == len(s.Chosen) {
-		return s.chosenPairs, true
-	}
-	return nil, false
-}
+// addChoice records a choice; the caller has already checked the index is
+// new.
+func (s *State) addChoice(index, value int) { s.SetChosen(index, value) }
 
-// NewState returns an empty node state.
-func NewState() *State {
-	return &State{
-		Proposals: make(map[int]*proposal),
-		Promised:  make(map[int]Ballot),
-		Accepted:  make(map[int]accepted),
-		Learns:    make(map[int][]*learnRecord),
-		Chosen:    make(map[int]int),
-	}
-}
+// NewState returns an empty node state. All collections start nil — a
+// pristine node allocates nothing until its first handler runs.
+func NewState() *State { return &State{} }
 
-// Clone implements model.State.
+// Clone implements model.State. Value-typed collections are flat copies;
+// only proposals and learn records (mutated in place by later handlers)
+// are deep-cloned.
 func (s *State) Clone() model.State {
-	c := NewState()
-	c.ProposalsMade = s.ProposalsMade
-	for i, p := range s.Proposals {
-		c.Proposals[i] = p.clone()
+	c := &State{
+		ProposalsMade: s.ProposalsMade,
+		Promised:      append([]promisedAt(nil), s.Promised...),
+		Accepted:      append([]acceptedAt(nil), s.Accepted...),
+		Chosen:        append([]ChoicePair(nil), s.Chosen...),
 	}
-	for i, b := range s.Promised {
-		c.Promised[i] = b
-	}
-	for i, a := range s.Accepted {
-		c.Accepted[i] = a
-	}
-	for i, lrs := range s.Learns {
-		cl := make([]*learnRecord, len(lrs))
-		for j, lr := range lrs {
-			cl[j] = lr.clone()
+	if len(s.Proposals) > 0 {
+		c.Proposals = make([]proposalAt, len(s.Proposals))
+		for i, e := range s.Proposals {
+			c.Proposals[i] = proposalAt{Index: e.Index, P: e.P.clone()}
 		}
-		c.Learns[i] = cl
 	}
-	for i, v := range s.Chosen {
-		c.Chosen[i] = v
-	}
-	if len(s.chosenPairs) > 0 {
-		c.chosenPairs = append([]ChoicePair(nil), s.chosenPairs...)
+	if len(s.Learns) > 0 {
+		c.Learns = make([]learnsAt, len(s.Learns))
+		for i, e := range s.Learns {
+			recs := make([]*learnRecord, len(e.Recs))
+			for j, lr := range e.Recs {
+				recs[j] = lr.clone()
+			}
+			c.Learns[i] = learnsAt{Index: e.Index, Recs: recs}
+		}
 	}
 	return c
 }
 
-// Encode implements codec.Encoder; all maps are written in sorted order.
+// Encode implements codec.Encoder. Every collection is written ascending by
+// its key — the order the slices maintain by construction — so the byte
+// stream is identical to sorting the former map representation's keys; the
+// encoding test diffs it against a reference encoder that re-sorts from
+// scratch. The byte stream is fingerprint-critical: any change here splits
+// the visited-state space across binary versions.
 func (s *State) Encode(w *codec.Writer) {
 	w.Int(s.ProposalsMade)
 
-	idxs := sortedKeys(s.Proposals)
-	w.Uint32(uint32(len(idxs)))
-	for _, i := range idxs {
-		p := s.Proposals[i]
-		w.Int(i)
+	w.Uint32(uint32(len(s.Proposals)))
+	for _, e := range s.Proposals {
+		p := e.P
+		w.Int(e.Index)
 		p.Ballot.Encode(w)
 		w.Int(p.Value)
 		w.Bool(p.Accepting)
-		resps := make([]int, 0, len(p.Promises))
-		for n := range p.Promises {
-			resps = append(resps, int(n))
-		}
-		sort.Ints(resps)
-		w.Uint32(uint32(len(resps)))
-		for _, n := range resps {
-			pi := p.Promises[model.NodeID(n)]
-			w.Int(n)
-			pi.AccBallot.Encode(w)
-			w.Int(pi.Value)
+		w.Uint32(uint32(len(p.Promises)))
+		for _, pe := range p.Promises {
+			w.Int(int(pe.Node))
+			pe.Info.AccBallot.Encode(w)
+			w.Int(pe.Info.Value)
 		}
 	}
 
-	pidxs := make([]int, 0, len(s.Promised))
-	for i := range s.Promised {
-		pidxs = append(pidxs, i)
-	}
-	sort.Ints(pidxs)
-	w.Uint32(uint32(len(pidxs)))
-	for _, i := range pidxs {
-		w.Int(i)
-		s.Promised[i].Encode(w)
+	w.Uint32(uint32(len(s.Promised)))
+	for _, e := range s.Promised {
+		w.Int(e.Index)
+		e.Ballot.Encode(w)
 	}
 
-	aidxs := make([]int, 0, len(s.Accepted))
-	for i := range s.Accepted {
-		aidxs = append(aidxs, i)
-	}
-	sort.Ints(aidxs)
-	w.Uint32(uint32(len(aidxs)))
-	for _, i := range aidxs {
-		a := s.Accepted[i]
-		w.Int(i)
-		a.Ballot.Encode(w)
-		w.Int(a.Value)
+	w.Uint32(uint32(len(s.Accepted)))
+	for _, e := range s.Accepted {
+		w.Int(e.Index)
+		e.A.Ballot.Encode(w)
+		w.Int(e.A.Value)
 	}
 
-	lidxs := make([]int, 0, len(s.Learns))
-	for i := range s.Learns {
-		lidxs = append(lidxs, i)
-	}
-	sort.Ints(lidxs)
-	w.Uint32(uint32(len(lidxs)))
-	for _, i := range lidxs {
-		lrs := s.Learns[i]
-		w.Int(i)
-		w.Uint32(uint32(len(lrs)))
-		for _, lr := range lrs {
+	w.Uint32(uint32(len(s.Learns)))
+	for _, e := range s.Learns {
+		w.Int(e.Index)
+		w.Uint32(uint32(len(e.Recs)))
+		for _, lr := range e.Recs {
 			lr.Ballot.Encode(w)
 			w.Int(lr.Value)
-			accs := make([]int, 0, len(lr.Acceptors))
-			for n := range lr.Acceptors {
-				accs = append(accs, int(n))
+			w.Uint32(uint32(len(lr.Acceptors)))
+			for _, n := range lr.Acceptors {
+				w.Int(int(n))
 			}
-			sort.Ints(accs)
-			w.Ints(accs)
 		}
 	}
 
-	w.IntMap(s.Chosen)
+	w.Uint32(uint32(len(s.Chosen)))
+	for _, p := range s.Chosen {
+		w.Int(p.Index)
+		w.Int(p.Value)
+	}
 }
 
 // String renders the state compactly: chosen values, accepted values and
 // in-flight proposals.
 func (s *State) String() string {
 	out := "{"
-	for _, i := range sortedIntKeys(s.Chosen) {
-		out += fmt.Sprintf("chosen[%d]=%d ", i, s.Chosen[i])
+	for _, p := range s.Chosen {
+		out += fmt.Sprintf("chosen[%d]=%d ", p.Index, p.Value)
 	}
-	for _, i := range sortedAccKeys(s.Accepted) {
-		a := s.Accepted[i]
-		out += fmt.Sprintf("acc[%d]=%d@%s ", i, a.Value, a.Ballot)
+	for _, e := range s.Accepted {
+		out += fmt.Sprintf("acc[%d]=%d@%s ", e.Index, e.A.Value, e.A.Ballot)
 	}
-	for _, i := range sortedKeys(s.Proposals) {
-		p := s.Proposals[i]
+	for _, e := range s.Proposals {
 		phase := "prep"
-		if p.Accepting {
+		if e.P.Accepting {
 			phase = "acc"
 		}
-		out += fmt.Sprintf("prop[%d]=%d@%s/%s ", i, p.Value, p.Ballot, phase)
+		out += fmt.Sprintf("prop[%d]=%d@%s/%s ", e.Index, e.P.Value, e.P.Ballot, phase)
 	}
 	return out + "}"
-}
-
-func sortedKeys(m map[int]*proposal) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
-}
-
-func sortedIntKeys(m map[int]int) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
-}
-
-func sortedAccKeys(m map[int]accepted) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
 }
 
 // Pristine reports whether the state is indistinguishable from the initial
@@ -354,15 +477,19 @@ func (s *State) Pristine() bool {
 
 // HasChosen reports the chosen value for an index, if any.
 func (s *State) HasChosen(index int) (int, bool) {
-	v, ok := s.Chosen[index]
-	return v, ok
+	for _, p := range s.Chosen {
+		if p.Index == index {
+			return p.Value, true
+		}
+	}
+	return 0, false
 }
 
-// ChosenSet returns a copy of the chosen map.
+// ChosenSet returns the chosen values as a map.
 func (s *State) ChosenSet() map[int]int {
 	out := make(map[int]int, len(s.Chosen))
-	for k, v := range s.Chosen {
-		out[k] = v
+	for _, p := range s.Chosen {
+		out[p.Index] = p.Value
 	}
 	return out
 }
@@ -371,16 +498,16 @@ func (s *State) ChosenSet() map[int]int {
 // for an index, across all roles — the basis for picking a fresh ballot.
 func (s *State) MaxBallotSeen(index int) int {
 	max := 0
-	if b, ok := s.Promised[index]; ok && b.N > max {
+	if b, ok := s.promisedFor(index); ok && b.N > max {
 		max = b.N
 	}
-	if a, ok := s.Accepted[index]; ok && a.Ballot.N > max {
+	if a, ok := s.acceptedFor(index); ok && a.Ballot.N > max {
 		max = a.Ballot.N
 	}
-	if p, ok := s.Proposals[index]; ok && p.Ballot.N > max {
+	if p := s.proposalFor(index); p != nil && p.Ballot.N > max {
 		max = p.Ballot.N
 	}
-	for _, lr := range s.Learns[index] {
+	for _, lr := range s.learnsFor(index) {
 		if lr.Ballot.N > max {
 			max = lr.Ballot.N
 		}

@@ -3,6 +3,7 @@ package paxos
 import (
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -70,7 +71,7 @@ func TestPromiseRefusesLowerBallot(t *testing.T) {
 	if !ok || len(out) != 0 {
 		t.Fatalf("low prepare should be silently ignored, got %v", out)
 	}
-	if st.Promised[0] != hi.Ballot {
+	if b, _ := st.promisedFor(0); b != hi.Ballot {
 		t.Fatal("promise regressed")
 	}
 }
@@ -114,11 +115,10 @@ func TestValueSelectionCorrectVsBuggy(t *testing.T) {
 	run := func(bug BugKind) int {
 		p := Params{N: 3, Bug: bug}
 		st := NewState()
-		st.Proposals[0] = &proposal{
-			Ballot:   Ballot{N: 2, Node: 1},
-			Value:    2,
-			Promises: map[model.NodeID]promiseInfo{},
-		}
+		st.setProposal(0, &proposal{
+			Ballot: Ballot{N: 2, Node: 1},
+			Value:  2,
+		})
 		// First response: self, carrying a previously accepted value 1.
 		Step(p, 1, st, PrepareResponse{
 			header: header{From: 1, To: 1, Index: 0},
@@ -147,11 +147,10 @@ func TestValueSelectionCorrectVsBuggy(t *testing.T) {
 func TestDuplicateResponseIgnored(t *testing.T) {
 	p := params()
 	st := NewState()
-	st.Proposals[0] = &proposal{
-		Ballot:   Ballot{N: 1, Node: 0},
-		Value:    7,
-		Promises: map[model.NodeID]promiseInfo{},
-	}
+	st.setProposal(0, &proposal{
+		Ballot: Ballot{N: 1, Node: 0},
+		Value:  7,
+	})
 	resp := PrepareResponse{
 		header: header{From: 1, To: 0, Index: 0},
 		Ballot: Ballot{N: 1, Node: 0}, Value: 7,
@@ -161,7 +160,7 @@ func TestDuplicateResponseIgnored(t *testing.T) {
 	if len(out) != 0 {
 		t.Fatal("duplicate response triggered the majority")
 	}
-	if len(st.Proposals[0].Promises) != 1 {
+	if len(st.proposalFor(0).Promises) != 1 {
 		t.Fatal("duplicate recorded")
 	}
 }
@@ -242,6 +241,129 @@ func TestEncodeDeterministic(t *testing.T) {
 	}
 }
 
+// referenceEncode writes st the way the former map-backed State did:
+// collect every collection into a map, sort the keys, write in key order.
+// Encode's sorted-slice walk must stay byte-identical to this — the
+// encoding is fingerprint-critical, and a silent divergence would split the
+// visited-state space across binary versions.
+func referenceEncode(st *State, w *codec.Writer) {
+	w.Int(st.ProposalsMade)
+
+	props := map[int]*proposal{}
+	for _, e := range st.Proposals {
+		props[e.Index] = e.P
+	}
+	idxs := make([]int, 0, len(props))
+	for i := range props {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	w.Uint32(uint32(len(idxs)))
+	for _, i := range idxs {
+		p := props[i]
+		w.Int(i)
+		p.Ballot.Encode(w)
+		w.Int(p.Value)
+		w.Bool(p.Accepting)
+		resps := map[int]promiseInfo{}
+		for _, pe := range p.Promises {
+			resps[int(pe.Node)] = pe.Info
+		}
+		ns := make([]int, 0, len(resps))
+		for n := range resps {
+			ns = append(ns, n)
+		}
+		sort.Ints(ns)
+		w.Uint32(uint32(len(ns)))
+		for _, n := range ns {
+			pi := resps[n]
+			w.Int(n)
+			pi.AccBallot.Encode(w)
+			w.Int(pi.Value)
+		}
+	}
+
+	prom := map[int]Ballot{}
+	for _, e := range st.Promised {
+		prom[e.Index] = e.Ballot
+	}
+	pidxs := make([]int, 0, len(prom))
+	for i := range prom {
+		pidxs = append(pidxs, i)
+	}
+	sort.Ints(pidxs)
+	w.Uint32(uint32(len(pidxs)))
+	for _, i := range pidxs {
+		w.Int(i)
+		prom[i].Encode(w)
+	}
+
+	acc := map[int]accepted{}
+	for _, e := range st.Accepted {
+		acc[e.Index] = e.A
+	}
+	aidxs := make([]int, 0, len(acc))
+	for i := range acc {
+		aidxs = append(aidxs, i)
+	}
+	sort.Ints(aidxs)
+	w.Uint32(uint32(len(aidxs)))
+	for _, i := range aidxs {
+		a := acc[i]
+		w.Int(i)
+		a.Ballot.Encode(w)
+		w.Int(a.Value)
+	}
+
+	learns := map[int][]*learnRecord{}
+	for _, e := range st.Learns {
+		learns[e.Index] = e.Recs
+	}
+	lidxs := make([]int, 0, len(learns))
+	for i := range learns {
+		lidxs = append(lidxs, i)
+	}
+	sort.Ints(lidxs)
+	w.Uint32(uint32(len(lidxs)))
+	for _, i := range lidxs {
+		lrs := learns[i]
+		w.Int(i)
+		w.Uint32(uint32(len(lrs)))
+		for _, lr := range lrs {
+			lr.Ballot.Encode(w)
+			w.Int(lr.Value)
+			accs := make([]int, 0, len(lr.Acceptors))
+			for _, n := range lr.Acceptors {
+				accs = append(accs, int(n))
+			}
+			sort.Ints(accs)
+			w.Ints(accs)
+		}
+	}
+
+	chosen := map[int]int{}
+	for _, p := range st.Chosen {
+		chosen[p.Index] = p.Value
+	}
+	w.IntMap(chosen)
+}
+
+// TestEncodeMatchesReference diffs Encode against the reference encoder
+// over random handler-built states — property-based byte-identity.
+func TestEncodeMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomState(rng)
+		var got, want codec.Writer
+		st.Encode(&got)
+		referenceEncode(st, &want)
+		return reflect.DeepEqual(got.Bytes(), want.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // randomState builds a random-but-valid-looking Paxos node state by
 // executing random handler steps.
 func randomState(rng *rand.Rand) *State {
@@ -268,14 +390,14 @@ func randomState(rng *rand.Rand) *State {
 func mutate(rng *rand.Rand, st *State) {
 	switch rng.Intn(4) {
 	case 0:
-		st.Chosen[rng.Intn(3)] = 99
+		st.SetChosen(rng.Intn(3), 99)
 	case 1:
-		st.Promised[rng.Intn(3)] = Ballot{N: 99, Node: 0}
+		st.setPromised(rng.Intn(3), Ballot{N: 99, Node: 0})
 	case 2:
-		st.Accepted[rng.Intn(3)] = accepted{Ballot: Ballot{N: 99}, Value: 1}
+		st.setAccepted(rng.Intn(3), accepted{Ballot: Ballot{N: 99}, Value: 1})
 	case 3:
-		if p := st.Proposals[0]; p != nil {
-			p.Promises[2] = promiseInfo{Value: 123}
+		if p := st.proposalFor(0); p != nil {
+			p.setPromise(2, promiseInfo{Value: 123})
 		} else {
 			st.ProposalsMade++
 		}
@@ -350,12 +472,12 @@ func TestAgreementInvariant(t *testing.T) {
 	if inv.Check(sys) != nil {
 		t.Fatal("empty system violates agreement")
 	}
-	a.Chosen[0] = 1
-	b.Chosen[0] = 1
+	a.SetChosen(0, 1)
+	b.SetChosen(0, 1)
 	if inv.Check(sys) != nil {
 		t.Fatal("agreeing choices flagged")
 	}
-	c.Chosen[0] = 2
+	c.SetChosen(0, 2)
 	if inv.Check(sys) == nil {
 		t.Fatal("conflicting choices not flagged")
 	}
@@ -366,7 +488,7 @@ func TestReductionConflict(t *testing.T) {
 	var r Reduction
 	mk := func(idx, v int) *State {
 		s := NewState()
-		s.Chosen[idx] = v
+		s.SetChosen(idx, v)
 		return s
 	}
 	if _, ok := r.Interest(0, NewState()); ok {

@@ -24,11 +24,10 @@ func (p Params) Majority() int { return p.N/2 + 1 }
 // The returned messages are the broadcast.
 func DoPropose(p Params, n model.NodeID, st *State, index, value int) []model.Message {
 	b := Ballot{N: st.MaxBallotSeen(index) + 1, Node: n}
-	st.Proposals[index] = &proposal{
-		Ballot:   b,
-		Value:    value,
-		Promises: make(map[model.NodeID]promiseInfo),
-	}
+	st.setProposal(index, &proposal{
+		Ballot: b,
+		Value:  value,
+	})
 	st.ProposalsMade++
 	out := make([]model.Message, 0, p.N)
 	for to := 0; to < p.N; to++ {
@@ -75,16 +74,16 @@ func Step(p Params, n model.NodeID, st *State, m model.Message) (out []model.Mes
 // stepPrepare is the acceptor's phase-1b: promise if the ballot is at least
 // as high as anything promised, and report the highest accepted value.
 func stepPrepare(p Params, n model.NodeID, st *State, m Prepare) []model.Message {
-	if cur, ok := st.Promised[m.Index]; ok && m.Ballot.Less(cur) {
+	if cur, ok := st.promisedFor(m.Index); ok && m.Ballot.Less(cur) {
 		// A higher promise exists: ignore (no NACK in the modeled variant).
 		return nil
 	}
-	st.Promised[m.Index] = m.Ballot
+	st.setPromised(m.Index, m.Ballot)
 	resp := PrepareResponse{
 		header: header{Layer: p.Layer, From: n, To: m.From, Index: m.Index},
 		Ballot: m.Ballot,
 	}
-	if acc, ok := st.Accepted[m.Index]; ok {
+	if acc, ok := st.acceptedFor(m.Index); ok {
 		resp.AccBallot = acc.Ballot
 		resp.Value = acc.Value
 	} else {
@@ -101,14 +100,14 @@ func stepPrepare(p Params, n model.NodeID, st *State, m Prepare) []model.Message
 // promises, pick the value and broadcast Accept. This is where the §5.5
 // bug lives.
 func stepPrepareResponse(p Params, n model.NodeID, st *State, m PrepareResponse) []model.Message {
-	prop, ok := st.Proposals[m.Index]
-	if !ok || prop.Accepting || m.Ballot != prop.Ballot {
+	prop := st.proposalFor(m.Index)
+	if prop == nil || prop.Accepting || m.Ballot != prop.Ballot {
 		return nil // stale or duplicate response
 	}
-	if _, dup := prop.Promises[m.From]; dup {
+	if _, dup := prop.promiseOf(m.From); dup {
 		return nil
 	}
-	prop.Promises[m.From] = promiseInfo{AccBallot: m.AccBallot, Value: m.Value}
+	prop.setPromise(m.From, promiseInfo{AccBallot: m.AccBallot, Value: m.Value})
 	if len(prop.Promises) < p.Majority() {
 		return nil
 	}
@@ -126,10 +125,10 @@ func stepPrepareResponse(p Params, n model.NodeID, st *State, m PrepareResponse)
 		// accepted ballot; the proposer's own value if none accepted.
 		value = prop.Value
 		var best Ballot
-		for _, pi := range prop.Promises {
-			if !pi.AccBallot.Zero() && best.Less(pi.AccBallot) {
-				best = pi.AccBallot
-				value = pi.Value
+		for _, pe := range prop.Promises {
+			if !pe.Info.AccBallot.Zero() && best.Less(pe.Info.AccBallot) {
+				best = pe.Info.AccBallot
+				value = pe.Info.Value
 			}
 		}
 	}
@@ -149,11 +148,11 @@ func stepPrepareResponse(p Params, n model.NodeID, st *State, m PrepareResponse)
 // stepAccept is the acceptor's phase-2b: accept if no higher promise, then
 // broadcast Learn to every learner.
 func stepAccept(p Params, n model.NodeID, st *State, m Accept) []model.Message {
-	if cur, ok := st.Promised[m.Index]; ok && m.Ballot.Less(cur) {
+	if cur, ok := st.promisedFor(m.Index); ok && m.Ballot.Less(cur) {
 		return nil
 	}
-	st.Promised[m.Index] = m.Ballot
-	st.Accepted[m.Index] = accepted{Ballot: m.Ballot, Value: m.Value}
+	st.setPromised(m.Index, m.Ballot)
+	st.setAccepted(m.Index, accepted{Ballot: m.Ballot, Value: m.Value})
 	out := make([]model.Message, 0, p.N)
 	for to := 0; to < p.N; to++ {
 		out = append(out, Learn{
@@ -169,7 +168,7 @@ func stepAccept(p Params, n model.NodeID, st *State, m Accept) []model.Message {
 // majority of acceptors announced the same ballot. The first choice for an
 // index is kept.
 func stepLearn(p Params, n model.NodeID, st *State, m Learn) {
-	recs := st.Learns[m.Index]
+	recs := st.learnsFor(m.Index)
 	var rec *learnRecord
 	for _, r := range recs {
 		if r.Ballot == m.Ballot && r.Value == m.Value {
@@ -178,13 +177,12 @@ func stepLearn(p Params, n model.NodeID, st *State, m Learn) {
 		}
 	}
 	if rec == nil {
-		rec = &learnRecord{Ballot: m.Ballot, Value: m.Value,
-			Acceptors: make(map[model.NodeID]bool)}
-		st.Learns[m.Index] = insertRecord(recs, rec)
+		rec = &learnRecord{Ballot: m.Ballot, Value: m.Value}
+		st.setLearns(m.Index, insertRecord(recs, rec))
 	}
-	rec.Acceptors[m.From] = true
+	rec.addAcceptor(m.From)
 	if len(rec.Acceptors) >= p.Majority() {
-		if _, done := st.Chosen[m.Index]; !done {
+		if _, done := st.HasChosen(m.Index); !done {
 			st.addChoice(m.Index, m.Value)
 		}
 	}

@@ -70,7 +70,7 @@ func TestSnapshotIsolated(t *testing.T) {
 	s.RunUntil(100)
 	snap := s.Snapshot()
 	before := s.Snapshot().Fingerprint()
-	snap[0].(*paxos.State).Chosen[99] = 1
+	snap[0].(*paxos.State).SetChosen(99, 1)
 	if s.Snapshot().Fingerprint() != before {
 		t.Fatal("snapshot aliases live state")
 	}

@@ -45,6 +45,14 @@ type Counters struct {
 	SystemStateTime time.Duration
 	// ConfirmedBugs counts violations that passed soundness verification.
 	ConfirmedBugs int
+	// CoverIndexHits / CoverIndexMisses count coverage queries answered by
+	// the producer index during witness searches: a hit found a visible
+	// producer for the queried message fingerprint, a miss found none.
+	CoverIndexHits   int
+	CoverIndexMisses int
+	// WitnessSkips counts candidate-pair walks skipped by the epoch-gated
+	// witness outcome cache (their recorded refutation evidence still held).
+	WitnessSkips int
 	// Rejections counts handler executions rejected by local assertions
 	// (handlers returning a nil state).
 	Rejections int
@@ -72,6 +80,8 @@ func (c *Counters) String() string {
 		c.Transitions, c.NodeStates, c.GlobalStates, c.SystemStates)
 	fmt.Fprintf(&b, "invariantChecks=%d prelimViolations=%d soundnessCalls=%d sequencesChecked=%d confirmedBugs=%d\n",
 		c.InvariantChecks, c.PreliminaryViolations, c.SoundnessCalls, c.SequencesChecked, c.ConfirmedBugs)
+	fmt.Fprintf(&b, "coverIndexHits=%d coverIndexMisses=%d witnessSkips=%d\n",
+		c.CoverIndexHits, c.CoverIndexMisses, c.WitnessSkips)
 	fmt.Fprintf(&b, "rejections=%d dupDropped=%d maxDepth=%d elapsed=%v soundnessTime=%v systemStateTime=%v",
 		c.Rejections, c.DuplicatesDropped, c.MaxDepth, c.Elapsed.Round(time.Microsecond),
 		c.SoundnessTime.Round(time.Microsecond), c.SystemStateTime.Round(time.Microsecond))
