@@ -17,9 +17,11 @@ import (
 	"time"
 
 	"lmc"
+	"lmc/internal/actordemo"
 	"lmc/internal/bench"
 	"lmc/internal/protocols/onepaxos"
 	"lmc/internal/protocols/paxos"
+	"lmc/internal/protocols/twophase"
 )
 
 // printTables controls whether benchmarks dump their tables to stdout.
@@ -212,6 +214,44 @@ func BenchmarkPaxosGEN(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAdapterAblation measures A4: the actorcheck interception seam's
+// overhead — the hand-written 2PC model vs the semantically identical real
+// implementation checked through the adapter, for both strategies. The
+// state spaces are isomorphic, so the time ratio is pure adapter cost
+// (snapshot/restore per handler execution plus blob fingerprinting).
+func BenchmarkAdapterAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dump(b, bench.AdapterAblation(time.Minute))
+	}
+}
+
+// BenchmarkActor2PC pins the two halves of the A4 comparison as separate
+// entries so `go test -bench Actor2PC` shows the ns/op gap directly.
+func BenchmarkActor2PC(b *testing.B) {
+	b.Run("model", func(b *testing.B) {
+		m := twophase.New(4, twophase.NoBug, 2)
+		start := lmc.InitialSystem(m)
+		for i := 0; i < b.N; i++ {
+			res := lmc.Check(m, start, lmc.Options{
+				Invariant: twophase.Atomicity(), SoundnessShare: -1})
+			if !res.Complete || len(res.Bugs) != 0 {
+				b.Fatalf("unexpected result: %+v", res.Stats)
+			}
+		}
+	})
+	b.Run("adapter", func(b *testing.B) {
+		ad := actordemo.NewAdapter(4, actordemo.NoBug, 2)
+		start := lmc.InitialSystem(ad)
+		for i := 0; i < b.N; i++ {
+			res := lmc.Check(ad, start, lmc.Options{
+				Invariant: actordemo.Atomicity(ad), SoundnessShare: -1})
+			if !res.Complete || len(res.Bugs) != 0 {
+				b.Fatalf("unexpected result: %+v", res.Stats)
+			}
+		}
+	})
 }
 
 // BenchmarkParallelCheck measures A3: worker fan-out for system-state

@@ -38,11 +38,13 @@ import (
 	"testing"
 	"time"
 
+	"lmc/internal/actordemo"
 	"lmc/internal/codec"
 	"lmc/internal/core"
 	"lmc/internal/model"
 	"lmc/internal/obs"
 	"lmc/internal/protocols/paxos"
+	"lmc/internal/protocols/twophase"
 )
 
 // Entry is one benchmark measurement.
@@ -81,6 +83,26 @@ func paxosOpt() (model.Machine, model.SystemState, core.Options) {
 	m, start, opt := paxosGen()
 	opt.Reduction = paxos.Reduction{}
 	return m, start, opt
+}
+
+// twophaseModel and twophaseActor are the adapter-overhead pair: the
+// hand-written 2PC model and the semantically identical real implementation
+// checked through the actorcheck interception seam. Their state spaces are
+// isomorphic, so the elapsed-time ratio is pure adapter cost.
+func twophaseModel() (model.Machine, model.SystemState, core.Options) {
+	m := twophase.New(4, twophase.NoBug, 2)
+	return m, model.InitialSystem(m), core.Options{
+		Invariant:      twophase.Atomicity(),
+		SoundnessShare: -1,
+	}
+}
+
+func twophaseActor() (model.Machine, model.SystemState, core.Options) {
+	ad := actordemo.NewAdapter(4, actordemo.NoBug, 2)
+	return ad, model.InitialSystem(ad), core.Options{
+		Invariant:      actordemo.Atomicity(ad),
+		SoundnessShare: -1,
+	}
 }
 
 // space is one checker configuration to measure.
@@ -284,6 +306,8 @@ func main() {
 		"fail when the nil-observer explore/paxos-gen/seq entry exceeds the baseline's by this factor (e.g. 1.02 for the 2% budget); 0 disables")
 	optGate := flag.Float64("optgate", 0,
 		"fail when explore/paxos-opt/seq states/sec falls below the baseline's times this factor (e.g. 0.9 tolerates 10% jitter); 0 disables")
+	actorGate := flag.Float64("actorgate", 0,
+		"fail when the actorcheck adapter run (explore/2pc-actor/seq) exceeds the same run's model time (explore/2pc-model/seq) by this factor; same-run ratio, needs no baseline; 0 disables")
 	compare := flag.String("compare", "",
 		"older report JSON to print a per-entry delta table against (stdout)")
 	var notes noteFlags
@@ -326,6 +350,8 @@ func main() {
 		measureExplore("explore/paxos-gen/w8", reps, 8, paxosGen),
 		measureExplore("explore/paxos-opt/seq", reps, -1, paxosOpt),
 		measureExplore("explore/paxos-opt/w8", reps, 8, paxosOpt),
+		measureExplore("explore/2pc-model/seq", reps, -1, twophaseModel),
+		measureExplore("explore/2pc-actor/seq", reps, -1, twophaseActor),
 	)
 
 	// Observer-overhead entries: the same sequential Paxos GEN run with a
@@ -369,6 +395,7 @@ func main() {
 	rep.Derived["fingerprint_unpooled_over_pooled"] = ratio("fingerprint/unpooled", "fingerprint/pooled")
 	rep.Derived["obs_log_over_nil"] = ratio("explore/paxos-gen/obs-log", "explore/paxos-gen/seq")
 	rep.Derived["obs_expvar_over_nil"] = ratio("explore/paxos-gen/obs-expvar", "explore/paxos-gen/seq")
+	rep.Derived["actor_over_model"] = ratio("explore/2pc-actor/seq", "explore/2pc-model/seq")
 	if rep.NumCPU == 1 {
 		rep.Notes = append(rep.Notes,
 			"single-CPU host: worker-pool speedups are not observable; seq-over-w8 ratios reflect pool overhead only")
@@ -385,6 +412,13 @@ func main() {
 	} else if err := os.WriteFile(*out, raw, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+
+	if *actorGate > 0 {
+		if err := gateActorOverhead(rep, *actorGate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *compare != "" {
@@ -412,6 +446,26 @@ func main() {
 			}
 		}
 	}
+}
+
+// gateActorOverhead enforces the interception-seam budget: checking the real
+// 2PC implementation through the actorcheck adapter may cost at most
+// maxRatio times the hand-written model's run from the SAME report, so the
+// gate is host-speed independent and needs no baseline file.
+func gateActorOverhead(cur Report, maxRatio float64) error {
+	byName := entriesByName(cur)
+	modelNs := byName["explore/2pc-model/seq"].NsPerOp
+	actorNs := byName["explore/2pc-actor/seq"].NsPerOp
+	if modelNs <= 0 || actorNs <= 0 {
+		return fmt.Errorf("actorgate: 2pc model/actor entries missing from report")
+	}
+	if r := actorNs / modelNs; r > maxRatio {
+		return fmt.Errorf("actorgate: adapter run is %.3fx the model run (budget %.3fx): %.0f ns vs %.0f ns",
+			r, maxRatio, actorNs, modelNs)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: actorgate ok: adapter at %.3fx of model time (budget %.3fx)\n",
+		actorNs/modelNs, maxRatio)
+	return nil
 }
 
 // gateObserverOverhead enforces the observability layer's budget: the

@@ -34,6 +34,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "scenario generator seed")
 	n := flag.Int("n", 100, "number of scenarios per batch")
+	actors := flag.Int("actors", 0, "adapter-backed (actorcheck) scenarios appended to each batch")
 	soak := flag.Duration("soak", 0, "keep running fresh batches (seed, seed+1, ...) for this long")
 	repro := flag.String("repro", "", "re-run the scenario in a saved artifact and exit")
 	out := flag.String("out", ".", "directory for disagreement artifacts")
@@ -70,7 +71,7 @@ func main() {
 	batches := 0
 	deadline := time.Now().Add(*soak)
 	for s := *seed; ; s++ {
-		disagreements += runBatch(s, *n, tun, *out, *workers, *verbose)
+		disagreements += runBatch(s, *n, *actors, tun, *out, *workers, *verbose)
 		batches++
 		if *soak == 0 || time.Now().After(deadline) {
 			break
@@ -90,9 +91,14 @@ func main() {
 // reporting, shrinking and artifact writes then happen on this goroutine in
 // scenario-index order, so the output and the artifact files are identical
 // to a sequential run.
-func runBatch(seed int64, n int, tun diffcheck.Tuning, outDir string, workers int, verbose bool) int {
-	fmt.Printf("batch seed=%d n=%d\n", seed, n)
+func runBatch(seed int64, n, actors int, tun diffcheck.Tuning, outDir string, workers int, verbose bool) int {
+	fmt.Printf("batch seed=%d n=%d actors=%d\n", seed, n, actors)
 	corpus := diffcheck.Corpus(seed, n)
+	if actors > 0 {
+		// Appended after the frozen main corpus so indices 0..n-1 keep
+		// meaning the same scenarios with or without the flag.
+		corpus = append(corpus, diffcheck.ActorCorpus(seed, actors)...)
+	}
 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -9,7 +9,7 @@
 //	experiments -list            # list artifact names
 //
 // Artifact names: fig10 fig11 fig12 fig13 transitions scalability
-// soundness paxosbug onepaxosbug online tree chain dupes parallel.
+// soundness paxosbug onepaxosbug online tree chain dupes parallel adapter.
 package main
 
 import (
@@ -62,6 +62,9 @@ func artifacts() []artifact {
 		}},
 		{"parallel", "A3: parallel system-state checking", func(b time.Duration) (*bench.Table, error) {
 			return bench.ParallelAblation(b, []int{1, 2, 4, 8}), nil
+		}},
+		{"adapter", "A6: model vs real implementation through actorcheck", func(b time.Duration) (*bench.Table, error) {
+			return bench.AdapterAblation(b), nil
 		}},
 	}
 }

@@ -1,0 +1,149 @@
+// Package actorcheck checks real actor-style Go implementations with the
+// local model checker. The paper's machinery — per-node local-state spaces
+// explored against the monotonic shared network I+, Cartesian system-state
+// materialization, a-posteriori soundness verification — operates on
+// model.Machine; this package puts an actual implementation (a mailbox plus
+// a handler loop) behind that interface, intercepting every send and
+// receive, so LMC-GEN and LMC-OPT explore the real code's local states
+// rather than a hand-written model of them.
+//
+// The interception seam is narrow and explicit. An Actor is the system
+// under test: a handler loop that reacts to delivered payloads and to
+// node-local ticks (timers, application calls). The only side channel an
+// actor is given is the Context passed to each handler — Send on it is the
+// intercepted network. Everything else the checker needs is obtained by
+// snapshotting the actor's state to canonical bytes between handler
+// invocations, so the adapter's model.State is an opaque blob and the
+// existing codec fingerprinting path applies unchanged.
+//
+// Determinism requirements (the adapter cannot check a real implementation
+// that violates them):
+//
+//   - A handler's successor state and emissions must be a function of the
+//     (state, delivered payload / tick) pair alone. No wall-clock reads, no
+//     goroutine scheduling, no global mutable state: any nondeterminism
+//     must be folded into the Tick value, mirroring the model.Machine
+//     determinism contract.
+//   - Snapshot must be canonical: semantically equal states must produce
+//     identical bytes, because states are identified by the fingerprint of
+//     the snapshot. (This is the reason the gob fallback is restricted to
+//     plain structs — gob's map encoding is order-nondeterministic.)
+//   - Restore(Snapshot(x)) must reproduce x exactly, as observed by the
+//     actor's subsequent behavior and snapshots.
+//
+// Adapter.CheckDeterminism re-executes every handler twice from the same
+// snapshot and compares the outcomes, turning a violated requirement into
+// an immediate, attributed failure instead of an unsound exploration; the
+// conformance suite (conformance.go) runs an actor through that mode plus
+// snapshot round-trip and fingerprint-stability checks.
+package actorcheck
+
+import (
+	"fmt"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+)
+
+// Payload is the content of a message exchanged between actors. Payloads
+// must be immutable once sent and must encode canonically (equal payloads →
+// identical bytes) so the shared network can fingerprint them.
+type Payload interface {
+	codec.Encoder
+	// String renders the payload for traces and bug reports.
+	String() string
+}
+
+// Tick is a node-local event an actor can perform: a timer firing, an
+// application call arriving. Ticks are the actor-world analogue of
+// model.Action and carry the same obligations: canonical encoding, and any
+// nondeterministic inputs (random choices, timestamps) folded into the
+// value itself so re-executing a recorded tick replays identically.
+type Tick interface {
+	codec.Encoder
+	// String renders the tick for traces and bug reports.
+	String() string
+}
+
+// Context is the capability handed to an actor's handlers — the intercepted
+// environment. Sending through it is the only legal way for the
+// implementation to talk to the outside world; the adapter records the
+// sends and feeds them to the checker's shared network.
+type Context interface {
+	// Self is the identity of the actor whose handler is executing.
+	Self() model.NodeID
+	// NumNodes is the size of the configured system.
+	NumNodes() int
+	// Send queues a payload for delivery to node to. Delivery is
+	// asynchronous and unordered (the checker explores all interleavings);
+	// sending to an out-of-range node fails the handler.
+	Send(to model.NodeID, p Payload)
+}
+
+// Actor is the system under test: one node's mailbox handler loop.
+//
+// Handlers return a non-nil error to reject the delivery — a local
+// assertion in the sense of the paper's §4.2: the message is impossible in
+// the current state, and the checker discards the (state, event) branch
+// rather than reporting a bug. Handlers may mutate the actor in place; the
+// adapter snapshots after the handler returns.
+type Actor interface {
+	// OnMessage handles a payload delivered from another actor.
+	OnMessage(ctx Context, from model.NodeID, p Payload) error
+	// Ticks enumerates the node-local events currently enabled. The slice
+	// must be freshly allocated or immutable, and its contents a function
+	// of the actor's state alone.
+	Ticks() []Tick
+	// OnTick handles one of the enabled ticks.
+	OnTick(ctx Context, t Tick) error
+}
+
+// Snapshotter is the state capture pair a checkable actor provides:
+// Snapshot serializes the actor's complete mutable state to canonical
+// bytes, Restore reconstructs it on a freshly constructed actor. Actors
+// that do not implement it get the gob-based default (snapshot.go), which
+// is only sound for plain structs — exported fields, no maps, no shared
+// pointers.
+type Snapshotter interface {
+	Snapshot() ([]byte, error)
+	Restore(blob []byte) error
+}
+
+// Factory constructs a fresh actor for node n in its initial state. The
+// adapter calls it once per handler execution (state is restored into the
+// fresh instance), so construction must be cheap and must not share
+// mutable data between instances.
+type Factory func(n model.NodeID) Actor
+
+// BytesPayload is an opaque payload for implementations that carry their
+// own wire format: the adapter fingerprints the raw bytes and never looks
+// inside. The bytes must themselves be canonical (equal logical messages →
+// equal bytes) for deduplication to work.
+type BytesPayload struct {
+	Data []byte `json:"data"`
+}
+
+// Encode implements codec.Encoder.
+func (p BytesPayload) Encode(w *codec.Writer) {
+	w.String("actorcheck.bytes")
+	w.Bytes32(p.Data)
+}
+
+// String implements Payload.
+func (p BytesPayload) String() string {
+	return fmt.Sprintf("Bytes{%d bytes, %v}", len(p.Data), codec.Hash(p.Data))
+}
+
+// DeterminismError reports a handler that produced different outcomes on
+// two executions from the same snapshot — a violated determinism
+// requirement, attributed to the event that exposed it.
+type DeterminismError struct {
+	Node   model.NodeID
+	Event  string // rendering of the delivery or tick
+	Detail string
+}
+
+// Error implements error.
+func (e *DeterminismError) Error() string {
+	return fmt.Sprintf("actorcheck: nondeterministic handler on %v for %s: %s", e.Node, e.Event, e.Detail)
+}

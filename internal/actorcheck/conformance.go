@@ -1,0 +1,187 @@
+package actorcheck
+
+import (
+	"bytes"
+	"fmt"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+)
+
+// This file is the reusable half of the adapter conformance suite: checks
+// any adapter-backed implementation must pass before its exploration
+// results mean anything. They are exported, error-returning functions so
+// implementations outside this package (actordemo today, any future SUT)
+// can table-drive them from their own tests; conformance_test.go runs them
+// plus the cross-worker fingerprint-parity check that needs the full
+// checker.
+
+// DefaultConformanceStates bounds the conformance walk when the caller
+// passes no explicit limit.
+const DefaultConformanceStates = 4096
+
+// Conformance runs every adapter-local conformance check: snapshot
+// round-trip identity and handler determinism under repeated delivery,
+// over up to maxStates reachable states (<= 0 means
+// DefaultConformanceStates).
+func Conformance(ad *Adapter, maxStates int) error {
+	if err := CheckSnapshotRoundTrip(ad, maxStates); err != nil {
+		return err
+	}
+	return CheckHandlerDeterminism(ad, maxStates)
+}
+
+// CheckSnapshotRoundTrip walks the reachable state space and verifies the
+// Snapshotter contract on every state: restoring a snapshot into a fresh
+// actor and snapshotting again must reproduce the bytes exactly. A
+// violation means equal states do not encode equally — the checker would
+// see one state as many (a state-space explosion at best, missed
+// deduplication soundness at worst).
+func CheckSnapshotRoundTrip(ad *Adapter, maxStates int) error {
+	return walk(ad, maxStates, func(n model.NodeID, s *NodeState) error {
+		a, err := ad.restore(n, s.blob)
+		if err != nil {
+			return fmt.Errorf("actorcheck: restore of %v state %v failed: %w", n, codec.Hash(s.blob), err)
+		}
+		again, err := snapshot(a)
+		if err != nil {
+			return fmt.Errorf("actorcheck: re-snapshot of %v state %v failed: %w", n, codec.Hash(s.blob), err)
+		}
+		if !bytes.Equal(s.blob, again) {
+			return fmt.Errorf("actorcheck: snapshot round-trip of %v state %v not identity (%d bytes vs %d)",
+				n, codec.Hash(s.blob), len(s.blob), len(again))
+		}
+		return nil
+	})
+}
+
+// CheckHandlerDeterminism walks the reachable state space with the
+// adapter's double-execution mode enabled: every handler runs twice from
+// the same snapshot, and the first diverging outcome is reported as a
+// *DeterminismError naming the node and event. This is the check that
+// catches wall-clock reads, map-iteration-order dependence and shared
+// mutable state in the implementation.
+func CheckHandlerDeterminism(ad *Adapter, maxStates int) (err error) {
+	prev := ad.CheckDeterminism
+	ad.CheckDeterminism = true
+	defer func() {
+		ad.CheckDeterminism = prev
+		if r := recover(); r != nil {
+			de, ok := r.(*DeterminismError)
+			if !ok {
+				panic(r)
+			}
+			err = de
+		}
+	}()
+	return walk(ad, maxStates, func(model.NodeID, *NodeState) error { return nil })
+}
+
+// walk explores the adapter's per-node state spaces against a monotonic
+// shared message pool — the paper's I+ loop in miniature, without any of
+// the checker's bookkeeping — calling visit once per newly discovered node
+// state (including the initial ones). The walk stops at a fixpoint or
+// after maxStates visits, whichever is first.
+func walk(ad *Adapter, maxStates int, visit func(model.NodeID, *NodeState) error) error {
+	if maxStates <= 0 {
+		maxStates = DefaultConformanceStates
+	}
+	type stateKey struct {
+		n  model.NodeID
+		fp codec.Fingerprint
+	}
+	type comboKey struct {
+		sk stateKey
+		ev codec.Fingerprint
+	}
+	states := make(map[model.NodeID][]*NodeState)
+	seenState := make(map[stateKey]bool)
+	seenMsg := make(map[codec.Fingerprint]bool)
+	var pool []Envelope
+	tried := make(map[comboKey]bool)
+	visited := 0
+
+	addState := func(n model.NodeID, s model.State) error {
+		st, ok := s.(*NodeState)
+		if !ok {
+			return fmt.Errorf("actorcheck: walk got %T, not an adapter state", s)
+		}
+		key := stateKey{n: n, fp: codec.Hash(st.blob)}
+		if seenState[key] {
+			return nil
+		}
+		seenState[key] = true
+		states[n] = append(states[n], st)
+		visited++
+		return visit(n, st)
+	}
+	addMsgs := func(ms []model.Message) {
+		for _, m := range ms {
+			env, ok := m.(Envelope)
+			if !ok {
+				continue
+			}
+			fp := model.MessageFingerprint(env)
+			if !seenMsg[fp] {
+				seenMsg[fp] = true
+				pool = append(pool, env)
+			}
+		}
+	}
+
+	for i := 0; i < ad.n; i++ {
+		if err := addState(model.NodeID(i), ad.Init(model.NodeID(i))); err != nil {
+			return err
+		}
+	}
+
+	for changed := true; changed && visited < maxStates; {
+		changed = false
+		for n := 0; n < ad.n; n++ {
+			node := model.NodeID(n)
+			// Index-based loop: states[node] grows while we iterate.
+			for i := 0; i < len(states[node]) && visited < maxStates; i++ {
+				s := states[node][i]
+				sk := stateKey{n: node, fp: codec.Hash(s.blob)}
+				for _, a := range ad.Actions(node, s) {
+					ck := comboKey{sk: sk, ev: model.ActEvent(a).Fingerprint()}
+					if tried[ck] {
+						continue
+					}
+					tried[ck] = true
+					next, out := ad.HandleAction(node, s.Clone(), a)
+					if next == nil {
+						continue
+					}
+					changed = true
+					if err := addState(node, next); err != nil {
+						return err
+					}
+					addMsgs(out)
+				}
+				// pool also grows while we iterate.
+				for j := 0; j < len(pool); j++ {
+					env := pool[j]
+					if env.To != node {
+						continue
+					}
+					ck := comboKey{sk: sk, ev: model.RecvEvent(env).Fingerprint()}
+					if tried[ck] {
+						continue
+					}
+					tried[ck] = true
+					next, out := ad.HandleMessage(node, s.Clone(), env)
+					if next == nil {
+						continue
+					}
+					changed = true
+					if err := addState(node, next); err != nil {
+						return err
+					}
+					addMsgs(out)
+				}
+			}
+		}
+	}
+	return nil
+}

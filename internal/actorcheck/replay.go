@@ -1,0 +1,105 @@
+package actorcheck
+
+import (
+	"fmt"
+
+	"lmc/internal/model"
+	"lmc/internal/netstate"
+)
+
+// ReplayRaw implements model.RawReplayer: it re-drives an event sequence
+// through the wrapped implementation the way a real deployment would run it
+// — one live actor per node, restored once at the start and then mutating
+// in place across events, with no per-event snapshot/restore and no
+// interception beyond send capture. A witness schedule that replays here to
+// the claimed final state is a bug of the real code, not of the adapter's
+// seam: the checker's model-level replay (package trace) exercises the
+// snapshot path on every event, while this replay exercises none of it.
+//
+// The network is the same consuming multiset semantics as trace.Replay:
+// each delivery must find its envelope in flight (one copy consumed), each
+// tick must be among the actor's currently enabled ticks. Any divergence —
+// a missing message, a disabled tick, a handler rejection — fails the
+// replay, and core treats the witness as unsound.
+func (ad *Adapter) ReplayRaw(start model.SystemState, inflight []model.Message, events []model.Event) (model.SystemState, error) {
+	if len(start) != ad.n {
+		return nil, fmt.Errorf("actorcheck: raw replay start has %d nodes, adapter has %d", len(start), ad.n)
+	}
+	actors := make([]Actor, ad.n)
+	for i := range actors {
+		st, ok := start[i].(*NodeState)
+		if !ok {
+			return nil, fmt.Errorf("actorcheck: raw replay start state %d is %T, not an adapter state", i, start[i])
+		}
+		a, err := ad.restore(model.NodeID(i), st.blob)
+		if err != nil {
+			return nil, fmt.Errorf("actorcheck: raw replay restore of node %d: %w", i, err)
+		}
+		actors[i] = a
+	}
+	net := netstate.NewMultiset()
+	net.AddAll(inflight)
+
+	for i, e := range events {
+		if int(e.Node) < 0 || int(e.Node) >= ad.n {
+			return nil, fmt.Errorf("actorcheck: raw replay event %d (%s): node out of range", i+1, e)
+		}
+		ob := &outbox{self: e.Node, n: ad.n}
+		switch e.Kind {
+		case model.NetworkEvent:
+			env, ok := e.Msg.(Envelope)
+			if !ok || env.To != e.Node {
+				return nil, fmt.Errorf("actorcheck: raw replay event %d (%s): not an envelope for %v", i+1, e, e.Node)
+			}
+			if !net.Remove(model.MessageFingerprint(env)) {
+				return nil, fmt.Errorf("actorcheck: raw replay event %d (%s): message not in flight", i+1, e)
+			}
+			if err := actors[e.Node].OnMessage(ob, env.From, env.P); err != nil {
+				return nil, fmt.Errorf("actorcheck: raw replay event %d (%s): handler rejected: %w", i+1, e, err)
+			}
+		case model.InternalEvent:
+			ta, ok := e.Act.(TickAction)
+			if !ok || ta.N != e.Node {
+				return nil, fmt.Errorf("actorcheck: raw replay event %d (%s): not a tick for %v", i+1, e, e.Node)
+			}
+			if !tickEnabled(actors[e.Node], e.Node, ta) {
+				return nil, fmt.Errorf("actorcheck: raw replay event %d (%s): tick not enabled", i+1, e)
+			}
+			if err := actors[e.Node].OnTick(ob, ta.T); err != nil {
+				return nil, fmt.Errorf("actorcheck: raw replay event %d (%s): handler rejected: %w", i+1, e, err)
+			}
+		default:
+			return nil, fmt.Errorf("actorcheck: raw replay event %d: invalid kind", i+1)
+		}
+		if ob.err != nil {
+			return nil, fmt.Errorf("actorcheck: raw replay event %d (%s): %w", i+1, e, ob.err)
+		}
+		for _, env := range ob.sent {
+			net.Add(env)
+		}
+	}
+
+	// Snapshot only at the very end, to compare against the checker's
+	// claimed final state by fingerprint.
+	final := make(model.SystemState, ad.n)
+	for i, a := range actors {
+		blob, err := snapshot(a)
+		if err != nil {
+			return nil, fmt.Errorf("actorcheck: raw replay final snapshot of node %d: %w", i, err)
+		}
+		final[i] = &NodeState{ad: ad, node: model.NodeID(i), blob: blob}
+	}
+	return final, nil
+}
+
+// tickEnabled reports whether the live actor currently enables the tick,
+// compared by event fingerprint like every other replayer in the tree.
+func tickEnabled(a Actor, n model.NodeID, ta TickAction) bool {
+	want := model.ActEvent(ta).Fingerprint()
+	for _, t := range a.Ticks() {
+		if model.ActEvent(TickAction{N: n, T: t}).Fingerprint() == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+package actorcheck
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+)
+
+// snapshot captures an actor's state: its own Snapshotter when it has one,
+// otherwise the gob default.
+func snapshot(a Actor) ([]byte, error) {
+	if s, ok := a.(Snapshotter); ok {
+		return s.Snapshot()
+	}
+	return gobSnapshot(a)
+}
+
+// restore is the inverse of snapshot, reconstructing state on a freshly
+// constructed actor.
+func restore(a Actor, blob []byte) error {
+	if s, ok := a.(Snapshotter); ok {
+		return s.Restore(blob)
+	}
+	return gobRestore(a, blob)
+}
+
+// gobSnapshot is the default state capture for actors that do not implement
+// Snapshotter: gob-encode the actor value itself.
+//
+// This is only sound for plain structs — exported fields of fixed-layout
+// types. It must NOT be used for actors holding maps (gob iterates them in
+// random order, so equal states would snapshot to different bytes and the
+// checker would see one state as many), unexported mutable fields (gob
+// skips them, so they silently escape the state space), or pointers shared
+// between instances. Such actors implement Snapshotter with an explicit
+// canonical encoding; the conformance suite's round-trip and stability
+// checks catch most violations.
+func gobSnapshot(a Actor) ([]byte, error) {
+	v := reflect.ValueOf(a)
+	for v.Kind() == reflect.Pointer {
+		if v.IsNil() {
+			return nil, fmt.Errorf("actorcheck: gob snapshot of nil actor")
+		}
+		v = v.Elem()
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v.Interface()); err != nil {
+		return nil, fmt.Errorf("actorcheck: gob snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// gobRestore decodes a gob snapshot into the actor, which must be a pointer
+// to a freshly constructed (zero-state) instance: gob decode merges into
+// existing fields rather than resetting them, so restoring over a used
+// instance would leak state between executions. The adapter always
+// constructs fresh instances via the Factory, which guarantees this.
+func gobRestore(a Actor, blob []byte) error {
+	v := reflect.ValueOf(a)
+	if v.Kind() != reflect.Pointer || v.IsNil() {
+		return fmt.Errorf("actorcheck: gob restore needs a non-nil pointer actor, got %T", a)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(a); err != nil {
+		return fmt.Errorf("actorcheck: gob restore: %w", err)
+	}
+	return nil
+}

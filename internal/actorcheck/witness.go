@@ -1,0 +1,224 @@
+package actorcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strconv"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+	"lmc/internal/trace"
+)
+
+// registry maps payload and tick type names to their reflect types, so
+// witness schedules can be committed as JSON and decoded back. Types are
+// registered once at adapter construction time — registration is not
+// synchronized against concurrent checking.
+type registry struct {
+	payloads map[string]reflect.Type
+	ticks    map[string]reflect.Type
+}
+
+// typeName is the registry key for a value's type: the package-qualified
+// type string with any pointer stripped ("actordemo.Prepare").
+func typeName(v any) string {
+	t := reflect.TypeOf(v)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.String()
+}
+
+// RegisterPayloads makes the payload types (given as exemplar values)
+// serializable in witness artifacts. Payload types must round-trip through
+// encoding/json — only needed when witnesses are marshaled, not for
+// checking itself.
+func (ad *Adapter) RegisterPayloads(ps ...Payload) {
+	if ad.reg.payloads == nil {
+		ad.reg.payloads = make(map[string]reflect.Type)
+	}
+	for _, p := range ps {
+		ad.reg.payloads[typeName(p)] = baseType(p)
+	}
+}
+
+// RegisterTicks makes the tick types serializable in witness artifacts.
+func (ad *Adapter) RegisterTicks(ts ...Tick) {
+	if ad.reg.ticks == nil {
+		ad.reg.ticks = make(map[string]reflect.Type)
+	}
+	for _, t := range ts {
+		ad.reg.ticks[typeName(t)] = baseType(t)
+	}
+}
+
+// baseType is a value's type with pointers stripped, plus whether the
+// exemplar itself was a pointer — decoded values are rebuilt in the same
+// shape the exemplar had.
+func baseType(v any) reflect.Type {
+	t := reflect.TypeOf(v)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t
+}
+
+// decodeRegistered rebuilds a value of the registered type from JSON,
+// returned as the pointer-free value (payload and tick exemplars are
+// expected to be value types; pointer payloads also work since interface
+// satisfaction is checked at use).
+func decodeRegistered(types map[string]reflect.Type, kind, typ string, data json.RawMessage) (any, error) {
+	t, ok := types[typ]
+	if !ok {
+		return nil, fmt.Errorf("actorcheck: unregistered %s type %q", kind, typ)
+	}
+	ptr := reflect.New(t)
+	if err := json.Unmarshal(data, ptr.Interface()); err != nil {
+		return nil, fmt.Errorf("actorcheck: decoding %s %q: %w", kind, typ, err)
+	}
+	return ptr.Elem().Interface(), nil
+}
+
+// envelopeJSON is the serialized form of an Envelope; the payload type tag
+// travels in the enclosing JSONEvent.
+type envelopeJSON struct {
+	From    int             `json:"from"`
+	To      int             `json:"to"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// tickJSON is the serialized form of a TickAction.
+type tickJSON struct {
+	Node int             `json:"node"`
+	Tick json.RawMessage `json:"tick"`
+}
+
+// EncodeMessage implements trace.EventCodec.
+func (ad *Adapter) EncodeMessage(m model.Message) (string, json.RawMessage, error) {
+	env, ok := m.(Envelope)
+	if !ok {
+		return "", nil, fmt.Errorf("actorcheck: %T is not an adapter envelope", m)
+	}
+	name := typeName(env.P)
+	if _, ok := ad.reg.payloads[name]; !ok {
+		return "", nil, fmt.Errorf("actorcheck: unregistered payload type %q", name)
+	}
+	pd, err := json.Marshal(env.P)
+	if err != nil {
+		return "", nil, fmt.Errorf("actorcheck: encoding payload %q: %w", name, err)
+	}
+	data, err := json.Marshal(envelopeJSON{From: int(env.From), To: int(env.To), Payload: pd})
+	if err != nil {
+		return "", nil, err
+	}
+	return name, data, nil
+}
+
+// DecodeMessage implements trace.EventCodec.
+func (ad *Adapter) DecodeMessage(typ string, data json.RawMessage) (model.Message, error) {
+	var ej envelopeJSON
+	if err := json.Unmarshal(data, &ej); err != nil {
+		return nil, fmt.Errorf("actorcheck: decoding envelope: %w", err)
+	}
+	v, err := decodeRegistered(ad.reg.payloads, "payload", typ, ej.Payload)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := v.(Payload)
+	if !ok {
+		return nil, fmt.Errorf("actorcheck: registered type %q does not implement Payload as a value", typ)
+	}
+	if ej.From < 0 || ej.From >= ad.n || ej.To < 0 || ej.To >= ad.n {
+		return nil, fmt.Errorf("actorcheck: envelope %d→%d out of range for %d nodes", ej.From, ej.To, ad.n)
+	}
+	return Envelope{From: model.NodeID(ej.From), To: model.NodeID(ej.To), P: p}, nil
+}
+
+// EncodeAction implements trace.EventCodec.
+func (ad *Adapter) EncodeAction(a model.Action) (string, json.RawMessage, error) {
+	ta, ok := a.(TickAction)
+	if !ok {
+		return "", nil, fmt.Errorf("actorcheck: %T is not an adapter tick action", a)
+	}
+	name := typeName(ta.T)
+	if _, ok := ad.reg.ticks[name]; !ok {
+		return "", nil, fmt.Errorf("actorcheck: unregistered tick type %q", name)
+	}
+	td, err := json.Marshal(ta.T)
+	if err != nil {
+		return "", nil, fmt.Errorf("actorcheck: encoding tick %q: %w", name, err)
+	}
+	data, err := json.Marshal(tickJSON{Node: int(ta.N), Tick: td})
+	if err != nil {
+		return "", nil, err
+	}
+	return name, data, nil
+}
+
+// DecodeAction implements trace.EventCodec.
+func (ad *Adapter) DecodeAction(typ string, data json.RawMessage) (model.Action, error) {
+	var tj tickJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return nil, fmt.Errorf("actorcheck: decoding tick action: %w", err)
+	}
+	v, err := decodeRegistered(ad.reg.ticks, "tick", typ, tj.Tick)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := v.(Tick)
+	if !ok {
+		return nil, fmt.Errorf("actorcheck: registered type %q does not implement Tick as a value", typ)
+	}
+	if tj.Node < 0 || tj.Node >= ad.n {
+		return nil, fmt.Errorf("actorcheck: tick on node %d out of range for %d nodes", tj.Node, ad.n)
+	}
+	return TickAction{N: model.NodeID(tj.Node), T: t}, nil
+}
+
+// Witness is a committed bug reproduction: the schedule that drives the
+// system from its initial state to a state violating the invariant, plus
+// the fingerprint of that final state. It is the JSON artifact the golden
+// witness-trace test pins down, replayable both through the adapter
+// (trace.Replay) and through the raw implementation (ReplayRaw).
+type Witness struct {
+	Machine   string            `json:"machine"`
+	Invariant string            `json:"invariant"`
+	FinalFP   string            `json:"final_fingerprint"`
+	Schedule  []trace.JSONEvent `json:"schedule"`
+}
+
+// MarshalWitness serializes a witness schedule as an indented, committable
+// JSON artifact.
+func (ad *Adapter) MarshalWitness(invariant string, finalFP codec.Fingerprint, sc trace.Schedule) ([]byte, error) {
+	evs, err := trace.ScheduleToJSON(sc, ad)
+	if err != nil {
+		return nil, err
+	}
+	w := Witness{Machine: ad.name, Invariant: invariant, FinalFP: finalFP.String(), Schedule: evs}
+	out, err := json.MarshalIndent(w, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// UnmarshalWitness parses a witness artifact and rebuilds its schedule.
+func (ad *Adapter) UnmarshalWitness(data []byte) (*Witness, trace.Schedule, codec.Fingerprint, error) {
+	var w Witness
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, nil, 0, fmt.Errorf("actorcheck: parsing witness: %w", err)
+	}
+	if w.Machine != ad.name {
+		return nil, nil, 0, fmt.Errorf("actorcheck: witness is for machine %q, adapter is %q", w.Machine, ad.name)
+	}
+	sc, err := trace.ScheduleFromJSON(w.Schedule, ad)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	raw, err := strconv.ParseUint(w.FinalFP, 16, 64)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("actorcheck: parsing witness fingerprint %q: %w", w.FinalFP, err)
+	}
+	return &w, sc, codec.Fingerprint(raw), nil
+}

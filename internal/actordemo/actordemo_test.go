@@ -1,0 +1,173 @@
+package actordemo_test
+
+import (
+	"testing"
+
+	"lmc/internal/actorcheck"
+	"lmc/internal/actordemo"
+	"lmc/internal/core"
+	"lmc/internal/model"
+	"lmc/internal/protocols/twophase"
+	"lmc/internal/testkit"
+	"lmc/internal/trace"
+)
+
+// buggy is the seeded-bug configuration every test uses: 4 nodes, commit on
+// majority, node 2 scripted to refuse — so nodes 0,1,3 can commit while 2
+// has unilaterally aborted.
+func buggy() *actorcheck.Adapter {
+	return actordemo.NewAdapter(4, actordemo.MajorityBug, 2)
+}
+
+// TestSeededBugFoundByGENAndOPT is the acceptance gate of the adapter: the
+// real implementation's seeded bug must be found through the interception
+// seam by both checker variants, with the confirmation path (model replay
+// plus uninstrumented raw replay) active.
+func TestSeededBugFoundByGENAndOPT(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  func(ad *actorcheck.Adapter) core.Options
+	}{
+		{"gen", func(ad *actorcheck.Adapter) core.Options {
+			return core.Options{Invariant: actordemo.Atomicity(ad)}
+		}},
+		{"opt", func(ad *actorcheck.Adapter) core.Options {
+			return core.Options{Invariant: actordemo.Atomicity(ad),
+				Reduction: actordemo.Reduction{Ad: ad}}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ad := buggy()
+			res := core.Check(ad, model.InitialSystem(ad), tc.opt(ad))
+			if res.Stats.ConfirmedBugs == 0 || len(res.Bugs) == 0 {
+				t.Fatalf("seeded bug not found: %s", res.Stats.String())
+			}
+			bug := res.Bugs[0]
+			if bug.Violation.Invariant != actordemo.AtomicityName {
+				t.Fatalf("unexpected invariant %q", bug.Violation.Invariant)
+			}
+			// The confirmed witness must replay to the violating state on
+			// the uninstrumented implementation too (core already did this
+			// — model.RawReplayer — but assert it end to end).
+			final, err := ad.ReplayRaw(model.InitialSystem(ad), nil, bug.Schedule)
+			if err != nil {
+				t.Fatalf("raw replay of confirmed witness failed: %v", err)
+			}
+			if final.Fingerprint() != bug.System.Fingerprint() {
+				t.Fatalf("raw replay reached %v, witness claims %v",
+					final.Fingerprint(), bug.System.Fingerprint())
+			}
+			if v := actordemo.Atomicity(ad).Check(final); v == nil {
+				t.Fatal("raw replay final state does not violate atomicity")
+			}
+		})
+	}
+}
+
+// TestCorrectVariantQuiet: without the seeded bug the adapter-explored
+// space must be bug-free and fully explored.
+func TestCorrectVariantQuiet(t *testing.T) {
+	ad := actordemo.NewAdapter(4, actordemo.NoBug, 2)
+	res := core.Check(ad, model.InitialSystem(ad), core.Options{Invariant: actordemo.Atomicity(ad)})
+	if len(res.Bugs) != 0 {
+		t.Fatalf("correct variant reported %d bugs", len(res.Bugs))
+	}
+	if !res.Complete {
+		t.Fatalf("exploration incomplete: %s (%s)", res.StopReason, res.Stats.String())
+	}
+}
+
+// TestStateSpaceMatchesHandWrittenModel: the service is semantics-identical
+// to internal/protocols/twophase, so exploring the real code through the
+// adapter must visit exactly as many node states and transitions as the
+// hand-written model, find the same number of bugs, and (under the
+// reduction) materialize the same number of system states. This is the
+// strongest cheap evidence that the interception seam neither hides nor
+// invents behavior.
+func TestStateSpaceMatchesHandWrittenModel(t *testing.T) {
+	ad := buggy()
+	mm := twophase.New(4, twophase.MajorityBug, 2)
+
+	adRes := core.Check(ad, model.InitialSystem(ad), core.Options{Invariant: actordemo.Atomicity(ad)})
+	mmRes := core.Check(mm, model.InitialSystem(mm), core.Options{Invariant: twophase.Atomicity()})
+	if adRes.Stats.NodeStates != mmRes.Stats.NodeStates ||
+		adRes.Stats.Transitions != mmRes.Stats.Transitions ||
+		adRes.Stats.SystemStates != mmRes.Stats.SystemStates ||
+		adRes.Stats.ConfirmedBugs != mmRes.Stats.ConfirmedBugs {
+		t.Fatalf("adapter space diverges from model space:\nadapter: %s\nmodel:   %s",
+			adRes.Stats.String(), mmRes.Stats.String())
+	}
+
+	adOpt := core.Check(ad, model.InitialSystem(ad), core.Options{
+		Invariant: actordemo.Atomicity(ad), Reduction: actordemo.Reduction{Ad: ad}})
+	mmOpt := core.Check(mm, model.InitialSystem(mm), core.Options{
+		Invariant: twophase.Atomicity(), Reduction: twophase.Reduction{}})
+	if adOpt.Stats.SystemStates != mmOpt.Stats.SystemStates ||
+		adOpt.Stats.ConfirmedBugs != mmOpt.Stats.ConfirmedBugs {
+		t.Fatalf("adapter OPT space diverges from model OPT space:\nadapter: %s\nmodel:   %s",
+			adOpt.Stats.String(), mmOpt.Stats.String())
+	}
+}
+
+// TestConformance runs the reusable adapter conformance checks over both
+// variants.
+func TestConformance(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ad   *actorcheck.Adapter
+	}{
+		{"correct", actordemo.NewAdapter(4, actordemo.NoBug, 2)},
+		{"majority-bug", buggy()},
+		{"three-nodes", actordemo.NewAdapter(3, actordemo.MajorityBug, 1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := actorcheck.Conformance(tc.ad, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRawReplayRejectsTamperedSchedule: dropping an event from a confirmed
+// witness must make the uninstrumented replay fail or land elsewhere — raw
+// replay is a checker, not a formality.
+func TestRawReplayRejectsTamperedSchedule(t *testing.T) {
+	ad := buggy()
+	res := core.Check(ad, model.InitialSystem(ad), core.Options{Invariant: actordemo.Atomicity(ad)})
+	if len(res.Bugs) == 0 {
+		t.Fatal("no bug to tamper with")
+	}
+	bug := res.Bugs[0]
+	if len(bug.Schedule) < 2 {
+		t.Fatalf("witness too short to tamper with: %d events", len(bug.Schedule))
+	}
+	tampered := append(trace.Schedule{}, bug.Schedule[1:]...)
+	final, err := ad.ReplayRaw(model.InitialSystem(ad), nil, tampered)
+	if err == nil && final.Fingerprint() == bug.System.Fingerprint() {
+		t.Fatal("tampered schedule replayed to the witness state")
+	}
+}
+
+// TestIndependentReplayersAgree: the three replayers — model-level
+// trace.Replay, testkit.Replay, and the uninstrumented ReplayRaw — must
+// agree on a confirmed witness, the diffcheck dual-replay discipline
+// extended to the adapter's third leg.
+func TestIndependentReplayersAgree(t *testing.T) {
+	ad := buggy()
+	start := model.InitialSystem(ad)
+	res := core.Check(ad, start, core.Options{Invariant: actordemo.Atomicity(ad)})
+	if len(res.Bugs) == 0 {
+		t.Fatal("no bug found")
+	}
+	bug := res.Bugs[0]
+	want := bug.System.Fingerprint()
+
+	rr := trace.Replay(ad, start, bug.Schedule)
+	if rr.Err != nil || rr.Fingerprint() != want {
+		t.Fatalf("trace replay: err=%v fp=%v want=%v", rr.Err, rr.Fingerprint(), want)
+	}
+	// testkit + uninstrumented legs, asserted together.
+	if _, err := testkit.ReplayAgree(ad, start, nil, bug.Schedule, uint64(want)); err != nil {
+		t.Fatalf("replay agreement: %v", err)
+	}
+}

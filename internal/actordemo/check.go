@@ -1,0 +1,113 @@
+package actordemo
+
+import (
+	"lmc/internal/actorcheck"
+	"lmc/internal/model"
+	"lmc/internal/spec"
+)
+
+// NewAdapter wraps an n-node cluster of the service behind the checker's
+// Machine interface. Refusers lists the replicas scripted to reject the
+// write; payload and tick types are pre-registered so witness schedules
+// serialize to JSON artifacts.
+func NewAdapter(n int, bug BugKind, refusers ...model.NodeID) *actorcheck.Adapter {
+	refuse := make(map[model.NodeID]bool, len(refusers))
+	for _, id := range refusers {
+		refuse[id] = true
+	}
+	name := "actordemo"
+	if bug != NoBug {
+		name = "actordemo-" + bug.String()
+	}
+	ad := actorcheck.New(name, n, func(id model.NodeID) actorcheck.Actor {
+		return NewRegister(id, n, bug, refuse[id])
+	})
+	ad.RegisterPayloads(Prepare{}, Ack{}, Apply{})
+	ad.RegisterTicks(BeginCommit{})
+	return ad
+}
+
+// AtomicityName names the service's safety invariant.
+const AtomicityName = "register-atomicity"
+
+// Atomicity is the system invariant checked through the adapter: no two
+// nodes reach different verdicts on the write. It inspects the
+// implementation's own state via Adapter.View — invariants over adapter
+// states are written against the real types, never against snapshot bytes.
+func Atomicity(ad *actorcheck.Adapter) spec.Invariant {
+	return spec.InvariantFunc{
+		InvName: AtomicityName,
+		Fn: func(ss model.SystemState) *spec.Violation {
+			for i := 0; i < len(ss); i++ {
+				ri, ok := view(ad, model.NodeID(i), ss[i])
+				if !ok {
+					return nil
+				}
+				if ri.outcome == Pending {
+					continue
+				}
+				for j := i + 1; j < len(ss); j++ {
+					rj, ok := view(ad, model.NodeID(j), ss[j])
+					if !ok {
+						return nil
+					}
+					if rj.outcome != Pending && rj.outcome != ri.outcome {
+						return spec.Violate(AtomicityName, ss,
+							"%v decided %s but %v decided %s",
+							model.NodeID(i), ri.outcome, model.NodeID(j), rj.outcome)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// view decodes a node state back to the implementation type (memoized by
+// the adapter; read-only).
+func view(ad *actorcheck.Adapter, n model.NodeID, s model.State) (*Register, bool) {
+	a, err := ad.View(n, s)
+	if err != nil {
+		return nil, false
+	}
+	r, ok := a.(*Register)
+	return r, ok
+}
+
+// Reduction is the LMC-OPT projection for Atomicity, identical in shape to
+// the hand-written model's: a node state matters only once it decided, and
+// two decisions conflict when they differ.
+type Reduction struct {
+	Ad *actorcheck.Adapter
+}
+
+// Interest implements spec.Reduction.
+func (r Reduction) Interest(n model.NodeID, s model.State) (spec.Interest, bool) {
+	reg, ok := view(r.Ad, n, s)
+	if !ok || reg.outcome == Pending {
+		return nil, false
+	}
+	return reg.outcome, true
+}
+
+// Conflict implements spec.Reduction.
+func (Reduction) Conflict(a, b spec.Interest) bool {
+	oa, ok := a.(Outcome)
+	if !ok {
+		return false
+	}
+	ob, ok := b.(Outcome)
+	if !ok {
+		return false
+	}
+	return oa != ob
+}
+
+// InterestKey implements spec.Keyer.
+func (Reduction) InterestKey(i spec.Interest) string {
+	o, ok := i.(Outcome)
+	if !ok {
+		return ""
+	}
+	return o.String()
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"strings"
 
+	"lmc/internal/actordemo"
 	"lmc/internal/model"
 	"lmc/internal/protocols/chain"
 	"lmc/internal/protocols/onepaxos"
@@ -118,6 +119,8 @@ func Workloads() []Workload {
 	rtBug := randtree.New(5, 2, randtree.SelfSiblingBug)
 	tpOK := twophase.New(4, twophase.NoBug, 2)
 	tpBug := twophase.New(4, twophase.MajorityBug, 2)
+	actOK := actordemo.NewAdapter(4, actordemo.NoBug, 2)
+	actBug := actordemo.NewAdapter(4, actordemo.MajorityBug, 2)
 
 	return []Workload{
 		{
@@ -196,6 +199,20 @@ func Workloads() []Workload {
 			Machine:     tpBug,
 			Invariant:   twophase.Atomicity(),
 			Reduction:   twophase.Reduction{},
+		},
+		{
+			Name:        "actor-2pc",
+			Description: "real actor-style 2PC implementation checked through the actorcheck adapter",
+			Machine:     actOK,
+			Invariant:   actordemo.Atomicity(actOK),
+			Reduction:   actordemo.Reduction{Ad: actOK},
+		},
+		{
+			Name:        "actor-2pc-bug",
+			Description: "actor-style 2PC with the majority bug, found through the interception seam",
+			Machine:     actBug,
+			Invariant:   actordemo.Atomicity(actBug),
+			Reduction:   actordemo.Reduction{Ad: actBug},
 		},
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"lmc/internal/actordemo"
 	"lmc/internal/model"
 	"lmc/internal/protocols/paxos"
 	"lmc/internal/protocols/tree"
@@ -40,6 +41,7 @@ func TestGenOptExploreSameNodeStates(t *testing.T) {
 // time-based deferral is the one intentionally wall-clock-dependent knob.
 func TestWorkersParity(t *testing.T) {
 	treeInflight := tree.NewPaperTree()
+	actorBug := actordemo.NewAdapter(4, actordemo.MajorityBug, 2)
 	cases := []struct {
 		name string
 		m    model.Machine
@@ -76,6 +78,21 @@ func TestWorkersParity(t *testing.T) {
 				},
 				SoundnessShare: -1,
 			},
+		},
+		{
+			// A real implementation behind the actorcheck adapter: parity
+			// must hold for blob-backed node states too, including the
+			// raw-replay confirmation running inside parallel soundness
+			// workers.
+			name: "actordemo-majority",
+			m:    actorBug,
+			opt:  Options{Invariant: actordemo.Atomicity(actorBug), SoundnessShare: -1},
+		},
+		{
+			name: "actordemo-majority-opt",
+			m:    actorBug,
+			opt: Options{Invariant: actordemo.Atomicity(actorBug),
+				Reduction: actordemo.Reduction{Ad: actorBug}, SoundnessShare: -1},
 		},
 		{
 			// A transition cap forces canonical charge order; the pool must

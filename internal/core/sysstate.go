@@ -14,6 +14,31 @@ import (
 	"lmc/internal/trace"
 )
 
+// replayConfirms is the final defense on a sound witness: re-execute the
+// schedule through the model-level replayer (real handlers, real
+// message-consuming network) and confirm it reproduces the violating
+// system state. When the machine wraps a real implementation behind an
+// adapter (model.RawReplayer — package actorcheck), the schedule is
+// additionally re-driven through the *uninstrumented* implementation:
+// live instances mutating in place, no snapshot/restore between events.
+// A bug is only reported when both executions reach the claimed state, so
+// adapter-found violations are bugs of the real code, never artifacts of
+// the interception seam. Concurrency-safe (parallel soundness workers call
+// it): c.start and c.opt are read-only here.
+func (c *checker) replayConfirms(sched trace.Schedule, fp codec.Fingerprint) bool {
+	rr := trace.ReplayWith(c.m, c.start, c.opt.InitialMessages, sched)
+	if rr.Err != nil || rr.Final.Fingerprint() != fp {
+		return false
+	}
+	if raw, ok := c.m.(model.RawReplayer); ok {
+		final, err := raw.ReplayRaw(c.start, c.opt.InitialMessages, sched)
+		if err != nil || final.Fingerprint() != fp {
+			return false
+		}
+	}
+	return true
+}
+
 // viewStates is the visited-state list of node n as seen at a discovery's
 // virtual time. Deferred witness searches pass a nil view and see everything
 // visited by the time they run, matching the sequential algorithm's deferral
@@ -480,10 +505,7 @@ func (c *checker) confirmLocal(ns *nodeState, v *spec.Violation, view []int) {
 			sound, sched := c.witnessSequences(combo, int(ns.node), int(ns.node), &budget, &c.res.Stats.SequencesChecked)
 			c.res.Stats.SoundnessTime += time.Since(t0)
 			if sound && !c.opt.DisableReplay {
-				rr := trace.ReplayWith(c.m, c.start, c.opt.InitialMessages, sched)
-				if rr.Err != nil || rr.Final.Fingerprint() != fp {
-					sound = false
-				}
+				sound = c.replayConfirms(sched, fp)
 			}
 			c.verdicts[fp] = sound
 			if !sound {
@@ -628,10 +650,7 @@ func (c *checker) tryWitness(combo []*nodeState, pairA, pairB int, budget *int) 
 	sound, sched := c.witnessSequences(combo, pairA, pairB, budget, &c.res.Stats.SequencesChecked)
 	c.res.Stats.SoundnessTime += time.Since(t0)
 	if sound && !c.opt.DisableReplay {
-		rr := trace.ReplayWith(c.m, c.start, c.opt.InitialMessages, sched)
-		if rr.Err != nil || rr.Final.Fingerprint() != fp {
-			sound = false
-		}
+		sound = c.replayConfirms(sched, fp)
 	}
 	c.verdicts[fp] = sound
 	if !sound {
@@ -914,13 +933,7 @@ func (c *checker) confirmBatch(prelims []prelim) {
 		sound, sched := c.isStateSoundBudget(jobs[i].combo, &budget, &r.seqs)
 		r.soundTime = time.Since(t0)
 		if sound && !c.opt.DisableReplay {
-			// Final defense: replay the schedule on the real handlers with
-			// the real message-consuming network and confirm it reproduces
-			// the violating system state.
-			rr := trace.ReplayWith(c.m, c.start, c.opt.InitialMessages, sched)
-			if rr.Err != nil || rr.Final.Fingerprint() != jobs[i].fp {
-				sound = false
-			}
+			sound = c.replayConfirms(sched, jobs[i].fp)
 		}
 		r.sound = sound
 		r.sched = sched

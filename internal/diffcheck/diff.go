@@ -82,6 +82,11 @@ const (
 	// KindReplayDiverged: the two independent replay implementations
 	// (testkit and trace) disagree about a schedule's outcome.
 	KindReplayDiverged = "replay-diverged"
+	// KindRawDiverged: for adapter-backed machines (model.RawReplayer), the
+	// uninstrumented implementation replays a validated schedule to a
+	// different outcome than the instrumented replays — the interception
+	// seam itself changed behavior.
+	KindRawDiverged = "raw-replay-diverged"
 )
 
 // Disagreement is one detected inconsistency between checkers.
@@ -326,6 +331,28 @@ func (v *Verdict) validateSchedule(inst *Instance, start model.SystemState, infl
 			Schedule: sched.String(),
 		})
 		return
+	}
+	// Third replay direction for machines wrapping a real implementation:
+	// the schedule must also execute on the uninstrumented code and land in
+	// the same final state the instrumented replays reached.
+	if raw, ok := inst.Machine.(model.RawReplayer); ok {
+		rawFinal, rawErr := raw.ReplayRaw(start, inflight, sched)
+		if rawErr != nil {
+			v.add(Disagreement{
+				Kind: KindRawDiverged, Checker: checker,
+				Detail:   fmt.Sprintf("%s: uninstrumented replay failed: %v", label, rawErr),
+				Schedule: sched.String(),
+			})
+			return
+		}
+		if rawFinal.Fingerprint() != rr.Fingerprint() {
+			v.add(Disagreement{
+				Kind: KindRawDiverged, Checker: checker,
+				Detail:   fmt.Sprintf("%s: uninstrumented replay reaches a different final state", label),
+				Schedule: sched.String(),
+			})
+			return
+		}
 	}
 	inv := inst.InvariantByName(invName)
 	if inv == nil {

@@ -82,6 +82,67 @@ func TestCorpusDeterministic(t *testing.T) {
 	}
 }
 
+// actorCorpusSize keeps the adapter corpus smaller than the main one: each
+// scenario runs the real implementation through the interception seam, which
+// costs a snapshot/restore cycle per handler execution.
+const actorCorpusSize = 16
+
+// TestActorCorpusAgreement is the adapter-backed differential corpus: random
+// actordemo configurations checked through actorcheck against the global
+// baseline, with witnesses validated by trace replay, testkit replay AND the
+// uninstrumented implementation. The main 60-scenario corpus is frozen; this
+// corpus is generated separately so it can grow without shifting those draws.
+func TestActorCorpusAgreement(t *testing.T) {
+	seed := *corpusSeed
+	scenarios := ActorCorpus(seed, actorCorpusSize)
+	bugsFound := 0
+	for i, sc := range scenarios {
+		v, err := Run(sc, corpusTuning)
+		if err != nil {
+			t.Fatalf("scenario %d (%s): %v\nscenario: %s", i, sc.Name(), err, mustJSON(sc))
+		}
+		if v.Global.Bugs > 0 {
+			bugsFound++
+		}
+		if !v.Agree() {
+			min := Shrink(sc, func(c Scenario) bool {
+				mv, merr := Run(c, corpusTuning)
+				return merr == nil && !mv.Agree()
+			})
+			t.Errorf("scenario %d (%s) seed %d: %d disagreement(s):", i, sc.Name(), seed, len(v.Disagreements))
+			for _, d := range v.Disagreements {
+				t.Errorf("  %s", d)
+			}
+			t.Errorf("shrunk scenario: %s", mustJSON(min))
+		}
+	}
+	t.Logf("%d adapter scenarios, %d with global-confirmed bugs", len(scenarios), bugsFound)
+}
+
+// TestActorCorpusDeterministic pins the actor generator the same way
+// TestCorpusDeterministic pins the main one.
+func TestActorCorpusDeterministic(t *testing.T) {
+	a := ActorCorpus(7, 10)
+	b := ActorCorpus(7, 10)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("ActorCorpus(7, 10) is not deterministic")
+	}
+	for i, sc := range a {
+		inst, err := sc.Build()
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		s1, _, err1 := sc.Prepare(inst)
+		s2, _, err2 := sc.Prepare(inst)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("scenario %d prepare: %v / %v", i, err1, err2)
+		}
+		if s1.Fingerprint() != s2.Fingerprint() {
+			t.Fatalf("scenario %d (%s): Prepare is not deterministic", i, sc.Name())
+		}
+	}
+}
+
 // TestKnownBugsAgree pins one hand-written scenario per buggy protocol
 // variant and requires the global checker to confirm the planted bug, LMC to
 // agree, and all replays to validate.
@@ -96,6 +157,11 @@ func TestKnownBugsAgree(t *testing.T) {
 		{Protocol: ProtoRandTree, Bug: BugSelfSibling, Nodes: 4, Depth: 8,
 			LocalBound: 1, MaxLocalBound: 4, MaxChildren: 2},
 		{Protocol: ProtoTwoPhase, Bug: BugMajority, Nodes: 4, Depth: 10,
+			LocalBound: 1, MaxLocalBound: 4, NoVoters: []int{2}},
+		// The adapter-backed real implementation: the same majority bug, but
+		// found through actorcheck's interception seam, with every witness
+		// additionally replayed on the uninstrumented code (KindRawDiverged).
+		{Protocol: ProtoActor2PC, Bug: BugMajority, Nodes: 4, Depth: 10,
 			LocalBound: 1, MaxLocalBound: 4, NoVoters: []int{2}},
 	}
 	// On the paxos live state LMC-GEN drowns in Cartesian combination and
@@ -138,6 +204,7 @@ func TestCorrectProtocolsQuiet(t *testing.T) {
 		{Protocol: ProtoTree, Nodes: 5, Depth: 12, LocalBound: 1, MaxLocalBound: 4},
 		{Protocol: ProtoChain, Nodes: 4, Depth: 10, LocalBound: 1, MaxLocalBound: 4},
 		{Protocol: ProtoTwoPhase, Nodes: 3, Depth: 10, LocalBound: 1, MaxLocalBound: 4},
+		{Protocol: ProtoActor2PC, Nodes: 3, Depth: 10, LocalBound: 1, MaxLocalBound: 4},
 	}
 	for _, sc := range cases {
 		sc := sc

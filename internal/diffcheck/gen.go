@@ -103,3 +103,49 @@ func Corpus(seed int64, n int) []Scenario {
 	}
 	return out
 }
+
+// GenerateActor draws one random adapter-backed scenario: the actordemo
+// real implementation checked through actorcheck, with the same size and
+// bound ranges as the hand-written twophase arm of Generate. It is a
+// separate generator — not a Protocols() entry — so the main corpus's draw
+// sequence stays frozen (see ProtoActor2PC).
+func GenerateActor(rng *rand.Rand) Scenario {
+	sc := Scenario{Protocol: ProtoActor2PC}
+	sc.LocalBound = 1 + rng.Intn(2)                    // 1..2
+	sc.MaxLocalBound = sc.LocalBound + 2 + rng.Intn(2) // start+2..start+3
+	sc.DupLimit = rng.Intn(2)                          // 0..1
+	sc.Nodes = 3 + rng.Intn(2)                         // 3..4
+	sc.Depth = 8 + rng.Intn(4)                         // 8..11
+	if rng.Intn(2) == 0 {
+		sc.Bug = BugMajority
+	}
+	for n := 1; n < sc.Nodes; n++ {
+		if rng.Intn(3) == 0 {
+			sc.NoVoters = append(sc.NoVoters, n)
+		}
+	}
+	for i, n := 0, rng.Intn(7); i < n; i++ { // 0..6 prefix ops
+		op := PrefixOp{Pick: rng.Intn(8), Node: rng.Intn(sc.Nodes)}
+		switch r := rng.Intn(10); {
+		case r < 4:
+			op.Op = "act"
+		case r < 8:
+			op.Op = "deliver"
+		default:
+			op.Op = "drop"
+		}
+		sc.Prefix = append(sc.Prefix, op)
+	}
+	return sc
+}
+
+// ActorCorpus derives n adapter-backed scenarios deterministically from one
+// seed, the ActorCorpus analogue of Corpus.
+func ActorCorpus(seed int64, n int) []Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Scenario, n)
+	for i := range out {
+		out[i] = GenerateActor(rng)
+	}
+	return out
+}

@@ -26,6 +26,7 @@ package diffcheck
 import (
 	"fmt"
 
+	"lmc/internal/actordemo"
 	"lmc/internal/model"
 	"lmc/internal/protocols/chain"
 	"lmc/internal/protocols/onepaxos"
@@ -45,9 +46,18 @@ const (
 	ProtoTree     = "tree"
 	ProtoChain    = "chain"
 	ProtoTwoPhase = "twophase"
+	// ProtoActor2PC is the actordemo register-commit service checked
+	// through the actorcheck adapter — real implementation code, not a
+	// hand-written model. It is accepted by Build but deliberately NOT
+	// listed in Protocols: adding it there would shift the main corpus's
+	// random draws and silently replace every historical scenario. Actor
+	// scenarios come from ActorCorpus instead.
+	ProtoActor2PC = "actor2pc"
 )
 
-// Protocols lists every protocol the harness can generate scenarios for.
+// Protocols lists every protocol the main corpus generator draws from. The
+// list is append-only in spirit but frozen in practice: the deterministic
+// corpus (seed → scenarios) is part of the harness's regression surface.
 func Protocols() []string {
 	return []string{ProtoPaxos, ProtoOnePaxos, ProtoRandTree, ProtoTree, ProtoChain, ProtoTwoPhase}
 }
@@ -339,6 +349,33 @@ func (sc Scenario) Build() (*Instance, error) {
 			Machine:   twophase.New(sc.Nodes, bug, voters...),
 			Invariant: twophase.Atomicity(),
 			Reduction: twophase.Reduction{},
+		}, nil
+
+	case ProtoActor2PC:
+		bug := actordemo.NoBug
+		switch sc.Bug {
+		case "":
+		case BugMajority:
+			bug = actordemo.MajorityBug
+		default:
+			return nil, wrongBug()
+		}
+		if sc.Nodes < 2 {
+			return nil, fmt.Errorf("diffcheck: actor2pc needs ≥2 nodes, got %d", sc.Nodes)
+		}
+		refusers := make([]model.NodeID, 0, len(sc.NoVoters))
+		for _, v := range sc.NoVoters {
+			n := v % sc.Nodes
+			if n == 0 {
+				n = 1 // the coordinator always acknowledges its own write
+			}
+			refusers = append(refusers, model.NodeID(n))
+		}
+		ad := actordemo.NewAdapter(sc.Nodes, bug, refusers...)
+		return &Instance{
+			Machine:   ad,
+			Invariant: actordemo.Atomicity(ad),
+			Reduction: actordemo.Reduction{Ad: ad},
 		}, nil
 
 	default:

@@ -94,6 +94,21 @@ type Machine interface {
 	HandleAction(n NodeID, s State, a Action) (State, []Message)
 }
 
+// RawReplayer is an optional Machine capability for machines that wrap a
+// real implementation behind an adapter (package actorcheck). ReplayRaw
+// re-drives an event sequence through the wrapped implementation directly —
+// live instances mutating in place, no per-event snapshot/restore — and
+// returns the final system state. Checkers that find a violation witness on
+// such a machine run the schedule through ReplayRaw in addition to the
+// model-level replay, so a confirmed bug is one the uninstrumented code
+// actually exhibits, not an artifact of the adapter's interception seam.
+//
+// ReplayRaw must not mutate start and must be safe for concurrent calls
+// with distinct event slices (soundness verification runs on a worker pool).
+type RawReplayer interface {
+	ReplayRaw(start SystemState, inflight []Message, events []Event) (SystemState, error)
+}
+
 // SystemState is the tuple of node local states (the paper's L): what the
 // user-specified invariants are checked against. Index i holds node i's
 // state.

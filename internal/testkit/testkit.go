@@ -181,6 +181,33 @@ func Replay(m model.Machine, start model.SystemState, inflight []model.Message, 
 	return h.Sys, nil
 }
 
+// ReplayAgree replays a schedule through every independent replay
+// implementation — trace.Replay's algorithm is invoked by the callers that
+// already depend on package trace; this helper covers the testkit leg and,
+// when the machine wraps a real implementation (model.RawReplayer), the
+// uninstrumented leg — and fails unless all legs reach the state with the
+// expected fingerprint. Tests use it to assert the triple-replay discipline
+// in one call instead of hand-rolling each leg.
+func ReplayAgree(m model.Machine, start model.SystemState, inflight []model.Message, events []model.Event, want uint64) (model.SystemState, error) {
+	final, err := Replay(m, start, inflight, events)
+	if err != nil {
+		return nil, fmt.Errorf("testkit replay: %w", err)
+	}
+	if got := uint64(final.Fingerprint()); got != want {
+		return nil, fmt.Errorf("testkit replay reached %016x, want %016x", got, want)
+	}
+	if raw, ok := m.(model.RawReplayer); ok {
+		rawFinal, err := raw.ReplayRaw(start, inflight, events)
+		if err != nil {
+			return nil, fmt.Errorf("uninstrumented replay: %w", err)
+		}
+		if got := uint64(rawFinal.Fingerprint()); got != want {
+			return nil, fmt.Errorf("uninstrumented replay reached %016x, want %016x", got, want)
+		}
+	}
+	return final, nil
+}
+
 // actionEnabled reports whether a is among the machine's enabled actions in
 // node n's current state, compared by event fingerprint (Action values need
 // not be comparable with ==).

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"lmc/internal/model"
+)
+
+// EventCodec translates a machine's concrete message and action types to a
+// JSON-serializable form and back. Schedules hold interface values whose
+// concrete types only the machine knows, so committing a witness schedule
+// to disk (the repro artifacts of adapter-checked implementations) needs
+// the machine — or an adapter wrapping it — to supply the translation.
+type EventCodec interface {
+	// EncodeMessage renders a message as a type tag plus JSON data.
+	EncodeMessage(m model.Message) (typ string, data json.RawMessage, err error)
+	// DecodeMessage is the inverse of EncodeMessage.
+	DecodeMessage(typ string, data json.RawMessage) (model.Message, error)
+	// EncodeAction renders an action as a type tag plus JSON data.
+	EncodeAction(a model.Action) (typ string, data json.RawMessage, err error)
+	// DecodeAction is the inverse of EncodeAction.
+	DecodeAction(typ string, data json.RawMessage) (model.Action, error)
+}
+
+// JSONEvent is one schedule event in serialized form.
+type JSONEvent struct {
+	// Kind is "recv" or "act" (model.EventKind.String).
+	Kind string `json:"kind"`
+	// Node is the zero-based node whose handler executes.
+	Node int `json:"node"`
+	// Type is the codec's tag for the message or action type.
+	Type string `json:"type"`
+	// Data is the codec's rendering of the message or action.
+	Data json.RawMessage `json:"data"`
+}
+
+// ScheduleToJSON serializes a schedule through the codec.
+func ScheduleToJSON(sc Schedule, c EventCodec) ([]JSONEvent, error) {
+	out := make([]JSONEvent, len(sc))
+	for i, e := range sc {
+		je := JSONEvent{Kind: e.Kind.String(), Node: int(e.Node)}
+		var err error
+		switch e.Kind {
+		case model.NetworkEvent:
+			je.Type, je.Data, err = c.EncodeMessage(e.Msg)
+		case model.InternalEvent:
+			je.Type, je.Data, err = c.EncodeAction(e.Act)
+		default:
+			err = fmt.Errorf("invalid event kind %d", e.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i+1, err)
+		}
+		out[i] = je
+	}
+	return out, nil
+}
+
+// ScheduleFromJSON deserializes a schedule through the codec. Node
+// addressing is re-derived from the decoded values (m.Dst(), a.Node()) and
+// cross-checked against the serialized field, so a hand-edited artifact
+// cannot smuggle a mis-addressed event past replay.
+func ScheduleFromJSON(evs []JSONEvent, c EventCodec) (Schedule, error) {
+	sc := make(Schedule, len(evs))
+	for i, je := range evs {
+		switch je.Kind {
+		case model.NetworkEvent.String():
+			m, err := c.DecodeMessage(je.Type, je.Data)
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d: %w", i+1, err)
+			}
+			if int(m.Dst()) != je.Node {
+				return nil, fmt.Errorf("trace: event %d: message addressed to node %d, recorded node %d",
+					i+1, int(m.Dst()), je.Node)
+			}
+			sc[i] = model.RecvEvent(m)
+		case model.InternalEvent.String():
+			a, err := c.DecodeAction(je.Type, je.Data)
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d: %w", i+1, err)
+			}
+			if int(a.Node()) != je.Node {
+				return nil, fmt.Errorf("trace: event %d: action on node %d, recorded node %d",
+					i+1, int(a.Node()), je.Node)
+			}
+			sc[i] = model.ActEvent(a)
+		default:
+			return nil, fmt.Errorf("trace: event %d: unknown kind %q", i+1, je.Kind)
+		}
+	}
+	return sc, nil
+}
