@@ -31,8 +31,16 @@ func main() {
 	boundStep := flag.Int("deepen", 0, "iterative local-event bound deepening step (LMC)")
 	maxBound := flag.Int("maxbound", 4, "maximum local-event bound when deepening (LMC)")
 	verbose := flag.Bool("v", false, "print witness schedules")
+	reduce := flag.String("reduce", "",
+		"state-space reductions for the LMC checkers: comma-separated subset of sym,por (or all/none; default off)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
+
+	reductions, err := core.ParseReductions(*reduce)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, w := range bench.Workloads() {
@@ -88,6 +96,7 @@ func main() {
 			StopAtFirstBug:  *stopFirst,
 			LocalBoundStep:  *boundStep,
 			MaxLocalBound:   *maxBound,
+			Reduce:          reductions,
 		}
 		if *checker == "lmc-opt" {
 			opt.Reduction = w.Reduction

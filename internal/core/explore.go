@@ -54,6 +54,26 @@ type checker struct {
 	// (the grouped LMC-OPT path).
 	keyer spec.Keyer
 
+	// canon is the role-symmetry canonicalizer, non-nil only when
+	// Options.Reduce.Symmetry is set and the machine declares usable
+	// model.Symmetric classes. It drives the GEN enumeration skip
+	// (symSkip), the OPT clean-twin skip (canonClean) and the fixpoint
+	// orbit sweep.
+	canon *codec.Canonicalizer
+	// canonClean caches canonical fingerprints of combinations the invariant
+	// held on. OPT witness walks skip a combination whose canonical twin is
+	// recorded here: slot-symmetric invariants give permuted arrangements
+	// the same (clean) verdict, and clean combinations never become
+	// witnesses. Violating combinations are never recorded — their soundness
+	// verdicts are arrangement-specific. Content-keyed, so it persists
+	// across passes.
+	canonClean map[codec.Fingerprint]bool
+	// orbits and orbitSeen record the violating orbits of the current pass
+	// for sweepOrbits; both reset with the LS sets (the stored fingerprints
+	// are resolved against the pass's spaces).
+	orbits    []orbitRec
+	orbitSeen map[codec.Fingerprint]struct{}
+
 	// verdicts caches soundness outcomes per system-state fingerprint so a
 	// combination is never verified twice (§4.2 discusses caching violated
 	// system states).
@@ -158,6 +178,14 @@ func run(ctx context.Context, m model.Machine, start model.SystemState, opt Opti
 	}
 	if k, ok := opt.Reduction.(spec.Keyer); ok {
 		c.keyer = k
+	}
+	if opt.Reduce.Symmetry {
+		if sym, ok := m.(model.Symmetric); ok {
+			c.canon = buildCanonicalizer(m.NumNodes(), sym.SymmetryClasses())
+		}
+		if c.canon != nil {
+			c.canonClean = make(map[codec.Fingerprint]bool)
+		}
 	}
 	if opt.RecordSeries {
 		c.res.Series = stats.NewSeries()
@@ -292,6 +320,10 @@ func (c *checker) pass() bool {
 		c.initNetCount[fp]++
 	}
 	c.pairOutcomes = make(map[pairKey]*pairOutcome)
+	if c.canon != nil {
+		c.orbits = nil
+		c.orbitSeen = make(map[codec.Fingerprint]struct{})
+	}
 
 	// Lines 3–4 of Figure 9: initialize each LSn with the live state.
 	for n := 0; n < c.m.NumNodes(); n++ {
@@ -361,8 +393,11 @@ func (c *checker) pass() bool {
 			break
 		}
 		if !progress {
-			// Exploration fixpoint: run every deferred witness search.
+			// Exploration fixpoint: run every deferred witness search, then
+			// re-expand the recorded violating orbits so every arrangement
+			// the symmetry skip covered gets its own soundness verdict.
 			c.underPhase("soundness", func() { c.drainPending(true) })
+			c.sweepOrbits()
 			return true
 		}
 	}

@@ -95,6 +95,23 @@ func TestWorkersParity(t *testing.T) {
 				Reduction: actordemo.Reduction{Ad: actorBug}, SoundnessShare: -1},
 		},
 		{
+			// Reductions on: the symmetry skip predicate, the fixpoint orbit
+			// sweep, and the partial-order soundness search must all stay
+			// bit-for-bit across worker counts.
+			name: "paxos-gen-reduced",
+			m:    paxos.New(3, paxos.NoBug, paxos.OnceAt{Node: 0, Index: 0, Value: 7}),
+			opt: Options{Invariant: paxos.Agreement(), SoundnessShare: -1,
+				Reduce: Reductions{Symmetry: true, PartialOrder: true}},
+		},
+		{
+			// Reductions on over a bug-bearing space: orbit sweep and
+			// clean-twin caching interact with speculative confirmation.
+			name: "twophase-majority-reduced",
+			m:    twophase.New(4, twophase.MajorityBug, 2),
+			opt: Options{Invariant: twophase.Atomicity(), SoundnessShare: -1,
+				Reduce: Reductions{Symmetry: true, PartialOrder: true}},
+		},
+		{
 			// A transition cap forces canonical charge order; the pool must
 			// still agree bit-for-bit at the cutoff.
 			name: "paxos-gen-capped",
@@ -133,7 +150,11 @@ func assertSameResult(t *testing.T, workers int, base, got *Result) {
 		b.SoundnessCalls != g.SoundnessCalls ||
 		b.SequencesChecked != g.SequencesChecked ||
 		b.ConfirmedBugs != g.ConfirmedBugs ||
-		b.DuplicatesDropped != g.DuplicatesDropped {
+		b.DuplicatesDropped != g.DuplicatesDropped ||
+		b.SymmetrySkips != g.SymmetrySkips ||
+		b.OrbitChecks != g.OrbitChecks ||
+		b.PORPathsDeduped != g.PORPathsDeduped ||
+		b.PORDetached != g.PORDetached {
 		t.Fatalf("workers=%d diverged from sequential:\nseq: %s\ngot: %s",
 			workers, b.String(), g.String())
 	}

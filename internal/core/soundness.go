@@ -15,15 +15,18 @@ import (
 // counterexample witness.
 func (c *checker) isStateSound(combo []*nodeState) (bool, trace.Schedule) {
 	budget := c.opt.MaxSequencesPerCheck
-	return c.isStateSoundBudget(combo, &budget, &c.res.Stats.SequencesChecked)
+	var tally soundTally
+	ok, sched := c.isStateSoundBudget(combo, &budget, &tally)
+	c.addTally(&tally)
+	return ok, sched
 }
 
 // isStateSoundBudget is isStateSound with an externally shared sequence
 // budget, so one witness search can spread its allowance across many
-// candidate combinations. Checked sequences are counted into seqs rather
-// than the result stats directly, so speculative confirmations can run on
-// worker goroutines and merge their counts at the canonical point.
-func (c *checker) isStateSoundBudget(combo []*nodeState, budget *int, seqs *int) (bool, trace.Schedule) {
+// candidate combinations. Checked sequences are counted into the tally
+// rather than the result stats directly, so speculative confirmations can
+// run on worker goroutines and merge their counts at the canonical point.
+func (c *checker) isStateSoundBudget(combo []*nodeState, budget *int, tally *soundTally) (bool, trace.Schedule) {
 	paths := make([][][]pred, len(combo))
 	for k, ns := range combo {
 		paths[k] = c.enumeratePaths(ns)
@@ -32,36 +35,11 @@ func (c *checker) isStateSoundBudget(combo []*nodeState, budget *int, seqs *int)
 			return false, nil
 		}
 	}
-
-	// Odometer over the per-node path choices, capped by the sequence
-	// budget (the exponential cost §5.2 identifies).
-	idx := make([]int, len(paths))
-	for {
-		cand := make([][]pred, len(paths))
-		for k := range paths {
-			cand[k] = paths[k][idx[k]]
-		}
-		*budget--
-		*seqs++
-		if ok, sched := c.isSequenceValid(cand); ok {
-			return true, sched
-		}
-		if *budget <= 0 {
-			return false, nil
-		}
-		// Advance the odometer.
-		k := 0
-		for ; k < len(idx); k++ {
-			idx[k]++
-			if idx[k] < len(paths[k]) {
-				break
-			}
-			idx[k] = 0
-		}
-		if k == len(idx) {
-			return false, nil
-		}
-	}
+	// The odometer over the per-node path choices — capped by the sequence
+	// budget (the exponential cost §5.2 identifies) — lives in reduce.go's
+	// searchSequences, which applies the partial-order reduction when
+	// enabled.
+	return c.searchSequences(paths, budget, tally)
 }
 
 // creationPath returns (memoized) the chain of first predecessor edges from
@@ -151,8 +129,8 @@ func (c *checker) enumeratePathsCapped(ns *nodeState, maxPaths int) [][]pred {
 // conflicting pair members (indices pairA, pairB) contribute a capped set
 // of alternate paths; every completion node contributes only its creation
 // path. The shared budget caps the total sequence combinations tried;
-// checked sequences are counted into seqs.
-func (c *checker) witnessSequences(combo []*nodeState, pairA, pairB int, budget *int, seqs *int) (bool, trace.Schedule) {
+// checked sequences are counted into the tally.
+func (c *checker) witnessSequences(combo []*nodeState, pairA, pairB int, budget *int, tally *soundTally) (bool, trace.Schedule) {
 	paths := make([][][]pred, len(combo))
 	for k, ns := range combo {
 		if k == pairA || k == pairB {
@@ -164,32 +142,7 @@ func (c *checker) witnessSequences(combo []*nodeState, pairA, pairB int, budget 
 			return false, nil
 		}
 	}
-	idx := make([]int, len(paths))
-	for {
-		cand := make([][]pred, len(paths))
-		for k := range paths {
-			cand[k] = paths[k][idx[k]]
-		}
-		*budget--
-		*seqs++
-		if ok, sched := c.isSequenceValid(cand); ok {
-			return true, sched
-		}
-		if *budget <= 0 {
-			return false, nil
-		}
-		k := 0
-		for ; k < len(idx); k++ {
-			idx[k]++
-			if idx[k] < len(paths[k]) {
-				break
-			}
-			idx[k] = 0
-		}
-		if k == len(idx) {
-			return false, nil
-		}
-	}
+	return c.searchSequences(paths, budget, tally)
 }
 
 // isSequenceValid is Procedure isSequenceValid of Figure 9, in the
@@ -203,6 +156,15 @@ func (c *checker) witnessSequences(combo []*nodeState, pairA, pairB int, budget 
 // runs next, since the order demanded by the per-node sequences is enforced
 // by only ever consuming messages that were already generated.
 func (c *checker) isSequenceValid(seqs [][]pred) (bool, trace.Schedule) {
+	ok, sched, _ := c.sequenceValidNet(seqs)
+	return ok, sched
+}
+
+// sequenceValidNet is isSequenceValid exposing the final message pool (the
+// generated-and-unconsumed fingerprint counts after the whole schedule ran).
+// The partial-order reduction appends detachable members' paths against this
+// pool (appendValid in reduce.go).
+func (c *checker) sequenceValidNet(seqs [][]pred) (bool, trace.Schedule, map[codec.Fingerprint]int) {
 	net := make(map[codec.Fingerprint]int, len(c.initialNet)+8)
 	for _, fp := range c.initialNet {
 		net[fp]++
@@ -235,8 +197,8 @@ func (c *checker) isSequenceValid(seqs [][]pred) (bool, trace.Schedule) {
 	}
 	for k := range seqs {
 		if idx[k] != len(seqs[k]) {
-			return false, nil
+			return false, nil, nil
 		}
 	}
-	return true, order
+	return true, order, net
 }

@@ -94,6 +94,9 @@ func (c *checker) checkStartState() {
 	c.res.Stats.InvariantChecks++
 	if v := c.opt.Invariant.Check(c.comboSystem(combo)); v != nil {
 		c.res.Stats.PreliminaryViolations++
+		// A violating start state seeds the orbit sweep too: its permuted
+		// arrangements may become realizable (and skipped) later.
+		c.recordOrbit(combo)
 		// The start state is the live state of a real run: trivially sound.
 		fp := comboFP(combo)
 		if !c.reported[fp] {
@@ -502,8 +505,10 @@ func (c *checker) confirmLocal(ns *nodeState, v *spec.Violation, view []int) {
 				return verdict && c.reported[fp]
 			}
 			t0 := time.Now()
-			sound, sched := c.witnessSequences(combo, int(ns.node), int(ns.node), &budget, &c.res.Stats.SequencesChecked)
+			var tally soundTally
+			sound, sched := c.witnessSequences(combo, int(ns.node), int(ns.node), &budget, &tally)
 			c.res.Stats.SoundnessTime += time.Since(t0)
+			c.addTally(&tally)
 			if sound && !c.opt.DisableReplay {
 				sound = c.replayConfirms(sched, fp)
 			}
@@ -623,6 +628,30 @@ func orderByCoverage(states []*nodeState, missing []codec.Fingerprint) ([]*nodeS
 // check against the shared sequence budget. It reports whether a confirmed
 // bug was found.
 func (c *checker) tryWitness(combo []*nodeState, pairA, pairB int, budget *int) bool {
+	// The OPT half of the symmetry reduction: a combination whose canonical
+	// twin was already invariant-clean is clean too (slot-symmetric
+	// invariants) and can never become a witness — skip it without charging
+	// the budget, so the reduced walk covers at least the combinations the
+	// unreduced walk covers. Violating twins are never skipped: their
+	// soundness verdicts are arrangement-specific.
+	var canonFP codec.Fingerprint
+	if c.canon != nil {
+		var buf [16]codec.Fingerprint
+		var fps []codec.Fingerprint
+		if len(combo) <= len(buf) {
+			fps = buf[:len(combo)]
+		} else {
+			fps = make([]codec.Fingerprint, len(combo))
+		}
+		for i, ns := range combo {
+			fps[i] = ns.fp
+		}
+		canonFP = c.canon.Canonical(fps)
+		if c.canonClean[canonFP] {
+			c.res.Stats.SymmetrySkips++
+			return false
+		}
+	}
 	// Every examined combination charges the search budget, so the walk
 	// terminates even when soundness verification (the other consumer of
 	// the budget) is disabled or cached away.
@@ -636,6 +665,9 @@ func (c *checker) tryWitness(combo []*nodeState, pairA, pairB int, budget *int) 
 	}
 	v := c.opt.Invariant.Check(ss)
 	if v == nil {
+		if c.canon != nil {
+			c.canonClean[canonFP] = true
+		}
 		return false
 	}
 	c.res.Stats.PreliminaryViolations++
@@ -647,8 +679,10 @@ func (c *checker) tryWitness(combo []*nodeState, pairA, pairB int, budget *int) 
 		return verdict && c.reported[fp]
 	}
 	t0 := time.Now()
-	sound, sched := c.witnessSequences(combo, pairA, pairB, budget, &c.res.Stats.SequencesChecked)
+	var tally soundTally
+	sound, sched := c.witnessSequences(combo, pairA, pairB, budget, &tally)
 	c.res.Stats.SoundnessTime += time.Since(t0)
+	c.addTally(&tally)
 	if sound && !c.opt.DisableReplay {
 		sound = c.replayConfirms(sched, fp)
 	}
@@ -748,6 +782,7 @@ func (c *checker) forEachCombo(lists [][]*nodeState) {
 		systemStates int
 		invChecks    int
 		maxDepth     int
+		symSkips     int
 		prelims      []prelim
 	}
 	outs := make([]chunkOut, nchunks)
@@ -772,6 +807,10 @@ func (c *checker) forEachCombo(lists [][]*nodeState) {
 		combo := make([]*nodeState, len(lists))
 		ss := make(model.SystemState, len(lists))
 		pos := make([]int, len(lists))
+		var symFPs []codec.Fingerprint
+		if c.canon != nil {
+			symFPs = make([]codec.Fingerprint, len(lists))
+		}
 		base := lo * strides[widest]
 		tick := 0
 		halted := false
@@ -803,6 +842,14 @@ func (c *checker) forEachCombo(lists [][]*nodeState) {
 						}
 					}
 					if c.opt.MaxSystemDepth > 0 && leafDepth > c.opt.MaxSystemDepth {
+						continue
+					}
+					if c.canon != nil && c.symSkip(combo, symFPs) {
+						// A non-canonical arrangement whose representative is
+						// covered: its verdict is decided at the
+						// representative's enumeration point (clean) or by
+						// the fixpoint orbit sweep (violating).
+						out.symSkips++
 						continue
 					}
 					out.systemStates++
@@ -865,6 +912,7 @@ func (c *checker) forEachCombo(lists [][]*nodeState) {
 	for i := range outs {
 		c.res.Stats.SystemStates += outs[i].systemStates
 		c.res.Stats.InvariantChecks += outs[i].invChecks
+		c.res.Stats.SymmetrySkips += outs[i].symSkips
 		if outs[i].maxDepth > c.res.Stats.MaxDepth {
 			c.res.Stats.MaxDepth = outs[i].maxDepth
 		}
@@ -875,6 +923,13 @@ func (c *checker) forEachCombo(lists [][]*nodeState) {
 		return
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].idx < all[j].idx })
+	if c.canon != nil {
+		// Violating orbits feed the fixpoint sweep: skipped sibling
+		// arrangements of a violating combination get their own checks there.
+		for i := range all {
+			c.recordOrbit(all[i].combo)
+		}
+	}
 	// Confirmation is soundness work (path enumeration plus replay); label
 	// it so profiles separate it from the combination sweep above.
 	c.underPhase("soundness", func() { c.confirmBatch(all) })
@@ -885,7 +940,7 @@ type confirmResult struct {
 	sound     bool
 	sched     trace.Schedule
 	soundTime time.Duration
-	seqs      int
+	tally     soundTally
 }
 
 // confirmBatch confirms preliminary violations in canonical enumeration
@@ -930,7 +985,7 @@ func (c *checker) confirmBatch(prelims []prelim) {
 		r := &results[i]
 		budget := c.opt.MaxSequencesPerCheck
 		t0 := time.Now()
-		sound, sched := c.isStateSoundBudget(jobs[i].combo, &budget, &r.seqs)
+		sound, sched := c.isStateSoundBudget(jobs[i].combo, &budget, &r.tally)
 		r.soundTime = time.Since(t0)
 		if sound && !c.opt.DisableReplay {
 			sound = c.replayConfirms(sched, jobs[i].fp)
@@ -962,7 +1017,7 @@ func (c *checker) confirmBatch(prelims []prelim) {
 		r := results[need[p.fp]]
 		c.res.Stats.SoundnessCalls++
 		c.res.Stats.SoundnessTime += r.soundTime
-		c.res.Stats.SequencesChecked += r.seqs
+		c.addTally(&r.tally)
 		c.verdicts[p.fp] = r.sound
 		if !r.sound {
 			continue

@@ -109,8 +109,8 @@ func TestProbeWitnessDirect(t *testing.T) {
 	}
 
 	budget := 1 << 20
-	seqs := 0
-	ok, sched := c.witnessSequences(combo, 0, 2, &budget, &seqs)
+	var tally soundTally
+	ok, sched := c.witnessSequences(combo, 0, 2, &budget, &tally)
 	t.Logf("witnessSequences: ok=%v budgetUsed=%d", ok, 1<<20-budget)
 	if !ok {
 		for n, ns := range combo {

@@ -32,6 +32,11 @@ type Tuning struct {
 	DisableDeepening bool
 	// SkipOPT skips the LMC-OPT run even when the scenario has a reduction.
 	SkipOPT bool
+	// SkipReductions skips the symmetry+POR twin runs (the lmc_gen_reduced /
+	// lmc_opt_reduced summaries and the reduction-diverged direction). The
+	// corpus never sets this; tests use it to time-box runs that target
+	// other directions.
+	SkipReductions bool
 	// Observer receives run events from every checker run of the
 	// differential (global, LMC-GEN, LMC-OPT). With concurrent scenarios the
 	// streams interleave; the implementation must be safe for concurrent
@@ -87,6 +92,10 @@ const (
 	// different outcome than the instrumented replays — the interception
 	// seam itself changed behavior.
 	KindRawDiverged = "raw-replay-diverged"
+	// KindReductionDiverged: a checker run with the symmetry+POR reductions
+	// enabled reached an unsuppressed fixpoint without confirming a
+	// violation its unreduced twin confirmed — a reduction lost a bug.
+	KindReductionDiverged = "reduction-diverged"
 )
 
 // Disagreement is one detected inconsistency between checkers.
@@ -120,6 +129,11 @@ type Verdict struct {
 	Global   RunSummary  `json:"global"`
 	GEN      RunSummary  `json:"lmc_gen"`
 	OPT      *RunSummary `json:"lmc_opt,omitempty"`
+	// GENReduced / OPTReduced are the same runs with the fingerprint-layer
+	// reductions (symmetry + partial order) enabled; each is cross-checked
+	// against its unreduced twin (reduced ⊇ unreduced violations).
+	GENReduced *RunSummary `json:"lmc_gen_reduced,omitempty"`
+	OPTReduced *RunSummary `json:"lmc_opt_reduced,omitempty"`
 	// Disagreements is empty when every cross-check passed.
 	Disagreements []Disagreement `json:"disagreements,omitempty"`
 	// Inconclusive notes checks skipped because a run hit its resource caps
@@ -167,12 +181,30 @@ func Run(sc Scenario, tun Tuning) (*Verdict, error) {
 	v.GEN = summarize("lmc-gen", gen)
 	v.crossCheck(inst, start, inflight, "lmc-gen", gen, g)
 
+	if !tun.SkipReductions && reducedTwinInformative(gen) {
+		ro := lmcOptions(sc, tun, inst, inflight, false)
+		ro.Reduce = core.Reductions{Symmetry: true, PartialOrder: true}
+		genRed := core.Check(inst.Machine, start, ro)
+		s := summarize("lmc-gen-reduced", genRed)
+		v.GENReduced = &s
+		v.checkReduced(inst, start, inflight, "lmc-gen-reduced", gen, genRed)
+	}
+
 	var opt *core.Result
 	if inst.Reduction != nil && !tun.SkipOPT {
 		opt = core.Check(inst.Machine, start, lmcOptions(sc, tun, inst, inflight, true))
 		s := summarize("lmc-opt", opt)
 		v.OPT = &s
 		v.crossCheck(inst, start, inflight, "lmc-opt", opt, g)
+
+		if !tun.SkipReductions && reducedTwinInformative(opt) {
+			ro := lmcOptions(sc, tun, inst, inflight, true)
+			ro.Reduce = core.Reductions{Symmetry: true, PartialOrder: true}
+			optRed := core.Check(inst.Machine, start, ro)
+			rs := summarize("lmc-opt-reduced", optRed)
+			v.OPTReduced = &rs
+			v.checkReduced(inst, start, inflight, "lmc-opt-reduced", opt, optRed)
+		}
 
 		// GEN→OPT completeness: the reduction must not lose violations.
 		if len(gen.Bugs) > 0 && len(opt.Bugs) == 0 {
@@ -279,6 +311,50 @@ func (v *Verdict) crossCheck(inst *Instance, start model.SystemState, inflight [
 				break // one witness is enough
 			}
 		}
+	}
+}
+
+// reducedTwinInformative reports whether running the reduced twin of an
+// unreduced run can produce a verdict-grade comparison. When the unreduced
+// run burned its whole budget without confirming anything, the conservatism
+// direction (reduced ⊇ unreduced violations) is vacuous and the twin would
+// only re-burn the same budget — the dominant cost on budget-bound
+// scenarios like the paxos live state, where GEN drowns in Cartesian
+// combination either way.
+func reducedTwinInformative(r *core.Result) bool {
+	return len(r.Bugs) > 0 || (r.Complete && !r.Suppressed)
+}
+
+// checkReduced applies the reduction-conservatism directions to a reduced
+// run against its unreduced twin: every violation the unreduced run
+// confirms must be confirmed by the reduced run (up to StopAtFirstBug,
+// presence per run), and every reduced-run counterexample — including those
+// assembled by the orbit sweep and the partial-order search — must replay
+// and violate its claimed invariant. A reduced run that was cut off by a
+// budget or transition cap is inconclusive, not divergent: the symmetry
+// skip relies on the canonical representative being enumerated later in the
+// same pass, which a mid-run stop can prevent, exactly like the
+// completeness gating of the other directions.
+func (v *Verdict) checkReduced(inst *Instance, start model.SystemState, inflight []model.Message,
+	name string, unreduced, reduced *core.Result) {
+
+	if len(unreduced.Bugs) > 0 && len(reduced.Bugs) == 0 {
+		if reduced.Complete && !reduced.Suppressed {
+			v.add(Disagreement{
+				Kind: KindReductionDiverged, Checker: name,
+				Detail: fmt.Sprintf("unreduced run confirmed %q but %s reached an unsuppressed fixpoint with no confirmed violation",
+					unreduced.Bugs[0].Violation.Invariant, name),
+				Schedule: unreduced.Bugs[0].Schedule.String(),
+			})
+		} else {
+			v.note("%s found no bugs but was bounded (complete=%v suppressed=%v)",
+				name, reduced.Complete, reduced.Suppressed)
+		}
+	}
+	for i, b := range reduced.Bugs {
+		wantFP := b.System.Fingerprint()
+		v.validateSchedule(inst, start, inflight, name, b.Violation.Invariant,
+			b.Schedule, &wantFP, fmt.Sprintf("%s bug %d", name, i))
 	}
 }
 

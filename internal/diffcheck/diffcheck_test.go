@@ -422,3 +422,94 @@ func mustJSON(v any) string {
 	}
 	return string(data)
 }
+
+// TestReductionDivergenceGating pins the reduction-conservatism detector at
+// the unit level with constructed results: an unreduced-confirmed bug
+// against an empty-handed reduced run is a reduction-diverged disagreement
+// ONLY when the reduced run reached an unsuppressed fixpoint; bounded or
+// suppressed reduced runs degrade to inconclusive notes.
+func TestReductionDivergenceGating(t *testing.T) {
+	sc := Scenario{Protocol: ProtoChain, Nodes: 2, Depth: 4, LocalBound: 1, MaxLocalBound: 2}
+	inst, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, inflight, err := sc.Prepare(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unreduced := &core.Result{Bugs: []core.Bug{{Violation: &spec.Violation{Invariant: "x"}}}}
+
+	cases := []struct {
+		name                 string
+		complete, suppressed bool
+		wantDiverged         bool
+	}{
+		{"unsuppressed-fixpoint", true, false, true},
+		{"suppressed-fixpoint", true, true, false},
+		{"budget-capped", false, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := &Verdict{Scenario: sc}
+			reduced := &core.Result{Complete: tc.complete, Suppressed: tc.suppressed}
+			v.checkReduced(inst, start, inflight, "lmc-gen-reduced", unreduced, reduced)
+			diverged := false
+			for _, d := range v.Disagreements {
+				if d.Kind == KindReductionDiverged {
+					diverged = true
+				}
+			}
+			if diverged != tc.wantDiverged {
+				t.Errorf("complete=%v suppressed=%v: reduction-diverged=%v, want %v (disagreements: %v, notes: %v)",
+					tc.complete, tc.suppressed, diverged, tc.wantDiverged, v.Disagreements, v.Inconclusive)
+			}
+			if !tc.wantDiverged && len(v.Inconclusive) == 0 {
+				t.Error("gated-out reduced run produced no inconclusive note")
+			}
+		})
+	}
+}
+
+// TestReducedTwinRunsOnBugScenario: a scenario whose unreduced run confirms
+// a bug must get a reduced twin run, and the twin must re-find the bug (the
+// end-to-end conservatism direction on a real space).
+func TestReducedTwinRunsOnBugScenario(t *testing.T) {
+	sc := Scenario{Protocol: ProtoTwoPhase, Bug: BugMajority, Nodes: 4, Depth: 10,
+		LocalBound: 1, MaxLocalBound: 4, NoVoters: []int{2}}
+	v, err := Run(sc, Tuning{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.GEN.Bugs == 0 {
+		t.Fatal("unreduced GEN did not find the planted bug; test is vacuous")
+	}
+	if v.GENReduced == nil {
+		t.Fatal("no reduced twin ran despite a confirmed unreduced bug")
+	}
+	if v.GENReduced.Bugs == 0 {
+		t.Fatalf("reduced twin lost the planted bug: %+v", v.GENReduced)
+	}
+	if !v.Agree() {
+		for _, d := range v.Disagreements {
+			t.Errorf("disagreement: %s", d)
+		}
+	}
+}
+
+// TestReducedTwinSkippedWhenVacuous: an unreduced run that burned its
+// budget without confirming anything gates the twin out (nothing to
+// preserve), leaving a note instead of re-burning the budget.
+func TestReducedTwinSkippedWhenVacuous(t *testing.T) {
+	if !reducedTwinInformative(&core.Result{Complete: false, Suppressed: true}) {
+		// Gate holds for the bounded empty-handed shape.
+	} else {
+		t.Error("bounded empty-handed run should not get a reduced twin")
+	}
+	if !reducedTwinInformative(&core.Result{Complete: true}) {
+		t.Error("clean fixpoint run should get a reduced twin")
+	}
+	if !reducedTwinInformative(&core.Result{Bugs: []core.Bug{{}}}) {
+		t.Error("bug-confirming run should get a reduced twin")
+	}
+}

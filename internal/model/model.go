@@ -94,6 +94,30 @@ type Machine interface {
 	HandleAction(n NodeID, s State, a Action) (State, []Message)
 }
 
+// Symmetric is an optional Machine capability declaring role symmetry. The
+// precise contract is invariant slot-symmetry: every invariant the protocol
+// is checked against must give the same verdict when the states of two
+// class members are swapped within the system-state vector (the invariant
+// compares class members' states without privileging individual slots).
+// Checkers with symmetry reduction enabled use the classes to canonicalize
+// system-state fingerprints under within-class permutation
+// (codec.Canonicalizer) and to skip permuted system-state arrangements whose
+// canonical representative is already covered — each skipped arrangement's
+// verdict is derived from its representative's (clean) or re-checked
+// individually at the fixpoint (violating), so nothing beyond invariant
+// slot-symmetry is assumed about the dynamics.
+//
+// Declare only genuinely interchangeable roles: Paxos acceptors yes, a
+// distinguished proposer/leader/coordinator no, topology-pinned nodes
+// (chain positions, tree levels) no. Classes must be disjoint; classes with
+// fewer than two members are ignored. Machines that do not implement the
+// interface get no symmetry reduction (always sound).
+type Symmetric interface {
+	// SymmetryClasses lists the interchangeable node classes for the
+	// configured system size. The result must be deterministic.
+	SymmetryClasses() [][]NodeID
+}
+
 // RawReplayer is an optional Machine capability for machines that wrap a
 // real implementation behind an adapter (package actorcheck). ReplayRaw
 // re-drives an event sequence through the wrapped implementation directly —

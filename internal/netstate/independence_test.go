@@ -1,0 +1,118 @@
+package netstate
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"lmc/internal/model"
+)
+
+// TestIndependenceProperties is the property test for the partial-order
+// reduction's independence relation over I+ entries: the relation must be
+// symmetric (Independent(a,b) == Independent(b,a)), must agree with its
+// defining semantics (disjoint receivers), and must be stable under epoch
+// growth — adding messages to the monotonically growing shared network never
+// changes the verdict recorded for an existing pair. Stability is what lets
+// the checker cache commutation decisions across rounds without epoch tags.
+func TestIndependenceProperties(t *testing.T) {
+	seed := *sharedPropSeed
+	t.Logf("seed %d (reproduce with -netstate.seed=%d)", seed, seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	for trial := 0; trial < 100; trial++ {
+		sh := NewShared(rng.Intn(2))
+		grow := func(n int) {
+			for i := 0; i < n; i++ {
+				sh.Add(testMsg{
+					From: model.NodeID(rng.Intn(4)),
+					To:   model.NodeID(rng.Intn(4)),
+					Body: rng.Intn(6),
+				})
+			}
+		}
+		grow(2 + rng.Intn(10))
+		entries := sh.Entries()
+		if len(entries) < 2 {
+			continue
+		}
+
+		// Record the verdict matrix over the current epoch.
+		type pairVerdict struct {
+			a, b *Entry
+			ok   bool
+		}
+		var recorded []pairVerdict
+		for i := 0; i < len(entries); i++ {
+			for j := 0; j < len(entries); j++ {
+				got := Independent(entries[i], entries[j])
+				want := entries[i].Msg.Dst() != entries[j].Msg.Dst()
+				if got != want {
+					t.Fatalf("trial=%d: Independent disagrees with receiver disjointness for %v / %v",
+						trial, entries[i].Msg, entries[j].Msg)
+				}
+				if got != Independent(entries[j], entries[i]) {
+					t.Fatalf("trial=%d: Independent is asymmetric for %v / %v",
+						trial, entries[i].Msg, entries[j].Msg)
+				}
+				if got != IndependentMsgs(entries[i].Msg, entries[j].Msg) {
+					t.Fatalf("trial=%d: IndependentMsgs disagrees with Independent", trial)
+				}
+				recorded = append(recorded, pairVerdict{a: entries[i], b: entries[j], ok: got})
+			}
+		}
+
+		// Monotonic I+: grow the network (several epochs) and re-query every
+		// recorded pair. No verdict may move.
+		for epoch := 0; epoch < 3; epoch++ {
+			grow(1 + rng.Intn(8))
+			for _, pv := range recorded {
+				if Independent(pv.a, pv.b) != pv.ok {
+					t.Fatalf("trial=%d epoch=%d: verdict for %v / %v changed after I+ growth",
+						trial, epoch, pv.a.Msg, pv.b.Msg)
+				}
+			}
+		}
+	}
+}
+
+// TestIndependenceConcurrentReaders drives Independent from concurrent
+// readers while a writer grows the shared network, mirroring how parallel
+// soundness workers consult the relation against an immutable epoch prefix.
+// Run under -race (the CI race job covers ./internal/...), this pins down
+// that the relation reads no mutable Shared state.
+func TestIndependenceConcurrentReaders(t *testing.T) {
+	sh := NewShared(0)
+	for i := 0; i < 16; i++ {
+		sh.Add(testMsg{From: 0, To: model.NodeID(i % 4), Body: i})
+	}
+	prefix := sh.Entries()[:sh.Len()] // immutable epoch snapshot
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := prefix[(k+w)%len(prefix)]
+				b := prefix[(k*7+w)%len(prefix)]
+				want := a.Msg.Dst() != b.Msg.Dst()
+				if Independent(a, b) != want {
+					t.Errorf("concurrent Independent verdict wrong for %v / %v", a.Msg, b.Msg)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 64; i++ {
+		sh.Add(testMsg{From: 1, To: model.NodeID(i % 4), Body: 100 + i})
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -152,3 +152,10 @@ func (mc *Machine) Causality() spec.Invariant {
 		},
 	}
 }
+
+// SymmetryClasses implements model.Symmetric with no classes: every chain
+// position is a distinct topology-pinned role (node i forwards to node
+// i+1), so no two nodes are interchangeable. The explicit declaration
+// documents the decision; checkers treat an empty declaration as "no
+// symmetry reduction".
+func (mc *Machine) SymmetryClasses() [][]model.NodeID { return nil }

@@ -407,3 +407,17 @@ func (mc *Machine) HandleAction(n model.NodeID, s model.State, a model.Action) (
 		return nil, nil
 	}
 }
+
+// SymmetryClasses implements model.Symmetric. Init pins node 0 as the
+// initial leader and node 1 as the initial (or, under the ++ bug, shadowed)
+// acceptor, so those two are distinguished roles; the remaining nodes start
+// as interchangeable bystanders that may later attempt takeovers. The
+// Agreement invariant compares Chosen maps pairwise over all node pairs, so
+// it is slot-symmetric across any class.
+func (mc *Machine) SymmetryClasses() [][]model.NodeID {
+	var class []model.NodeID
+	for n := 2; n < mc.N; n++ {
+		class = append(class, model.NodeID(n))
+	}
+	return [][]model.NodeID{class}
+}

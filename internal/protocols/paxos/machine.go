@@ -258,3 +258,33 @@ func (mc *Machine) HandleAction(n model.NodeID, s model.State, a model.Action) (
 	out := DoPropose(mc.P, n, st, pr.Index, pr.Value)
 	return st, out
 }
+
+// SymmetryClasses implements model.Symmetric. The Agreement invariant
+// compares chosen values pairwise over all node pairs without privileging
+// slots, so it is slot-symmetric across any class; which nodes the classes
+// may contain is decided by the driver, since a driver that scripts
+// proposals on specific nodes makes those nodes distinguished roles.
+// Drivers whose proposals depend on the node identity everywhere
+// (ActiveIndex proposes int(n)+1 on every node) declare no classes.
+func (mc *Machine) SymmetryClasses() [][]model.NodeID {
+	distinguished := make(map[model.NodeID]bool)
+	switch d := mc.Driver.(type) {
+	case OnceAt:
+		distinguished[d.Node] = true
+	case EachOnce:
+		for _, n := range d.Nodes {
+			distinguished[n] = true
+		}
+	case NoDriver:
+		// Pure reactors everywhere: all nodes interchangeable.
+	default:
+		return nil
+	}
+	var class []model.NodeID
+	for n := 0; n < mc.P.N; n++ {
+		if !distinguished[model.NodeID(n)] {
+			class = append(class, model.NodeID(n))
+		}
+	}
+	return [][]model.NodeID{class}
+}

@@ -351,3 +351,11 @@ func Structure() spec.LocalInvariant {
 		},
 	}
 }
+
+// SymmetryClasses implements model.Symmetric with no classes. Joiners look
+// interchangeable at first glance, but the join protocol embeds node
+// identities in parent/child link state and the invariants inspect those
+// links, so swapping two joiners' states yields a system state whose link
+// structure names the wrong nodes. The explicit declaration documents the
+// decision.
+func (mc *Machine) SymmetryClasses() [][]model.NodeID { return nil }

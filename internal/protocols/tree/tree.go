@@ -241,3 +241,9 @@ func (r Reduction) Conflict(a, b spec.Interest) bool {
 	return (a == "root-unsent" && b == "target-received") ||
 		(b == "root-unsent" && a == "target-received")
 }
+
+// SymmetryClasses implements model.Symmetric with no classes: the tree
+// topology pins every node to a position (parent/child edges, the root and
+// the distinguished target), so no two nodes are interchangeable. The
+// explicit declaration documents the decision.
+func (t *Machine) SymmetryClasses() [][]model.NodeID { return nil }

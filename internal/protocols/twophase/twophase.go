@@ -388,3 +388,19 @@ func (Reduction) InterestKey(i spec.Interest) string {
 	}
 	return o.String()
 }
+
+// SymmetryClasses implements model.Symmetric: participants scripted to the
+// same vote are interchangeable roles; the coordinator (node 0) is
+// distinguished. Atomicity compares outcomes pairwise over all node pairs
+// without privileging slots, so it is slot-symmetric within the classes.
+func (mc *Machine) SymmetryClasses() [][]model.NodeID {
+	var yes, no []model.NodeID
+	for n := 1; n < mc.N; n++ {
+		if mc.NoVoters[model.NodeID(n)] {
+			no = append(no, model.NodeID(n))
+		} else {
+			yes = append(yes, model.NodeID(n))
+		}
+	}
+	return [][]model.NodeID{yes, no}
+}

@@ -53,6 +53,21 @@ type Counters struct {
 	// WitnessSkips counts candidate-pair walks skipped by the epoch-gated
 	// witness outcome cache (their recorded refutation evidence still held).
 	WitnessSkips int
+	// SymmetrySkips counts system-state combinations skipped by the symmetry
+	// reduction: non-canonical arrangements whose canonical representative
+	// is covered (GEN enumeration) and witness-walk combinations whose
+	// canonical twin was already invariant-clean (OPT).
+	SymmetrySkips int
+	// OrbitChecks counts the arrangements re-expanded and invariant-checked
+	// by the fixpoint orbit sweep (the completion half of the symmetry skip).
+	OrbitChecks int
+	// PORPathsDeduped counts per-node paths dropped by the partial-order
+	// reduction's flow-signature dedupe before the interleaving odometer.
+	PORPathsDeduped int
+	// PORDetached counts combination members the partial-order reduction
+	// validated outside the interleaving odometer (their generated messages
+	// feed no other member, so their delivery orders commute).
+	PORDetached int
 	// Rejections counts handler executions rejected by local assertions
 	// (handlers returning a nil state).
 	Rejections int
@@ -82,6 +97,8 @@ func (c *Counters) String() string {
 		c.InvariantChecks, c.PreliminaryViolations, c.SoundnessCalls, c.SequencesChecked, c.ConfirmedBugs)
 	fmt.Fprintf(&b, "coverIndexHits=%d coverIndexMisses=%d witnessSkips=%d\n",
 		c.CoverIndexHits, c.CoverIndexMisses, c.WitnessSkips)
+	fmt.Fprintf(&b, "symmetrySkips=%d orbitChecks=%d porPathsDeduped=%d porDetached=%d\n",
+		c.SymmetrySkips, c.OrbitChecks, c.PORPathsDeduped, c.PORDetached)
 	fmt.Fprintf(&b, "rejections=%d dupDropped=%d maxDepth=%d elapsed=%v soundnessTime=%v systemStateTime=%v",
 		c.Rejections, c.DuplicatesDropped, c.MaxDepth, c.Elapsed.Round(time.Microsecond),
 		c.SoundnessTime.Round(time.Microsecond), c.SystemStateTime.Round(time.Microsecond))

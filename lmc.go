@@ -93,6 +93,12 @@ type (
 type (
 	// Options configures the local checker.
 	Options = core.Options
+	// Reductions selects the optional state-space reductions
+	// (Options.Reduce): symmetry canonicalization over the protocol's
+	// declared interchangeable roles, and partial-order pruning of
+	// commuting deliveries in the soundness search. Both preserve
+	// verdicts; the default zero value disables both.
+	Reductions = core.Reductions
 	// Result reports a local checker run.
 	Result = core.Result
 	// Bug is a confirmed violation with its realizing schedule.
@@ -231,6 +237,13 @@ func GlobalContext(ctx context.Context, m Machine, start SystemState, opt Global
 
 // InitialSystem builds the system state of every node's initial state.
 func InitialSystem(m Machine) SystemState { return model.InitialSystem(m) }
+
+// ParseReductions parses a CLI-style reduction spec — a comma-separated
+// subset of "sym" and "por", or "all" / "none" / "" — into a Reductions
+// value, mirroring the -reduce flag of cmd/lmc and cmd/benchjson.
+func ParseReductions(spec string) (Reductions, error) {
+	return core.ParseReductions(spec)
+}
 
 // Replay re-executes a schedule from a start state against the real
 // handlers and a real message-consuming network; it is the ground truth
