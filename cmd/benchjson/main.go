@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,12 +41,14 @@ import (
 	"time"
 
 	"lmc/internal/actordemo"
+	"lmc/internal/bench"
 	"lmc/internal/codec"
 	"lmc/internal/core"
 	"lmc/internal/model"
 	"lmc/internal/obs"
 	"lmc/internal/protocols/paxos"
 	"lmc/internal/protocols/twophase"
+	"lmc/internal/shard"
 )
 
 // Entry is one benchmark measurement.
@@ -64,6 +67,15 @@ type Entry struct {
 	// when explaining why w8 entries regress on single-CPU runners.
 	NumCPU     int `json:"num_cpu"`
 	GOMAXPROCS int `json:"gomaxprocs"`
+	// WallClockMS is the measured run's wall clock in milliseconds — the
+	// same duration NsPerOp reports, in the unit the experiment tables use.
+	WallClockMS float64 `json:"wall_clock_ms,omitempty"`
+	// Workers is the effective in-process worker-pool width of the run
+	// (after the GOMAXPROCS clamp); Shards the worker-process count for
+	// sharded entries (0 = in-process only). Together they describe the
+	// run's topology.
+	Workers int `json:"workers,omitempty"`
+	Shards  int `json:"shards,omitempty"`
 }
 
 // stampCPU records the measuring process's parallelism into an entry.
@@ -150,13 +162,67 @@ func withObserver(s space, o obs.Observer) space {
 // (nil otherwise); its logging overhead is part of the reported timings.
 var progress obs.Observer
 
+// effectiveWorkers mirrors the engine's pool sizing for the topology stamp:
+// non-positive requests resolve to a single merge goroutine here (the suite
+// only passes -1 for sequential entries), wider requests are clamped to
+// GOMAXPROCS.
+func effectiveWorkers(requested int) int {
+	if requested <= 1 {
+		return 1
+	}
+	if p := runtime.GOMAXPROCS(0); requested > p {
+		return p
+	}
+	return requested
+}
+
 // measureExplore runs one checker configuration reps times and reports the
 // fastest run's wall clock, per-run allocation deltas, and throughput.
 func measureExplore(name string, reps, workers int, s space) Entry {
-	m, start, opt := s()
+	return measure(name, reps, workers, 0, s, func(opt core.Options) *core.Result {
+		m, start, o := s()
+		o.Workers = opt.Workers
+		if opt.Observer != nil {
+			o.Observer = obs.Multi(o.Observer, opt.Observer)
+		}
+		return core.Check(m, start, o)
+	})
+}
+
+// measureShardExplore measures a sharded run: the same configuration, with
+// exploration split across a re-exec'd worker fleet resolving spec. A run
+// that degrades mid-measurement would silently time the in-process path, so
+// degradation fails the suite.
+func measureShardExplore(name string, reps, shards int, s space, spec string) Entry {
+	return measure(name, reps, -1, shards, s, func(opt core.Options) *core.Result {
+		m, start, o := s()
+		o.Workers = opt.Workers
+		degraded := obs.FuncObserver(func(e obs.Event) {
+			if e.Kind == obs.KindShardDegraded {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: shard fleet degraded (shard %d of %d): %s\n",
+					name, e.Shard, e.Shards, e.Detail)
+				os.Exit(1)
+			}
+		})
+		o.Observer = obs.Multi(o.Observer, opt.Observer, degraded)
+		res, err := shard.Check(context.Background(), m, start, o, shard.Config{
+			Shards:  shards,
+			Spawner: shard.SelfExec{Args: []string{"-shard-worker"}},
+			Spec:    spec,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		return res
+	})
+}
+
+func measure(name string, reps, workers, shards int, s space, run func(core.Options) *core.Result) Entry {
+	var opt core.Options
 	opt.Workers = workers
 	if progress != nil {
-		opt.Observer = obs.Multi(opt.Observer, progress)
+		opt.Observer = progress
 	}
 
 	var best time.Duration
@@ -166,7 +232,7 @@ func measureExplore(name string, reps, workers int, s space) Entry {
 		var m0, m1 runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&m0)
-		res := core.Check(m, start, opt)
+		res := run(opt)
 		runtime.ReadMemStats(&m1)
 		if !res.Complete {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: run incomplete\n", name)
@@ -185,6 +251,9 @@ func measureExplore(name string, reps, workers int, s space) Entry {
 		AllocsPerOp:  float64(allocs),
 		BytesPerOp:   float64(bytes),
 		StatesPerSec: float64(states) / best.Seconds(),
+		WallClockMS:  float64(best.Nanoseconds()) / 1e6,
+		Workers:      effectiveWorkers(workers),
+		Shards:       shards,
 	})
 }
 
@@ -342,9 +411,21 @@ func main() {
 		"apply these reductions (comma-separated subset of sym,por; all/none) to EVERY explore entry — changes entry semantics, do not combine with baseline gating; default off")
 	reduceGate := flag.Float64("reducegate", 0,
 		"fail when the reduced 3-acceptor paxos-gen run materializes more than this fraction of the unreduced run's system states (e.g. 0.5 for the 2x bar); verdicts must agree; same-run ratio, needs no baseline; 0 disables")
+	shardGate := flag.Bool("shardgate", false,
+		"fail unless a 2-shard multi-process paxos-gen run matches the in-process run bit-for-bit without degrading (same-run parity, needs no baseline)")
+	shardWorker := flag.Bool("shard-worker", false,
+		"serve as a shard worker on stdin/stdout (internal; spawned by sharded entries)")
 	var notes noteFlags
 	flag.Var(&notes, "note", "free-form note to embed in the report (repeatable)")
 	flag.Parse()
+
+	if *shardWorker {
+		if err := shard.RunWorker(bench.ShardResolver()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *showProgress {
 		progress = obs.NewLogObserver(slog.New(slog.NewTextHandler(os.Stderr, nil)))
@@ -409,6 +490,18 @@ func main() {
 		measureExplore("explore/2pc-actor/seq", reps, -1, sp(twophaseActor)),
 	)
 
+	// Sharded entries: the same Paxos spaces with exploration split across
+	// re-exec'd worker processes (sequential coordinator, so the ratio
+	// against /seq isolates the sharding machinery). The workers resolve
+	// the registry workload behind bench.ShardSpec.
+	paxosSpec := bench.ShardSpec("paxos")
+	rep.Entries = append(rep.Entries,
+		measureShardExplore("explore/paxos-gen/shard2", reps, 2, sp(paxosGen), paxosSpec),
+		measureShardExplore("explore/paxos-gen/shard4", reps, 4, sp(paxosGen), paxosSpec),
+		measureShardExplore("explore/paxos-opt/shard2", reps, 2, sp(paxosOpt), paxosSpec),
+		measureShardExplore("explore/paxos-opt/shard4", reps, 4, sp(paxosOpt), paxosSpec),
+	)
+
 	// Observer-overhead entries: the same sequential Paxos GEN run with a
 	// slog observer writing to a discard handler (isolates event production
 	// from terminal I/O) and with the expvar observer. Compare against
@@ -453,9 +546,13 @@ func main() {
 	rep.Derived["obs_log_over_nil"] = ratio("explore/paxos-gen/obs-log", "explore/paxos-gen/seq")
 	rep.Derived["obs_expvar_over_nil"] = ratio("explore/paxos-gen/obs-expvar", "explore/paxos-gen/seq")
 	rep.Derived["actor_over_model"] = ratio("explore/2pc-actor/seq", "explore/2pc-model/seq")
+	rep.Derived["shard2_over_seq"] = ratio("explore/paxos-gen/shard2", "explore/paxos-gen/seq")
+	rep.Derived["gen_shard4_over_seq"] = ratio("explore/paxos-gen/shard4", "explore/paxos-gen/seq")
+	rep.Derived["opt_shard2_over_seq"] = ratio("explore/paxos-opt/shard2", "explore/paxos-opt/seq")
+	rep.Derived["opt_shard4_over_seq"] = ratio("explore/paxos-opt/shard4", "explore/paxos-opt/seq")
 	if rep.NumCPU == 1 {
 		rep.Notes = append(rep.Notes,
-			"single-CPU host: worker-pool speedups are not observable; seq-over-w8 ratios reflect pool overhead only")
+			"single-CPU host: worker-pool speedups are not observable; seq-over-w8 ratios reflect pool overhead only, and sharded entries pay process spawn plus protocol round-trips with no parallel win")
 	}
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
@@ -480,6 +577,13 @@ func main() {
 
 	if *reduceGate > 0 {
 		if err := gateReduction(*reduceGate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *shardGate {
+		if err := gateShardParity(); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -588,6 +692,46 @@ func gateReduction(maxFraction float64) error {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: reducegate ok: reduced run kept %.3f of system states (bar %.3f): %d vs %d, skips=%d\n",
 		r, maxFraction, red.Stats.SystemStates, base.Stats.SystemStates, red.Stats.SymmetrySkips)
+	return nil
+}
+
+// gateShardParity enforces the sharding soundness bar end to end: a
+// 2-shard multi-process paxos-gen run (re-exec'd workers, real pipes) must
+// reproduce the in-process run bit-for-bit — same deterministic counters,
+// same completeness, no degradation. Same-invocation comparison, so the
+// gate needs no baseline file and is host-speed independent.
+func gateShardParity() error {
+	m, start, opt := paxosGen()
+	base := core.Check(m, start, opt)
+
+	var degradeDetail string
+	sOpt := opt
+	sOpt.Observer = obs.FuncObserver(func(e obs.Event) {
+		if e.Kind == obs.KindShardDegraded {
+			degradeDetail = e.Detail
+		}
+	})
+	res, err := shard.Check(context.Background(), m, start, sOpt, shard.Config{
+		Shards:  2,
+		Spawner: shard.SelfExec{Args: []string{"-shard-worker"}},
+		Spec:    bench.ShardSpec("paxos"),
+	})
+	if err != nil {
+		return fmt.Errorf("shardgate: %w", err)
+	}
+	if degradeDetail != "" {
+		return fmt.Errorf("shardgate: sharded run degraded: %s", degradeDetail)
+	}
+	b, g := base.Stats, res.Stats
+	if b.NodeStates != g.NodeStates || b.SystemStates != g.SystemStates ||
+		b.Transitions != g.Transitions || b.InvariantChecks != g.InvariantChecks ||
+		b.DuplicatesDropped != g.DuplicatesDropped ||
+		base.Complete != res.Complete || len(base.Bugs) != len(res.Bugs) {
+		return fmt.Errorf("shardgate: 2-shard run diverged from in-process:\nseq:   %s\nshard: %s",
+			b.String(), g.String())
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: shardgate ok: 2-shard run matches in-process (%d node states, %d transitions)\n",
+		g.NodeStates, g.Transitions)
 	return nil
 }
 

@@ -8,10 +8,12 @@
 //	lmc -workload paxos-bug -v             # rediscover the §5.5 bug
 //	lmc -workload 1paxos-bug -checker lmc  # LMC-GEN
 //	lmc -workload paxos -checker global    # the B-DFS baseline
+//	lmc -workload paxos -shards 4          # fingerprint-range sharded run
 //	lmc -list                              # list workloads
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,8 @@ import (
 	"lmc/internal/bench"
 	"lmc/internal/core"
 	"lmc/internal/mc/global"
+	"lmc/internal/obs"
+	"lmc/internal/shard"
 )
 
 func main() {
@@ -33,8 +37,22 @@ func main() {
 	verbose := flag.Bool("v", false, "print witness schedules")
 	reduce := flag.String("reduce", "",
 		"state-space reductions for the LMC checkers: comma-separated subset of sym,por (or all/none; default off)")
+	shards := flag.Int("shards", 0,
+		"split exploration across N worker processes by fingerprint range (LMC checkers; <=1 = in-process)")
+	shardWorker := flag.Bool("shard-worker", false,
+		"serve as a shard worker on stdin/stdout (internal; spawned by -shards)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
+
+	if *shardWorker {
+		// Worker mode: stdout belongs to the wire protocol; nothing else
+		// may print to it.
+		if err := shard.RunWorker(bench.ShardResolver()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	reductions, err := core.ParseReductions(*reduce)
 	if err != nil {
@@ -101,7 +119,26 @@ func main() {
 		if *checker == "lmc-opt" {
 			opt.Reduction = w.Reduction
 		}
-		res := core.Check(w.Machine, start, opt)
+		var res *core.Result
+		if *shards > 1 {
+			opt.Observer = obs.FuncObserver(func(e obs.Event) {
+				if e.Kind == obs.KindShardDegraded {
+					fmt.Fprintf(os.Stderr, "shard fleet degraded (shard %d of %d): %s\n",
+						e.Shard, e.Shards, e.Detail)
+				}
+			})
+			res, err = shard.Check(context.Background(), w.Machine, start, opt, shard.Config{
+				Shards:  *shards,
+				Spawner: shard.SelfExec{Args: []string{"-shard-worker"}},
+				Spec:    bench.ShardSpec(w.Name),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			res = core.Check(w.Machine, start, opt)
+		}
 		fmt.Println(res.Stats.String())
 		fmt.Printf("complete=%v bugs=%d\n", res.Complete, len(res.Bugs))
 		for _, b := range res.Bugs {

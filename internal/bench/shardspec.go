@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"lmc/internal/shard"
+)
+
+// shardSpecPrefix namespaces the workload registry inside the shard-worker
+// spec space: "bench:<name>" resolves through Lookup.
+const shardSpecPrefix = "bench:"
+
+// ShardSpec builds the spec string a coordinator passes to shard.Check for
+// a registry workload.
+func ShardSpec(name string) string { return shardSpecPrefix + name }
+
+// ShardResolver resolves "bench:<name>" specs against the workload
+// registry. Only the machine and start state travel — a shard worker never
+// checks invariants or applies reductions, so the rest of the Workload is
+// deliberately dropped.
+func ShardResolver() shard.Resolver {
+	return func(spec string) (shard.Workload, error) {
+		name, ok := strings.CutPrefix(spec, shardSpecPrefix)
+		if !ok {
+			return shard.Workload{}, fmt.Errorf("bench resolver: unknown spec %q", spec)
+		}
+		w, err := Lookup(name)
+		if err != nil {
+			return shard.Workload{}, err
+		}
+		start, err := w.StartState()
+		if err != nil {
+			return shard.Workload{}, err
+		}
+		return shard.Workload{Machine: w.Machine, Start: start}, nil
+	}
+}

@@ -1,0 +1,86 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire framing for the sharded-exploration protocol (internal/shard): every
+// message travels as one length-prefixed frame
+//
+//	[u32 payload length][payload][u64 FNV-1a checksum of the payload]
+//
+// in big-endian byte order. The checksum guards transport integrity — the
+// shard protocol trusts handler determinism semantically, so a corrupted
+// frame must surface as an error at the frame layer, never as a silently
+// wrong exploration record. ReadFrame returns an error (never panics) on
+// malformed length prefixes, truncated payloads, or checksum mismatches.
+
+// DefaultMaxFrame is the frame-size ceiling used by the shard protocol: a
+// record batch of a large round stays well under it, while a corrupted
+// length prefix is rejected before any allocation approaches it.
+const DefaultMaxFrame = 1 << 26 // 64 MiB
+
+// Frame-layer errors. io errors from the underlying stream pass through
+// unwrapped (EOF on a clean boundary surfaces as io.EOF, so callers can
+// detect a peer that exited cleanly).
+var (
+	ErrFrameTooLarge = errors.New("codec: frame length exceeds limit")
+	ErrFrameChecksum = errors.New("codec: frame checksum mismatch")
+)
+
+// WriteFrame writes payload as one frame. The caller flushes any buffering.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var sum [8]byte
+	binary.BigEndian.PutUint64(sum[:], fnvBytes(fnvOffset64, payload))
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// ReadFrame reads one frame and returns its payload. max bounds the payload
+// length accepted (<= 0 means DefaultMaxFrame); an over-limit length prefix
+// fails with ErrFrameTooLarge before allocating. A truncated stream fails
+// with io.ErrUnexpectedEOF unless the stream ends exactly on a frame
+// boundary, which surfaces as io.EOF.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		// A clean EOF before any header byte is a frame-boundary EOF.
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > uint32(max) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	var sum [8]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if binary.BigEndian.Uint64(sum[:]) != fnvBytes(fnvOffset64, payload) {
+		return nil, ErrFrameChecksum
+	}
+	return payload, nil
+}

@@ -155,6 +155,26 @@ func (e *emitter) heartbeat(cur stats.Counters, probe *stats.MemProbe, el time.D
 	})
 }
 
+// shardRound buffers one shard's per-round record contribution; it is
+// flushed with the rest of the round's batch at the merge barrier.
+func (e *emitter) shardRound(shard, shards, records int) {
+	if !e.active() {
+		return
+	}
+	e.push(obs.Event{Kind: obs.KindShardRound, Shard: shard, Shards: shards, Count: records})
+}
+
+// shardDegraded reports the fall back from sharded to in-process
+// exploration. It flushes immediately — degradation can happen right before
+// a long in-process round, and the operator should see it now.
+func (e *emitter) shardDegraded(shard, shards int, detail string) {
+	if !e.active() {
+		return
+	}
+	e.push(obs.Event{Kind: obs.KindShardDegraded, Shard: shard, Shards: shards, Detail: detail})
+	e.flush()
+}
+
 // runEnd emits any leftover deltas (the fixpoint drain runs after the last
 // round barrier) and the final run-end event. res.Stats.Elapsed must
 // already be set.

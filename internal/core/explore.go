@@ -93,6 +93,17 @@ type checker struct {
 	// resets it along with the LS sets.
 	pairOutcomes map[pairKey]*pairOutcome
 
+	// link is the shard-worker fleet of a sharded run (nil otherwise); it is
+	// dropped on degradation, after which the run finishes in-process.
+	// shardRecs is the current round's record table (hints for the delivery
+	// walk); shardObjs the worker-side object cache for owned pairs;
+	// shardTaint latches a detected determinism violation (a record's
+	// emissions disagreed with re-execution), which degrades at round end.
+	link       ShardLink
+	shardRecs  map[shardKey]*DeliveryRecord
+	shardObjs  map[shardKey]shardExec
+	shardTaint error
+
 	stopped bool // a stop criterion (budget/transitions/first-bug) fired
 	// reason records which criterion fired first; meaningful only while
 	// stopped is set.
@@ -106,16 +117,24 @@ type checker struct {
 
 // resolveWorkers maps Options.Workers to a concrete pool size: negative
 // forces sequential (one worker), zero auto-detects the CPU count, positive
-// is used as-is.
+// is clamped to GOMAXPROCS — a pool wider than the scheduler's parallelism
+// cannot run any faster, and on a 1-CPU host the goroutine churn made the
+// pool measurably slower than sequential (the resolved count of 1 then
+// skips pool setup entirely via the parallel-phase gate).
 func resolveWorkers(w int) int {
 	switch {
 	case w < 0:
 		return 1
 	case w == 0:
-		return runtime.NumCPU()
-	default:
-		return w
+		w = runtime.NumCPU()
 	}
+	if procs := runtime.GOMAXPROCS(0); w > procs {
+		w = procs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Check runs the local model checker on machine m from the given start
@@ -124,7 +143,7 @@ func resolveWorkers(w int) int {
 // with a background context and, for backward compatibility, no option
 // validation.
 func Check(m model.Machine, start model.SystemState, opt Options) *Result {
-	return run(context.Background(), m, start, opt)
+	return run(context.Background(), m, start, opt, nil)
 }
 
 // CheckContext is Check with option validation and cooperative
@@ -140,10 +159,13 @@ func CheckContext(ctx context.Context, m model.Machine, start model.SystemState,
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	return run(ctx, m, start, opt), nil
+	return run(ctx, m, start, opt, nil), nil
 }
 
-func run(ctx context.Context, m model.Machine, start model.SystemState, opt Options) *Result {
+// newChecker resolves the option defaults and builds a checker ready to run
+// passes. Shard workers build their replicas through it too, so coordinator
+// and worker resolve every exploration knob identically.
+func newChecker(ctx context.Context, m model.Machine, start model.SystemState, opt Options) *checker {
 	if opt.LocalBound <= 0 {
 		opt.LocalBound = 1
 	}
@@ -200,14 +222,25 @@ func run(ctx context.Context, m model.Machine, start model.SystemState, opt Opti
 	}
 	c.ctx = ctx
 	c.em = newEmitter(opt.Observer, opt.HeartbeatEvery, c.begin)
+	c.localBound = opt.LocalBound
+	return c
+}
+
+func run(ctx context.Context, m model.Machine, start model.SystemState, opt Options, link ShardLink) *Result {
+	c := newChecker(ctx, m, start, opt)
+	c.link = link
 	c.em.runStart()
 
 	// Iterative deepening on the local-event bound (§4.2, "Local events"):
 	// run a pass; if the bound suppressed any action and deepening is
 	// configured, restart from scratch with a larger bound.
-	c.localBound = opt.LocalBound
 	for pass := 1; ; pass++ {
 		c.em.passStart(pass, c.localBound)
+		if c.link != nil {
+			if err := c.link.BeginPass(pass, c.localBound); err != nil {
+				c.degradeShards(-1, err)
+			}
+		}
 		complete := c.pass()
 		c.res.Complete = complete && !c.stopped
 		c.res.Suppressed = c.passSuppressed
@@ -217,10 +250,14 @@ func run(ctx context.Context, m model.Machine, start model.SystemState, opt Opti
 			c.localBound >= opt.MaxLocalBound {
 			break
 		}
-		c.localBound += opt.LocalBoundStep
-		if c.localBound > opt.MaxLocalBound {
-			c.localBound = opt.MaxLocalBound
+		c.localBound += c.opt.LocalBoundStep
+		if c.localBound > c.opt.MaxLocalBound {
+			c.localBound = c.opt.MaxLocalBound
 		}
+	}
+	if c.link != nil {
+		c.link.Finish()
+		c.link = nil
 	}
 	c.res.Stats.Elapsed = time.Since(c.begin)
 	if c.stopped {
@@ -295,7 +332,12 @@ func (c *checker) underPhase(phase string, f func()) {
 // merges them into I+ in the canonical sequential order and then runs the
 // deferred invariant checks against virtual-time prefix views, so results
 // are bit-for-bit identical for every worker count.
-func (c *checker) pass() bool {
+// beginPass resets the per-pass state: fresh LS sets seeded with the start
+// states, a fresh shared network seeded with the captured in-flight
+// messages, and fresh per-pass caches. Shard workers reset their replicas
+// through it too (ShardWorker.BeginPass), so coordinator and worker start
+// every pass from identical ground.
+func (c *checker) beginPass() {
 	c.passSuppressed = false
 	c.net = netstate.NewSharedNet(c.opt.DupLimit)
 	c.localExecuted = make([]int, c.m.NumNodes())
@@ -341,6 +383,10 @@ func (c *checker) pass() bool {
 		}
 		c.res.Stats.NodeStates++
 	}
+}
+
+func (c *checker) pass() bool {
+	c.beginPass()
 	// The start system state itself is checked once, before exploration.
 	c.checkStartState()
 
@@ -350,9 +396,19 @@ func (c *checker) pass() bool {
 	// every worker count.
 	parallel := c.workers >= 2 && c.m.NumNodes() >= 2 && c.opt.MaxTransitions <= 0
 
-	for !c.stopped {
+	for round := 1; !c.stopped; round++ {
 		progress := false
 		c.em.roundStart()
+		// Sharded runs: the workers replicate the action phase and sweep
+		// their delivery slices concurrently with the coordinator's own
+		// action phase. netBase marks the net length the round's
+		// action-phase delta extends.
+		netBase := c.net.Len()
+		if c.link != nil {
+			if err := c.link.BeginRound(c.em.pass, round); err != nil {
+				c.degradeShards(-1, err)
+			}
+		}
 
 		// Internal events: execute the enabled actions of every node state
 		// that has not been processed yet (new states from the previous
@@ -372,6 +428,9 @@ func (c *checker) pass() bool {
 		// Messages appended during this round are picked up next round (the
 		// epoch snapshot), matching the paper's rounds.
 		if !c.stopped {
+			// Sharded runs: swap delivery records with the worker fleet
+			// before walking — the walk below consults them as hints.
+			c.shardExchange(round, netBase)
 			var runsB []*nodeRun
 			c.underPhase("delivery", func() { runsB = c.runDeliveryPhase(parallel) })
 			c.underPhase("sysstate", func() {
@@ -379,6 +438,7 @@ func (c *checker) pass() bool {
 					progress = true
 				}
 			})
+			c.clearShardRecords()
 		}
 
 		c.underPhase("soundness", func() { c.drainPending(false) })
@@ -392,6 +452,7 @@ func (c *checker) pass() bool {
 		if c.stopped {
 			break
 		}
+		c.shardEndRound(round)
 		if !progress {
 			// Exploration fixpoint: run every deferred witness search, then
 			// re-expand the recorded violating orbits so every arrangement

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -61,11 +62,24 @@ func (r *nodeRun) capped() bool {
 
 // emitBatch is one handler execution's emitted messages, with their
 // fingerprints (hashed once at the handler; the barrier's network merge
-// reuses them instead of re-hashing).
+// reuses them instead of re-hashing). A batch minted from a trusted shard
+// record carries fingerprints only: msgs is nil and lazy holds what the
+// merge needs to materialize the real messages, which it does only when the
+// network would still admit one of them (mergeEmit).
 type emitBatch struct {
 	entry int // producing network-entry index; -1 for internal events
 	msgs  []model.Message
 	fps   []codec.Fingerprint
+	lazy  *lazyEmit
+}
+
+// lazyEmit is the deferred re-execution closure of a fingerprint-only
+// emission batch: the parent state and message whose handler produced it.
+// Node states are immutable once visited, so holding the state is safe.
+type lazyEmit struct {
+	node  model.NodeID
+	state model.State
+	msg   model.Message
 }
 
 // discovery is one newly visited node state awaiting its deferred
@@ -219,6 +233,10 @@ func (r *nodeRun) deliver(e *netstate.Entry, s *nodeState, entry int) {
 		return
 	}
 	r.delivered++
+	if rec := c.shardRec(entry, s.fp); rec != nil {
+		r.deliverRecorded(e, s, entry, rec, evfp)
+		return
+	}
 	next, emitted := c.m.HandleMessage(s.node, s.state.Clone(), e.Msg)
 	if next == nil {
 		r.rejections++
@@ -230,6 +248,65 @@ func (r *nodeRun) deliver(e *netstate.Entry, s *nodeState, entry int) {
 	// Applied) instead of re-hashing the message per execution.
 	if e.RecvEventFP == 0 {
 		e.RecvEventFP = ev.Fingerprint()
+	}
+	r.addNext(s, ev, e.RecvEventFP, evfp, next, emitted, e.FP, entry)
+}
+
+// deliverRecorded resolves one delivery pair from its shard record instead
+// of executing the handler. Three cases, in decreasing savings: a rejection
+// is trusted outright; a successor already in the visited set resolves to a
+// predecessor edge plus a fingerprint-only (lazy) emission batch, with no
+// execution at all; a new successor is materialized from the owner's sweep
+// cache, or by one inline re-execution on replicas that do not own the pair.
+// The transition was already charged by deliver — exactly the sequential
+// charge for this pair — so counters match the unsharded run bit-for-bit.
+func (r *nodeRun) deliverRecorded(e *netstate.Entry, s *nodeState, entry int,
+	rec *DeliveryRecord, evfp codec.Fingerprint) {
+
+	c := r.c
+	if rec.Rejected {
+		r.rejections++
+		return
+	}
+	ev := model.RecvEvent(e.Msg)
+	if e.RecvEventFP == 0 {
+		e.RecvEventFP = ev.Fingerprint()
+	}
+	if existing := c.spaces[s.node].lookup(rec.Succ); existing != nil {
+		// Sequential addNext buffers the emissions before the duplicate
+		// lookup, so the record's emission fingerprints must enter the merge
+		// even though the successor is already known.
+		if len(rec.Emitted) > 0 {
+			if obj, ok := c.shardObjs[shardKey{entry, s.fp}]; ok {
+				r.emits = append(r.emits, emitBatch{entry: entry, msgs: obj.emitted, fps: rec.Emitted})
+			} else {
+				r.emits = append(r.emits, emitBatch{entry: entry, fps: rec.Emitted,
+					lazy: &lazyEmit{node: s.node, state: s.state, msg: e.Msg}})
+			}
+		}
+		c.addPred(existing, pred{
+			prev:      s,
+			kind:      ev.Kind,
+			event:     ev,
+			eventFP:   e.RecvEventFP,
+			msgFP:     e.FP,
+			generated: rec.Emitted,
+		})
+		return
+	}
+	// New successor: the walk needs the real objects.
+	var next model.State
+	var emitted []model.Message
+	if obj, ok := c.shardObjs[shardKey{entry, s.fp}]; ok {
+		next, emitted = obj.next, obj.emitted
+	} else {
+		next, emitted = c.m.HandleMessage(s.node, s.state.Clone(), e.Msg)
+	}
+	if next == nil {
+		// Contradicts the record; trust the local execution (the digest
+		// exchange will catch a replica that trusted the record instead).
+		r.rejections++
+		return
 	}
 	r.addNext(s, ev, e.RecvEventFP, evfp, next, emitted, e.FP, entry)
 }
@@ -406,8 +483,7 @@ func (c *checker) mergeActionPhase(runs []*nodeRun) bool {
 	progress := false
 	for _, r := range runs {
 		for _, b := range r.emits {
-			added := c.net.AddAllFP(b.msgs, b.fps)
-			c.res.Stats.DuplicatesDropped += len(b.msgs) - len(added)
+			c.mergeEmit(b)
 		}
 		c.absorbRun(r)
 		if r.ran {
@@ -484,8 +560,7 @@ func (c *checker) mergeDeliveryPhase(runs []*nodeRun) bool {
 	}
 	sort.SliceStable(emits, func(i, j int) bool { return emits[i].entry < emits[j].entry })
 	for _, b := range emits {
-		added := c.net.AddAllFP(b.msgs, b.fps)
-		c.res.Stats.DuplicatesDropped += len(b.msgs) - len(added)
+		c.mergeEmit(b)
 	}
 
 	// Discoveries, ascending by producing entry, checked group-by-group
@@ -528,6 +603,45 @@ func (c *checker) mergeDeliveryPhase(runs []*nodeRun) bool {
 		i = j
 	}
 	return progress
+}
+
+// mergeEmit appends one emission batch to I+. A materialized batch adds its
+// messages directly. A fingerprint-only batch (from a trusted shard record)
+// is resolved lazily: if the network would drop every emitted fingerprint as
+// a duplicate anyway, the whole batch is accounted as dropped without ever
+// building the messages — the common case for recorded duplicates — and only
+// an admissible batch pays one handler re-execution. A re-execution whose
+// emissions disagree with the record latches shardTaint; the local truth is
+// used and the run degrades at the round barrier.
+func (c *checker) mergeEmit(b emitBatch) {
+	msgs, fps := b.msgs, b.fps
+	if b.lazy != nil {
+		if !c.net.AnyAdmissible(fps) {
+			c.res.Stats.DuplicatesDropped += len(fps)
+			return
+		}
+		var emitted []model.Message
+		_, emitted = c.m.HandleMessage(b.lazy.node, b.lazy.state.Clone(), b.lazy.msg)
+		real := fingerprintAll(emitted)
+		if !fpsEqual(real, fps) && c.shardTaint == nil {
+			c.shardTaint = errors.New("shard record emissions diverged from re-execution")
+		}
+		msgs, fps = emitted, real
+	}
+	added := c.net.AddAllFP(msgs, fps)
+	c.res.Stats.DuplicatesDropped += len(msgs) - len(added)
+}
+
+func fpsEqual(a, b []codec.Fingerprint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // phaseStarts recovers each node's visited-list length at phase start from

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"context"
+	"math/bits"
+
+	"lmc/internal/codec"
+	"lmc/internal/model"
+	"lmc/internal/netstate"
+	"lmc/internal/stats"
+)
+
+// Sharded multi-process exploration (the DSCMC direction): every process —
+// the coordinator and each of N shard workers — holds a full replica of the
+// run and executes the identical canonical engine, so control flow (round
+// boundaries, delivery order, caps, stop criteria) never has to be
+// reconciled over the wire. What crosses processes is pure work-avoidance:
+//
+//   - Each round, after the replicated action phase, every worker
+//     speculatively executes the delivery pairs it owns — (network entry,
+//     parent state) pairs whose parent fingerprint falls in the worker's
+//     range — and ships fingerprint-only DeliveryRecords back.
+//   - The coordinator merges all records, broadcasts them (plus its
+//     action-phase net delta, an early divergence check) to every worker,
+//     and then every process runs the same canonical delivery walk. The
+//     walk consults the record table before executing a handler: a record
+//     whose successor is already visited resolves to a predecessor edge
+//     with no handler execution at all; a record discovering a new state is
+//     materialized from the worker's local object cache (the owner) or by
+//     one deterministic re-execution (everyone else). Pairs with no record
+//     — states discovered mid-phase, sweeps cut short by caps, records
+//     lost to a dead worker — simply execute inline.
+//
+// Records are hints, never authority: the walk IS the sequential
+// algorithm, so any record subset — including the empty set — yields the
+// bit-for-bit sequential result. That is what makes degradation trivial
+// (drop the link, keep walking) and what TestShardsParity enforces.
+//
+// Correctness of a trusted record rests on the model.Machine determinism
+// contract (equal state + message in, equal successor + emissions out) that
+// fingerprint dedup and witness replay already rely on. Transport
+// corruption is caught by frame checksums (codec.ReadFrame); replica
+// divergence — a broken determinism contract or an engine bug — is caught
+// by the per-round digest exchange and degrades the run to in-process
+// exploration.
+
+// DeliveryRecord is one speculatively executed delivery pair, identified by
+// the network-entry index and the parent state's fingerprint (unique per
+// round: a node's visited states have distinct fingerprints and an entry
+// has a single destination).
+type DeliveryRecord struct {
+	Entry    int
+	Parent   codec.Fingerprint
+	Rejected bool // the handler rejected the message (nil successor)
+	// Succ is the successor state's fingerprint; Emitted the fingerprints
+	// of the messages the handler emitted, in emission order. Both are
+	// meaningless when Rejected.
+	Succ    codec.Fingerprint
+	Emitted []codec.Fingerprint
+}
+
+// shardKey indexes the round's record table and the worker-side object
+// cache.
+type shardKey struct {
+	entry  int
+	parent codec.Fingerprint
+}
+
+// shardExec is a worker's cached execution result for an owned pair, so the
+// owner's canonical walk reuses the sweep's objects instead of re-executing.
+type shardExec struct {
+	next    model.State
+	emitted []model.Message
+}
+
+// ShardDigest summarizes a replica after a round: network length and
+// order-sensitive content fingerprint, total visited node states, and a
+// fingerprint over every node's visited list. Replicas that ran the same
+// rounds agree on all four.
+type ShardDigest struct {
+	NetLen int
+	Net    codec.Fingerprint
+	States int
+	Spaces codec.Fingerprint
+}
+
+// ShardLink is the coordinator's view of its worker fleet; internal/shard
+// implements it over the wire protocol. Every method is called from the
+// sequential merge goroutine in lockstep with the round structure. An error
+// from any method makes the checker degrade: it drops the link and finishes
+// the run in-process (partial record batches returned alongside an error
+// are still used for the current round — records are only hints).
+type ShardLink interface {
+	// Shards is the worker count (the fingerprint space is split N ways).
+	Shards() int
+	// BeginPass announces a fresh pass (iterative deepening restarts
+	// exploration from scratch) with its local-event bound.
+	BeginPass(pass, bound int) error
+	// BeginRound tells every worker to run its replicated action phase and
+	// speculative delivery sweep for the round.
+	BeginRound(pass, round int) error
+	// CollectRecords gathers each shard's delivery records for the round.
+	// On error the partial per-shard batches collected so far are returned.
+	CollectRecords(round int) ([][]DeliveryRecord, error)
+	// BroadcastApply ships the merged record table and the coordinator's
+	// action-phase net delta to every worker, which then runs its own
+	// canonical delivery walk.
+	BroadcastApply(round int, recs []DeliveryRecord, delta netstate.EpochDelta) error
+	// EndRound collects every worker's post-round digest and compares it
+	// against the coordinator's.
+	EndRound(round int, d ShardDigest) error
+	// Finish shuts the fleet down (best-effort DONE, then close).
+	Finish()
+}
+
+// ShardOwner maps a state fingerprint to its owning shard: contiguous
+// fingerprint ranges via the high word of fp × shards, so the partition
+// needs no modulo and stays stable for any shard count.
+func ShardOwner(fp codec.Fingerprint, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	hi, _ := bits.Mul64(uint64(fp), uint64(shards))
+	return int(hi)
+}
+
+// CheckShardedContext runs the checker with a shard-worker fleet attached.
+// Results are bit-for-bit identical to Check/CheckContext for any shard
+// count; the link only redistributes handler executions. The caller owns
+// the link's transport setup; the checker calls Finish when the run ends
+// (including degraded runs).
+func CheckShardedContext(ctx context.Context, m model.Machine, start model.SystemState,
+	opt Options, link ShardLink) (*Result, error) {
+
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return run(ctx, m, start, opt, link), nil
+}
+
+// shardRec looks up the round's record for (entry, parent); nil outside
+// sharded rounds or on a sweep miss.
+func (c *checker) shardRec(entry int, parent codec.Fingerprint) *DeliveryRecord {
+	if c.shardRecs == nil {
+		return nil
+	}
+	return c.shardRecs[shardKey{entry, parent}]
+}
+
+// loadShardRecords indexes a round's merged record batch.
+func (c *checker) loadShardRecords(recs []DeliveryRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	if c.shardRecs == nil {
+		c.shardRecs = make(map[shardKey]*DeliveryRecord, len(recs))
+	}
+	for i := range recs {
+		r := &recs[i]
+		c.shardRecs[shardKey{r.Entry, r.Parent}] = r
+	}
+}
+
+// clearShardRecords drops the round's record table and object cache; both
+// are meaningful for one delivery phase only.
+func (c *checker) clearShardRecords() {
+	c.shardRecs = nil
+	c.shardObjs = nil
+}
+
+// sweepShardRecords is the worker-side speculative sweep: it replays the
+// canonical delivery traversal over the phase-start heads of every node's
+// visited list — without mutating anything — and executes only the pairs
+// this shard owns, caching the produced objects for the owner's walk.
+// States discovered mid-phase are invisible here by construction; their
+// pairs execute inline during the walk on every replica. The delivered
+// counter mirrors the walk's round cap, but only approximately (the walk
+// also charges mid-phase discoveries); an over- or under-shoot is harmless
+// because extra records are never queried and missing ones execute inline.
+func (c *checker) sweepShardRecords(idx, count int) []DeliveryRecord {
+	ep := c.net.Epoch()
+	nNodes := len(c.spaces)
+	startLen := make([]int, nNodes)
+	for n, sp := range c.spaces {
+		startLen[n] = len(sp.states)
+	}
+	delivered := make([]int, nNodes)
+	if c.shardObjs == nil {
+		c.shardObjs = make(map[shardKey]shardExec)
+	}
+	var recs []DeliveryRecord
+	for i := 0; i < ep.Len(); i++ {
+		e := ep.Entry(i)
+		dst := int(e.Msg.Dst())
+		if dst < 0 || dst >= nNodes {
+			continue
+		}
+		if c.roundCap > 0 && delivered[dst] >= c.roundCap {
+			continue
+		}
+		sp := c.spaces[dst]
+		evfp := e.EventFingerprint()
+		for j := e.Applied; j < startLen[dst]; j++ {
+			if c.roundCap > 0 && delivered[dst] >= c.roundCap {
+				break
+			}
+			s := sp.states[j]
+			if c.opt.MaxPathDepth > 0 && s.depth >= c.opt.MaxPathDepth {
+				continue
+			}
+			if s.history.contains(evfp) {
+				continue
+			}
+			delivered[dst]++
+			if ShardOwner(s.fp, count) != idx {
+				continue
+			}
+			next, emitted := c.m.HandleMessage(s.node, s.state.Clone(), e.Msg)
+			rec := DeliveryRecord{Entry: i, Parent: s.fp}
+			if next == nil {
+				rec.Rejected = true
+			} else {
+				rec.Succ = model.StateFingerprint(next)
+				rec.Emitted = fingerprintAll(emitted)
+				c.shardObjs[shardKey{i, s.fp}] = shardExec{next: next, emitted: emitted}
+			}
+			recs = append(recs, rec)
+		}
+	}
+	return recs
+}
+
+func fingerprintAll(msgs []model.Message) []codec.Fingerprint {
+	if len(msgs) == 0 {
+		return nil
+	}
+	fps := make([]codec.Fingerprint, len(msgs))
+	for i, m := range msgs {
+		fps[i] = model.MessageFingerprint(m)
+	}
+	return fps
+}
+
+// shardDigest fingerprints the replica's deterministic state after a round.
+func (c *checker) shardDigest() ShardDigest {
+	h := codec.NewHasher()
+	states := 0
+	for _, sp := range c.spaces {
+		h.Add(codec.Fingerprint(len(sp.states)))
+		for _, ns := range sp.states {
+			h.Add(ns.fp)
+		}
+		states += len(sp.states)
+	}
+	return ShardDigest{
+		NetLen: c.net.Len(),
+		Net:    c.net.Digest(),
+		States: states,
+		Spaces: h.Sum(),
+	}
+}
+
+// degradeShards abandons the worker fleet: emit the typed obs event, shut
+// the link down, and finish the run in-process. The current round's
+// already-loaded records stay usable (they are hints), and Result.Complete
+// keeps its usual meaning — the in-process walk explores everything the
+// workers would have.
+func (c *checker) degradeShards(shard int, err error) {
+	if c.link == nil {
+		return
+	}
+	n := c.link.Shards()
+	c.link.Finish()
+	c.link = nil
+	detail := "shard link failed"
+	if err != nil {
+		detail = err.Error()
+	}
+	c.em.shardDegraded(shard, n, detail)
+}
+
+// shardExchange is the coordinator's record exchange between the action
+// merge and the delivery walk: collect every worker's sweep records,
+// broadcast the merged table plus the action-phase net delta, and load the
+// table for the walk. Wait time is accounted to ShardWaitTime, never to the
+// exploration phases.
+func (c *checker) shardExchange(round, netBase int) {
+	link := c.link
+	if link == nil {
+		return
+	}
+	var sw stats.Stopwatch
+	sw.Start()
+	perShard, err := link.CollectRecords(round)
+	c.res.Stats.ShardWaitTime += sw.Elapsed()
+	var all []DeliveryRecord
+	for i, recs := range perShard {
+		c.em.shardRound(i, link.Shards(), len(recs))
+		all = append(all, recs...)
+	}
+	if err != nil {
+		c.degradeShards(-1, err)
+	} else if berr := link.BroadcastApply(round, all, c.net.DeltaSince(netBase)); berr != nil {
+		c.degradeShards(-1, berr)
+	}
+	c.loadShardRecords(all)
+}
+
+// shardEndRound compares every worker's post-round digest with the
+// coordinator's; a mismatch or link error degrades. Skipped once a stop
+// criterion fired — the pass is over and worker divergence past a stop is
+// expected (workers ignore coordinator-only criteria like the wall-clock
+// budget).
+func (c *checker) shardEndRound(round int) {
+	if c.link == nil {
+		return
+	}
+	if c.shardTaint != nil {
+		c.degradeShards(-1, c.shardTaint)
+		return
+	}
+	var sw stats.Stopwatch
+	sw.Start()
+	err := c.link.EndRound(round, c.shardDigest())
+	c.res.Stats.ShardWaitTime += sw.Elapsed()
+	if err != nil {
+		c.degradeShards(-1, err)
+	}
+}
+
+// ShardWorker drives one worker process's replica. The zero value is not
+// usable; build with NewShardWorker. Calls arrive in the wire protocol's
+// lockstep order: BeginPass, then per round RunRound (replicated action
+// phase + speculative sweep) followed by Apply (canonical delivery walk
+// against the merged record table).
+type ShardWorker struct {
+	c     *checker
+	idx   int
+	count int
+}
+
+// NewShardWorker builds a worker replica for shard idx of count. The
+// options must carry the exploration-relevant knobs of the coordinator's
+// run (DupLimit, LocalBound, MaxPathDepth, MaxPredecessors,
+// RoundDeliveryCap, InitialMessages); everything that does not shape the
+// explored spaces — invariants, reductions, soundness, budgets, observers —
+// is stripped here, so workers explore without checking.
+func NewShardWorker(m model.Machine, start model.SystemState, opt Options, idx, count int) *ShardWorker {
+	opt.Invariant = nil
+	opt.LocalInvariants = nil
+	opt.Reduction = nil
+	opt.Reduce = Reductions{}
+	opt.DisableSystemStates = true
+	opt.DisableSoundness = true
+	opt.Budget = 0
+	opt.MaxTransitions = 0
+	opt.StopAtFirstBug = false
+	opt.Workers = -1
+	opt.Observer = nil
+	opt.RecordSeries = false
+	c := newChecker(context.Background(), m, start, opt)
+	return &ShardWorker{c: c, idx: idx, count: count}
+}
+
+// BeginPass resets the replica for a fresh pass under the given local-event
+// bound.
+func (w *ShardWorker) BeginPass(bound int) {
+	w.c.localBound = bound
+	w.c.beginPass()
+}
+
+// RunRound executes the replicated action phase and the speculative
+// delivery sweep, returning this shard's records.
+func (w *ShardWorker) RunRound() []DeliveryRecord {
+	c := w.c
+	runs := c.runActionPhase(false)
+	c.mergeActionPhase(runs)
+	return c.sweepShardRecords(w.idx, w.count)
+}
+
+// Apply verifies the coordinator's action-phase delta against the replica,
+// runs the canonical delivery walk with the merged record table, and
+// returns the post-round digest.
+func (w *ShardWorker) Apply(recs []DeliveryRecord, delta netstate.EpochDelta) (ShardDigest, error) {
+	c := w.c
+	if err := c.net.VerifyTail(delta); err != nil {
+		return ShardDigest{}, err
+	}
+	c.loadShardRecords(recs)
+	runs := c.runDeliveryPhase(false)
+	c.mergeDeliveryPhase(runs)
+	c.clearShardRecords()
+	if c.shardTaint != nil {
+		return ShardDigest{}, c.shardTaint
+	}
+	return c.shardDigest(), nil
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestResolveWorkersClamp pins the GOMAXPROCS clamp: a requested pool wider
+// than the scheduler's parallelism resolves to GOMAXPROCS, and on a 1-CPU
+// configuration every non-negative request resolves to 1 — which makes the
+// exploration phases skip worker-pool setup entirely (the parallel gate
+// requires workers >= 2), fixing the regression where an 8-wide pool on a
+// 1-CPU host ran measurably slower than sequential.
+func TestResolveWorkersClamp(t *testing.T) {
+	// Not t.Parallel(): the test rewrites the process-wide GOMAXPROCS.
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+
+	runtime.GOMAXPROCS(1)
+	for _, req := range []int{0, 1, 4, 8} {
+		if got := resolveWorkers(req); got != 1 {
+			t.Errorf("GOMAXPROCS=1: resolveWorkers(%d) = %d, want 1", req, got)
+		}
+	}
+
+	runtime.GOMAXPROCS(2)
+	if got := resolveWorkers(8); got != 2 {
+		t.Errorf("GOMAXPROCS=2: resolveWorkers(8) = %d, want 2", got)
+	}
+	if got := resolveWorkers(2); got != 2 {
+		t.Errorf("GOMAXPROCS=2: resolveWorkers(2) = %d, want 2", got)
+	}
+	if got := resolveWorkers(1); got != 1 {
+		t.Errorf("GOMAXPROCS=2: resolveWorkers(1) = %d, want 1", got)
+	}
+	// Negative still forces sequential regardless of the CPU count.
+	if got := resolveWorkers(-1); got != 1 {
+		t.Errorf("resolveWorkers(-1) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,119 @@
+package diffcheck
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"lmc/internal/core"
+	"lmc/internal/obs"
+	"lmc/internal/shard"
+)
+
+// shardSpecPrefix namespaces diffcheck scenarios inside the shard-worker
+// spec space: the whole scenario travels as JSON in the spec string, so a
+// worker process reconstructs the exact machine, start state (including the
+// scripted prefix), and in-flight messages.
+const shardSpecPrefix = "diffcheck:"
+
+// ShardSpec encodes a scenario as a shard-workload spec.
+func ShardSpec(sc Scenario) (string, error) {
+	raw, err := json.Marshal(sc)
+	if err != nil {
+		return "", fmt.Errorf("encoding scenario: %w", err)
+	}
+	return shardSpecPrefix + string(raw), nil
+}
+
+// ShardResolver resolves "diffcheck:<scenario JSON>" specs by rebuilding
+// the scenario exactly the way Run does: Build for the machine, Prepare for
+// the post-prefix start state and captured in-flight messages.
+func ShardResolver() shard.Resolver {
+	return func(spec string) (shard.Workload, error) {
+		raw, ok := strings.CutPrefix(spec, shardSpecPrefix)
+		if !ok {
+			return shard.Workload{}, fmt.Errorf("diffcheck resolver: unknown spec %q", spec)
+		}
+		var sc Scenario
+		if err := json.Unmarshal([]byte(raw), &sc); err != nil {
+			return shard.Workload{}, fmt.Errorf("diffcheck resolver: %w", err)
+		}
+		inst, err := sc.Build()
+		if err != nil {
+			return shard.Workload{}, err
+		}
+		start, inflight, err := sc.Prepare(inst)
+		if err != nil {
+			return shard.Workload{}, err
+		}
+		return shard.Workload{Machine: inst.Machine, Start: start, InitialMessages: inflight}, nil
+	}
+}
+
+// ShardParity cross-validates the sharded engine on one scenario: LMC-GEN
+// runs in-process and through a shard fleet with the exact options the
+// differential uses — except the wall-clock budget, which is lifted because
+// a time-based stop is the one nondeterministic cutoff (the deterministic
+// transition cap still bounds the run). Any divergence in the deterministic
+// counters, the bug list, or completeness is returned as an error, as is a
+// degradation (a degraded run silently compares the in-process path against
+// itself, which would make the check vacuous).
+func ShardParity(sc Scenario, tun Tuning, shards int, spawner shard.Spawner) error {
+	inst, err := sc.Build()
+	if err != nil {
+		return err
+	}
+	start, inflight, err := sc.Prepare(inst)
+	if err != nil {
+		return err
+	}
+	opt := lmcOptions(sc, tun, inst, inflight, false)
+	opt.Budget = 0
+	base := core.Check(inst.Machine, start, opt)
+
+	spec, err := ShardSpec(sc)
+	if err != nil {
+		return err
+	}
+	var degraded string
+	opt.Observer = obs.Multi(opt.Observer, obs.FuncObserver(func(e obs.Event) {
+		if e.Kind == obs.KindShardDegraded {
+			degraded = e.Detail
+		}
+	}))
+	res, err := shard.Check(context.Background(), inst.Machine, start, opt, shard.Config{
+		Shards:  shards,
+		Spawner: spawner,
+		Spec:    spec,
+	})
+	if err != nil {
+		return err
+	}
+	if degraded != "" {
+		return fmt.Errorf("sharded run degraded: %s", degraded)
+	}
+
+	b, g := base.Stats, res.Stats
+	if b.NodeStates != g.NodeStates ||
+		b.Transitions != g.Transitions ||
+		b.SystemStates != g.SystemStates ||
+		b.InvariantChecks != g.InvariantChecks ||
+		b.DuplicatesDropped != g.DuplicatesDropped ||
+		b.ConfirmedBugs != g.ConfirmedBugs {
+		return fmt.Errorf("counters diverged:\nseq:   %s\nshard: %s", b.String(), g.String())
+	}
+	if base.Complete != res.Complete || base.Suppressed != res.Suppressed {
+		return fmt.Errorf("termination diverged: seq complete=%v suppressed=%v, shard complete=%v suppressed=%v",
+			base.Complete, base.Suppressed, res.Complete, res.Suppressed)
+	}
+	if len(base.Bugs) != len(res.Bugs) {
+		return fmt.Errorf("bug count diverged: seq=%d shard=%d", len(base.Bugs), len(res.Bugs))
+	}
+	for i := range base.Bugs {
+		if base.Bugs[i].System.Fingerprint() != res.Bugs[i].System.Fingerprint() {
+			return fmt.Errorf("bug %d system state diverged", i)
+		}
+	}
+	return nil
+}

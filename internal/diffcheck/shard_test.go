@@ -1,0 +1,36 @@
+package diffcheck_test
+
+import (
+	"testing"
+
+	"lmc/internal/diffcheck"
+	"lmc/internal/shard"
+)
+
+// TestShardParityCorpus runs the sharded cross-check over a slice of the
+// generated corpus with in-process pipe workers: every scenario must explore
+// bit-for-bit identically at 2 shards, including the scripted-prefix and
+// seeded-inflight configurations the generator produces.
+func TestShardParityCorpus(t *testing.T) {
+	tun := diffcheck.Tuning{LMCMaxTransitions: 4000}
+	for _, sc := range diffcheck.Corpus(7, 6) {
+		sc := sc
+		t.Run(sc.Name(), func(t *testing.T) {
+			err := diffcheck.ShardParity(sc, tun, 2,
+				shard.PipeSpawner{Resolve: diffcheck.ShardResolver()})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShardResolverRejects: malformed specs must error, not panic.
+func TestShardResolverRejects(t *testing.T) {
+	r := diffcheck.ShardResolver()
+	for _, spec := range []string{"bench:paxos", "diffcheck:{not json", "diffcheck:"} {
+		if _, err := r(spec); err == nil {
+			t.Errorf("spec %q: want error, got nil", spec)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package netstate
+
+import (
+	"fmt"
+
+	"lmc/internal/codec"
+)
+
+// EpochDelta describes the entries appended to a shared network after a
+// known base length, by fingerprint and duplicate-copy index only. The
+// sharded engine ships the coordinator's action-phase delta to every worker
+// each round: a worker holds a full replica and re-derives the same
+// appends itself, so the delta carries no message objects — it is the
+// cross-process assertion that both replicas appended the same entries in
+// the same order, caught one round early instead of at the end-of-round
+// digest.
+type EpochDelta struct {
+	// Base is the network length the delta extends.
+	Base int
+	// FPs and Copies describe entries Base..Base+len(FPs)-1 in order.
+	FPs    []codec.Fingerprint
+	Copies []int
+}
+
+// DeltaSince captures the entries appended after length base.
+func (s *SharedNet) DeltaSince(base int) EpochDelta {
+	view := *s.view.Load()
+	if base < 0 {
+		base = 0
+	}
+	if base > len(view) {
+		base = len(view)
+	}
+	tail := view[base:]
+	d := EpochDelta{
+		Base:   base,
+		FPs:    make([]codec.Fingerprint, len(tail)),
+		Copies: make([]int, len(tail)),
+	}
+	for i, e := range tail {
+		d.FPs[i] = e.FP
+		d.Copies[i] = e.Copy
+	}
+	return d
+}
+
+// VerifyTail checks that this network's entries past d.Base are exactly the
+// delta — same length, same fingerprints, same copy indexes. A mismatch
+// means the two replicas diverged (non-deterministic handlers, or corrupt
+// state); the shard coordinator degrades to in-process exploration when a
+// worker reports one.
+func (s *SharedNet) VerifyTail(d EpochDelta) error {
+	view := *s.view.Load()
+	if d.Base > len(view) {
+		return fmt.Errorf("netstate: delta base %d beyond local length %d", d.Base, len(view))
+	}
+	tail := view[d.Base:]
+	if len(tail) != len(d.FPs) {
+		return fmt.Errorf("netstate: delta length %d, local tail %d (base %d)",
+			len(d.FPs), len(tail), d.Base)
+	}
+	for i, e := range tail {
+		if e.FP != d.FPs[i] || e.Copy != d.Copies[i] {
+			return fmt.Errorf("netstate: entry %d diverged: local (%016x,%d) vs delta (%016x,%d)",
+				d.Base+i, uint64(e.FP), e.Copy, uint64(d.FPs[i]), d.Copies[i])
+		}
+	}
+	return nil
+}
+
+// Encode writes the delta in the canonical wire form.
+func (d EpochDelta) Encode(w *codec.Writer) {
+	w.Int(d.Base)
+	w.Int(len(d.FPs))
+	for i := range d.FPs {
+		w.Uint64(uint64(d.FPs[i]))
+		w.Int(d.Copies[i])
+	}
+}
+
+// DecodeEpochDelta reads a delta written by Encode. Decode errors stick to
+// the reader; callers check r.Err.
+func DecodeEpochDelta(r *codec.Reader) EpochDelta {
+	d := EpochDelta{Base: r.Int()}
+	n := r.Int()
+	if n < 0 || r.Err() != nil {
+		return EpochDelta{}
+	}
+	// Each element takes at least 16 encoded bytes; an absurd count from a
+	// corrupt frame must not allocate.
+	if n > r.Remaining()/16+1 {
+		return EpochDelta{}
+	}
+	d.FPs = make([]codec.Fingerprint, 0, n)
+	d.Copies = make([]int, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		d.FPs = append(d.FPs, codec.Fingerprint(r.Uint64()))
+		d.Copies = append(d.Copies, r.Int())
+	}
+	return d
+}
+
+// Digest is an order-sensitive fingerprint of the whole network — every
+// entry's (fingerprint, copy) in append order. Two replicas that ran the
+// same rounds agree on it; the shard protocol compares digests at round
+// ends to detect divergence.
+func (s *SharedNet) Digest() codec.Fingerprint {
+	view := *s.view.Load()
+	h := codec.NewHasher()
+	h.Add(codec.Fingerprint(len(view)))
+	for _, e := range view {
+		h.Add(e.FP)
+		h.Add(codec.Fingerprint(e.Copy))
+	}
+	return h.Sum()
+}
+
+// AnyAdmissible reports whether at least one of the fingerprints would be
+// admitted by the duplicate limit right now. The sharded merge uses it to
+// decide whether a fingerprint-only emission batch needs its messages
+// materialized: when every copy budget is exhausted the whole batch drops
+// without re-executing the producing handler.
+func (s *SharedNet) AnyAdmissible(fps []codec.Fingerprint) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, fp := range fps {
+		if s.sh.index[fp] < 1+s.sh.DupLimit {
+			return true
+		}
+	}
+	return false
+}

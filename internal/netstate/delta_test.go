@@ -1,0 +1,114 @@
+package netstate
+
+import (
+	"strings"
+	"testing"
+
+	"lmc/internal/codec"
+)
+
+func TestDeltaRoundTripAndVerify(t *testing.T) {
+	a := NewSharedNet(1)
+	b := NewSharedNet(1)
+	seed := []testMsg{{0, 0, 1}, {0, 1, 2}, {0, 1, 2}, {1, 0, 3}}
+	for _, m := range seed {
+		a.Add(m)
+		b.Add(m)
+	}
+	base := a.Len()
+	a.Add(testMsg{0, 1, 9})
+	a.Add(testMsg{1, 0, 10})
+
+	d := a.DeltaSince(base)
+	if d.Base != base || len(d.FPs) != 2 {
+		t.Fatalf("delta: base=%d fps=%d", d.Base, len(d.FPs))
+	}
+
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+	d.Encode(w)
+	r := codec.NewReader(w.Bytes())
+	got := DecodeEpochDelta(r)
+	if r.Err() != nil {
+		t.Fatalf("decode: %v", r.Err())
+	}
+	if got.Base != d.Base || len(got.FPs) != len(d.FPs) {
+		t.Fatalf("round trip changed shape: %+v vs %+v", got, d)
+	}
+	for i := range d.FPs {
+		if got.FPs[i] != d.FPs[i] || got.Copies[i] != d.Copies[i] {
+			t.Fatalf("round trip changed entry %d", i)
+		}
+	}
+
+	// Replica b replays the same appends: VerifyTail holds and digests match.
+	b.Add(testMsg{0, 1, 9})
+	b.Add(testMsg{1, 0, 10})
+	if err := b.VerifyTail(got); err != nil {
+		t.Fatalf("verify on matching replica: %v", err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("matching replicas disagree on digest")
+	}
+
+	// A diverged replica fails VerifyTail and changes its digest.
+	c := NewSharedNet(1)
+	for _, m := range seed {
+		c.Add(m)
+	}
+	c.Add(testMsg{0, 1, 9})
+	c.Add(testMsg{1, 0, 11}) // diverges
+	if err := c.VerifyTail(got); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("diverged replica passed VerifyTail: %v", err)
+	}
+	if c.Digest() == a.Digest() {
+		t.Fatal("diverged replica matches digest")
+	}
+
+	// Length mismatch.
+	short := NewSharedNet(1)
+	for _, m := range seed {
+		short.Add(m)
+	}
+	if err := short.VerifyTail(got); err == nil {
+		t.Fatal("short replica passed VerifyTail")
+	}
+}
+
+func TestDecodeEpochDeltaMalformed(t *testing.T) {
+	// A huge element count over a tiny buffer must not allocate or panic.
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+	w.Int(0)
+	w.Int(1 << 40)
+	d := DecodeEpochDelta(codec.NewReader(w.Bytes()))
+	if len(d.FPs) != 0 {
+		t.Fatalf("malformed count decoded %d entries", len(d.FPs))
+	}
+	// Truncated payload sticks an error on the reader.
+	w.Reset()
+	EpochDelta{Base: 0, FPs: []codec.Fingerprint{1, 2}, Copies: []int{0, 0}}.Encode(w)
+	r := codec.NewReader(w.Bytes()[:len(w.Bytes())-4])
+	DecodeEpochDelta(r)
+	if r.Err() == nil {
+		t.Fatal("truncated delta decoded cleanly")
+	}
+}
+
+func TestAnyAdmissible(t *testing.T) {
+	s := NewSharedNet(0) // no duplicates tolerated
+	e := s.Add(testMsg{0, 0, 1})
+	if e == nil {
+		t.Fatal("first add dropped")
+	}
+	fresh := codec.Fingerprint(0xdead)
+	if !s.AnyAdmissible([]codec.Fingerprint{e.FP, fresh}) {
+		t.Fatal("fresh fingerprint reported inadmissible")
+	}
+	if s.AnyAdmissible([]codec.Fingerprint{e.FP}) {
+		t.Fatal("exhausted fingerprint reported admissible")
+	}
+	if s.AnyAdmissible(nil) {
+		t.Fatal("empty batch reported admissible")
+	}
+}

@@ -69,6 +69,15 @@ const (
 	// KindRunEnd closes a run: final Event.Counters, Event.Phases, and
 	// Event.Reason (why the run stopped).
 	KindRunEnd
+	// KindShardRound reports one shard's contribution to a round of sharded
+	// multi-process exploration: Event.Shard/Event.Shards identify the shard,
+	// Event.Count the delivery records it shipped for the round.
+	KindShardRound
+	// KindShardDegraded reports that the sharded engine abandoned its worker
+	// processes and fell back to in-process exploration; Event.Detail carries
+	// the reason (EOF from a dead worker, digest divergence, spawn failure)
+	// and Event.Shard the implicated shard (-1 when not attributable).
+	KindShardDegraded
 )
 
 // String names the kind.
@@ -96,6 +105,10 @@ func (k Kind) String() string {
 		return "snapshot"
 	case KindRunEnd:
 		return "run-end"
+	case KindShardRound:
+		return "shard-round"
+	case KindShardDegraded:
+		return "shard-degraded"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -141,19 +154,22 @@ func (r StopReason) String() string {
 	}
 }
 
-// PhaseTimes attributes wall time to the three phases of a local-checker
-// run. Explore is derived (elapsed minus the two measured phases, clamped
-// at zero); SystemStates includes the invariant evaluation on materialized
-// combinations; Soundness the witness searches and sequence validation.
+// PhaseTimes attributes wall time to the phases of a local-checker run.
+// Explore is derived (elapsed minus the measured phases, clamped at zero);
+// SystemStates includes the invariant evaluation on materialized
+// combinations; Soundness the witness searches and sequence validation;
+// ShardWait the coordinator time spent blocked on shard-worker frames
+// (zero outside sharded runs).
 type PhaseTimes struct {
 	Explore      time.Duration
 	SystemStates time.Duration
 	Soundness    time.Duration
+	ShardWait    time.Duration
 }
 
 // Attribution derives the per-phase split from cumulative counters.
 func Attribution(c *stats.Counters, elapsed time.Duration) PhaseTimes {
-	explore := elapsed - c.SystemStateTime - c.SoundnessTime
+	explore := elapsed - c.SystemStateTime - c.SoundnessTime - c.ShardWaitTime
 	if explore < 0 {
 		explore = 0
 	}
@@ -161,6 +177,7 @@ func Attribution(c *stats.Counters, elapsed time.Duration) PhaseTimes {
 		Explore:      explore,
 		SystemStates: c.SystemStateTime,
 		Soundness:    c.SoundnessTime,
+		ShardWait:    c.ShardWaitTime,
 	}
 }
 
@@ -205,6 +222,11 @@ type Event struct {
 	Phases PhaseTimes
 	// SimTime is the simulated time of an online snapshot (KindSnapshot).
 	SimTime float64
+	// Shard and Shards identify a shard of a multi-process run
+	// (KindShardRound, KindShardDegraded): shard index (or -1) and total
+	// shard count.
+	Shard  int
+	Shards int
 }
 
 // String renders a compact single-line form, the same shape LogObserver
@@ -232,6 +254,11 @@ func (e Event) String() string {
 	case KindRunEnd:
 		s += fmt.Sprintf(" reason=%s transitions=%d bugs=%d",
 			e.Reason, e.Counters.Transitions, e.Counters.ConfirmedBugs)
+	case KindShardRound:
+		s += fmt.Sprintf(" pass=%d round=%d shard=%d/%d records=%d",
+			e.Pass, e.Round, e.Shard, e.Shards, e.Count)
+	case KindShardDegraded:
+		s += fmt.Sprintf(" shard=%d/%d reason=%q", e.Shard, e.Shards, e.Detail)
 	}
 	return s
 }

@@ -1,0 +1,46 @@
+package shard
+
+import (
+	"bufio"
+	"errors"
+	"io"
+
+	"lmc/internal/codec"
+)
+
+// conn frames codec-encoded messages over a byte stream. Each send is one
+// flushed frame (the protocol is lockstep — nothing is ever batched behind a
+// flush the peer is waiting on); each recv is one whole frame, split into
+// its leading type byte and a reader over the body.
+type conn struct {
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func newConn(rw io.ReadWriter) *conn {
+	return &conn{br: bufio.NewReader(rw), bw: bufio.NewWriter(rw)}
+}
+
+func (c *conn) send(ft frameType, body func(*codec.Writer)) error {
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+	w.Byte(byte(ft))
+	if body != nil {
+		body(w)
+	}
+	if err := codec.WriteFrame(c.bw, w.Bytes()); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *conn) recv() (frameType, *codec.Reader, error) {
+	payload, err := codec.ReadFrame(c.br, 0)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(payload) == 0 {
+		return 0, nil, errors.New("shard: empty frame")
+	}
+	return frameType(payload[0]), codec.NewReader(payload[1:]), nil
+}

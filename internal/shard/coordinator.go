@@ -1,0 +1,194 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+
+	"lmc/internal/codec"
+	"lmc/internal/core"
+	"lmc/internal/netstate"
+)
+
+// remoteWorker is the coordinator's handle on one worker. parked tracks
+// whether the worker is known to be blocked in a receive (just handshaken,
+// or between sending its last frame of a step and our next broadcast): only
+// a parked worker can be handed a DONE frame without deadlocking an
+// unbuffered transport — everyone else is torn down by closing the stream,
+// which fails their blocked read or write.
+type remoteWorker struct {
+	conn   *conn
+	rwc    io.ReadWriteCloser
+	parked bool
+}
+
+// link implements core.ShardLink over the wire protocol. All methods run on
+// the checker's sequential merge goroutine; any error returned makes the
+// checker degrade (drop the link, Finish, continue in-process), so methods
+// never retry.
+type link struct {
+	ws []*remoteWorker
+}
+
+// dial spawns and handshakes the fleet. HELLOs go out to every worker
+// before any READY is collected, so workers build their replicas
+// concurrently. On any failure the already-spawned workers are torn down
+// and the error names the shard.
+func dial(cfg Config, opt core.Options) (*link, error) {
+	l := &link{}
+	for i := 0; i < cfg.Shards; i++ {
+		rwc, err := cfg.Spawner.Spawn(i, cfg.Shards)
+		if err != nil {
+			l.Finish()
+			return nil, fmt.Errorf("shard %d: spawn: %w", i, err)
+		}
+		l.ws = append(l.ws, &remoteWorker{conn: newConn(rwc), rwc: rwc})
+	}
+	h := hello{
+		Version:          Version,
+		Spec:             cfg.Spec,
+		Count:            cfg.Shards,
+		DupLimit:         opt.DupLimit,
+		LocalBound:       opt.LocalBound,
+		MaxPathDepth:     opt.MaxPathDepth,
+		MaxPredecessors:  opt.MaxPredecessors,
+		RoundDeliveryCap: opt.RoundDeliveryCap,
+	}
+	for i, w := range l.ws {
+		hi := h
+		hi.Idx = i
+		if err := w.conn.send(ftHello, hi.encode); err != nil {
+			l.Finish()
+			return nil, fmt.Errorf("shard %d: sending HELLO: %w", i, err)
+		}
+	}
+	for i, w := range l.ws {
+		ft, r, err := w.conn.recv()
+		if err != nil {
+			l.Finish()
+			return nil, fmt.Errorf("shard %d: handshake: %w", i, err)
+		}
+		switch ft {
+		case ftReady:
+			w.parked = true
+		case ftError:
+			msg := r.String()
+			l.Finish()
+			return nil, fmt.Errorf("shard %d: %s", i, msg)
+		default:
+			l.Finish()
+			return nil, fmt.Errorf("shard %d: expected READY, got %s", i, ft)
+		}
+	}
+	return l, nil
+}
+
+func (l *link) Shards() int { return len(l.ws) }
+
+func (l *link) BeginPass(pass, bound int) error {
+	for i, w := range l.ws {
+		err := w.conn.send(ftPass, func(cw *codec.Writer) {
+			cw.Int(pass)
+			cw.Int(bound)
+		})
+		if err != nil {
+			return fmt.Errorf("shard %d: sending PASS: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (l *link) BeginRound(pass, round int) error {
+	for i, w := range l.ws {
+		w.parked = false
+		err := w.conn.send(ftRound, func(cw *codec.Writer) { cw.Int(round) })
+		if err != nil {
+			return fmt.Errorf("shard %d: sending ROUND: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (l *link) CollectRecords(round int) ([][]core.DeliveryRecord, error) {
+	out := make([][]core.DeliveryRecord, 0, len(l.ws))
+	for i, w := range l.ws {
+		ft, r, err := w.conn.recv()
+		if err != nil {
+			return out, fmt.Errorf("shard %d: collecting records: %w", i, err)
+		}
+		if ft == ftError {
+			return out, fmt.Errorf("shard %d: %s", i, r.String())
+		}
+		if ft != ftRecords {
+			return out, fmt.Errorf("shard %d: expected RECORDS, got %s", i, ft)
+		}
+		gotRound := r.Int()
+		recs := decodeRecords(r)
+		if r.Err() != nil {
+			return out, fmt.Errorf("shard %d: bad RECORDS: %w", i, r.Err())
+		}
+		if gotRound != round {
+			return out, fmt.Errorf("shard %d: RECORDS for round %d, want %d", i, gotRound, round)
+		}
+		// The worker now blocks awaiting APPLY — a receive point, so DONE is
+		// deliverable if the run ends before the broadcast.
+		w.parked = true
+		out = append(out, recs)
+	}
+	return out, nil
+}
+
+func (l *link) BroadcastApply(round int, recs []core.DeliveryRecord, delta netstate.EpochDelta) error {
+	for i, w := range l.ws {
+		w.parked = false
+		err := w.conn.send(ftApply, func(cw *codec.Writer) {
+			cw.Int(round)
+			encodeRecords(cw, recs)
+			delta.Encode(cw)
+		})
+		if err != nil {
+			return fmt.Errorf("shard %d: sending APPLY: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (l *link) EndRound(round int, d core.ShardDigest) error {
+	for i, w := range l.ws {
+		ft, r, err := w.conn.recv()
+		if err != nil {
+			return fmt.Errorf("shard %d: collecting digest: %w", i, err)
+		}
+		if ft == ftError {
+			return fmt.Errorf("shard %d: %s", i, r.String())
+		}
+		if ft != ftDigest {
+			return fmt.Errorf("shard %d: expected DIGEST, got %s", i, ft)
+		}
+		gotRound, wd := decodeDigest(r)
+		if r.Err() != nil {
+			return fmt.Errorf("shard %d: bad DIGEST: %w", i, r.Err())
+		}
+		if gotRound != round {
+			return fmt.Errorf("shard %d: DIGEST for round %d, want %d", i, gotRound, round)
+		}
+		w.parked = true
+		if wd != d {
+			return fmt.Errorf("shard %d: replica diverged after round %d: worker %+v, coordinator %+v",
+				i, round, wd, d)
+		}
+	}
+	return nil
+}
+
+// Finish tears the fleet down. Parked workers get a best-effort DONE so
+// they exit through the clean path; everyone is then closed, which unblocks
+// any worker mid-send or mid-receive (procConn.Close also reaps the child).
+func (l *link) Finish() {
+	for _, w := range l.ws {
+		if w.parked {
+			_ = w.conn.send(ftDone, nil)
+		}
+		_ = w.rwc.Close()
+	}
+	l.ws = nil
+}

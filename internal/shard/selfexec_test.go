@@ -1,0 +1,86 @@
+package shard_test
+
+import (
+	"context"
+	"testing"
+
+	"lmc/internal/bench"
+	"lmc/internal/core"
+	"lmc/internal/obs"
+	"lmc/internal/shard"
+)
+
+// TestSelfExecParity runs the real multi-process path: the test binary
+// re-executes itself as shard workers (TestMain's env marker routes the
+// children into RunWorker on stdin/stdout), so the wire protocol crosses
+// actual process boundaries and OS pipes.
+func TestSelfExecParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping process-spawning test")
+	}
+	m, start, opt := benchCase(t, "paxos")
+	base := core.Check(m, start, opt)
+
+	var rounds, degraded int
+	var detail string
+	opt.Observer = obs.FuncObserver(func(e obs.Event) {
+		switch e.Kind {
+		case obs.KindShardRound:
+			rounds++
+		case obs.KindShardDegraded:
+			degraded++
+			detail = e.Detail
+		}
+	})
+	res, err := shard.Check(context.Background(), m, start, opt, shard.Config{
+		Shards:  2,
+		Spawner: shard.SelfExec{Env: []string{"LMC_SHARD_WORKER=1"}},
+		Spec:    bench.ShardSpec("paxos"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded != 0 {
+		t.Fatalf("degraded %d times (last: %s)", degraded, detail)
+	}
+	if rounds == 0 {
+		t.Fatal("no shard record exchanges observed")
+	}
+	assertSameResult(t, 2, base, res)
+}
+
+// TestSelfExecKillWorker exercises degradation across real processes: the
+// child workers exit after round 2 (env hook), the coordinator sees EOF
+// while collecting records, and the run finishes in-process bit-for-bit.
+func TestSelfExecKillWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping process-spawning test")
+	}
+	m, start, opt := benchCase(t, "paxos")
+	base := core.Check(m, start, opt)
+
+	var degraded int
+	opt.Observer = obs.FuncObserver(func(e obs.Event) {
+		if e.Kind == obs.KindShardDegraded {
+			degraded++
+		}
+	})
+	res, err := shard.Check(context.Background(), m, start, opt, shard.Config{
+		Shards: 2,
+		Spawner: shard.SelfExec{Env: []string{
+			"LMC_SHARD_WORKER=1",
+			"LMC_SHARD_DIE_AFTER_ROUND=2",
+		}},
+		Spec: bench.ShardSpec("paxos"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded == 0 {
+		t.Fatal("worker death did not surface as a degradation event")
+	}
+	if !res.Complete {
+		t.Fatal("degraded run lost completeness")
+	}
+	assertSameResult(t, 2, base, res)
+}

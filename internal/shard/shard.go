@@ -1,0 +1,60 @@
+// Package shard runs the checker's exploration across multiple OS
+// processes, split by fingerprint range. A coordinator process runs the
+// full canonical engine; each worker process holds a replica of the run and
+// speculatively executes the delivery pairs whose parent-state fingerprint
+// falls in its range, shipping fingerprint-only records back over a
+// length-prefixed wire protocol (stdin/stdout of re-exec'd children). The
+// records are hints consumed by the coordinator's canonical walk — any
+// subset yields the bit-for-bit sequential result — so a dead or diverging
+// worker degrades the run to in-process exploration instead of corrupting
+// or aborting it. See internal/core/shard.go for the engine-side contract.
+package shard
+
+import (
+	"context"
+
+	"lmc/internal/core"
+	"lmc/internal/model"
+	"lmc/internal/obs"
+)
+
+// Config describes the fleet for one sharded run.
+type Config struct {
+	// Shards is the worker-process count. Values <= 1 mean no fleet: Check
+	// runs the ordinary in-process checker.
+	Shards int
+	// Spawner produces worker transports (SelfExec in production,
+	// PipeSpawner in tests).
+	Spawner Spawner
+	// Spec is the workload spec the workers resolve (e.g. "bench:paxos").
+	// It must reconstruct the same machine and start state the coordinator
+	// was given.
+	Spec string
+}
+
+// Check runs a sharded exploration: identical results to core.Check for any
+// shard count. If the fleet cannot be dialed — spawn failure, handshake
+// refusal, resolver error on the worker side — the run falls back to the
+// in-process checker after reporting a KindShardDegraded event to the
+// observer, mirroring how a mid-run worker failure degrades.
+func Check(ctx context.Context, m model.Machine, start model.SystemState,
+	opt core.Options, cfg Config) (*core.Result, error) {
+
+	if cfg.Shards <= 1 || cfg.Spawner == nil {
+		return core.CheckContext(ctx, m, start, opt)
+	}
+	l, err := dial(cfg, opt)
+	if err != nil {
+		if opt.Observer != nil {
+			opt.Observer.OnEvent(obs.Event{
+				Kind:    obs.KindShardDegraded,
+				Checker: "lmc",
+				Shard:   -1,
+				Shards:  cfg.Shards,
+				Detail:  err.Error(),
+			})
+		}
+		return core.CheckContext(ctx, m, start, opt)
+	}
+	return core.CheckShardedContext(ctx, m, start, opt, l)
+}

@@ -1,0 +1,118 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+)
+
+// Spawner produces the transport to one worker. Spawn is called once per
+// shard before the handshake; closing the returned stream is how the
+// coordinator tears the worker down (a worker blocked on the pipe unblocks
+// with an error and exits).
+type Spawner interface {
+	Spawn(idx, count int) (io.ReadWriteCloser, error)
+}
+
+// SelfExec spawns workers by re-executing the current binary
+// (os.Executable) with Args, wiring the protocol over the child's
+// stdin/stdout. The child's stderr is inherited so worker diagnostics reach
+// the operator. The binary must recognize Args (e.g. a -shard-worker flag,
+// or an env marker in Env) and call RunWorker before doing anything else.
+type SelfExec struct {
+	// Args are the child's command-line arguments (without the binary name).
+	Args []string
+	// Env entries are appended to the current environment.
+	Env []string
+}
+
+func (s SelfExec) Spawn(idx, count int) (io.ReadWriteCloser, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locating own binary: %w", err)
+	}
+	cmd := exec.Command(exe, s.Args...)
+	cmd.Env = append(os.Environ(), s.Env...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting worker %d: %w", idx, err)
+	}
+	return &procConn{in: stdin, out: stdout, cmd: cmd}, nil
+}
+
+// procConn adapts a child process's pipes to io.ReadWriteCloser. Close
+// severs both pipes first — a healthy worker then sees EOF and exits — and
+// reaps the child, escalating to Kill if it lingers.
+type procConn struct {
+	in  io.WriteCloser
+	out io.ReadCloser
+	cmd *exec.Cmd
+}
+
+func (p *procConn) Read(b []byte) (int, error)  { return p.out.Read(b) }
+func (p *procConn) Write(b []byte) (int, error) { return p.in.Write(b) }
+
+func (p *procConn) Close() error {
+	_ = p.in.Close()
+	_ = p.out.Close()
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(2 * time.Second):
+		_ = p.cmd.Process.Kill()
+		return <-done
+	}
+}
+
+// PipeSpawner runs workers as goroutines over in-memory pipes — same
+// protocol, same lockstep, no processes. It exists for tests: parity runs
+// under the race detector, and DieAfterRound exercises the degradation path
+// deterministically.
+type PipeSpawner struct {
+	// Resolve is the worker-side resolver (required).
+	Resolve Resolver
+	// DieAfterRound > 0 makes every spawned worker exit instead of
+	// answering the round after it (see ServeConn's dieAfterRound).
+	DieAfterRound int
+}
+
+func (p PipeSpawner) Spawn(idx, count int) (io.ReadWriteCloser, error) {
+	coordR, workerW := io.Pipe() // worker → coordinator
+	workerR, coordW := io.Pipe() // coordinator → worker
+	go func() {
+		_ = ServeConn(struct {
+			io.Reader
+			io.Writer
+		}{workerR, workerW}, p.Resolve, p.DieAfterRound)
+		// However the serve loop ended, sever the worker side so a
+		// coordinator blocked on either pipe unblocks.
+		_ = workerW.Close()
+		_ = workerR.Close()
+	}()
+	return &pipeConn{r: coordR, w: coordW}, nil
+}
+
+type pipeConn struct {
+	r *io.PipeReader
+	w *io.PipeWriter
+}
+
+func (p *pipeConn) Read(b []byte) (int, error)  { return p.r.Read(b) }
+func (p *pipeConn) Write(b []byte) (int, error) { return p.w.Write(b) }
+
+func (p *pipeConn) Close() error {
+	_ = p.w.Close()
+	return p.r.Close()
+}

@@ -1,0 +1,193 @@
+package shard
+
+import (
+	"fmt"
+
+	"lmc/internal/codec"
+	"lmc/internal/core"
+)
+
+// Version is the wire-protocol version. A worker refuses a HELLO carrying a
+// different version, so mixed-build coordinator/worker pairs fail fast at
+// the handshake instead of diverging mid-run.
+const Version = 1
+
+// frameType is the first payload byte of every frame (the rest is the
+// codec-encoded body). The protocol is strict lockstep — each side always
+// knows which frame types are acceptable next — so a type outside the
+// expected set is a protocol error, not a dispatch choice.
+type frameType byte
+
+const (
+	// ftHello (C→W) opens the session: protocol version, workload spec, the
+	// worker's shard index/count, and the exploration-shaping options.
+	ftHello frameType = 1 + iota
+	// ftReady (W→C) acknowledges a HELLO after the replica is built.
+	ftReady
+	// ftError (W→C) reports a worker-side failure with a message; the
+	// worker exits after sending it.
+	ftError
+	// ftPass (C→W) announces a fresh exploration pass and its local bound.
+	ftPass
+	// ftRound (C→W) starts one round: the worker runs its replicated action
+	// phase and speculative delivery sweep.
+	ftRound
+	// ftRecords (W→C) carries the worker's delivery records for a round.
+	ftRecords
+	// ftApply (C→W) ships the merged record table and the coordinator's
+	// action-phase net delta; the worker runs its canonical delivery walk.
+	ftApply
+	// ftDigest (W→C) carries the worker's post-round replica digest.
+	ftDigest
+	// ftDone (C→W) ends the session cleanly; accepted at every worker
+	// receive point.
+	ftDone
+)
+
+// String names the frame type for protocol errors.
+func (t frameType) String() string {
+	switch t {
+	case ftHello:
+		return "HELLO"
+	case ftReady:
+		return "READY"
+	case ftError:
+		return "ERROR"
+	case ftPass:
+		return "PASS"
+	case ftRound:
+		return "ROUND"
+	case ftRecords:
+		return "RECORDS"
+	case ftApply:
+		return "APPLY"
+	case ftDigest:
+		return "DIGEST"
+	case ftDone:
+		return "DONE"
+	default:
+		return fmt.Sprintf("frame(%d)", byte(t))
+	}
+}
+
+// hello is the handshake body. The option fields are the coordinator's RAW
+// (unresolved) values: both sides resolve defaults through the same
+// core.newChecker path, so shipping them unresolved keeps a single source of
+// truth for the defaults.
+type hello struct {
+	Version int
+	Spec    string
+	Idx     int
+	Count   int
+
+	DupLimit         int
+	LocalBound       int
+	MaxPathDepth     int
+	MaxPredecessors  int
+	RoundDeliveryCap int
+}
+
+func (h hello) encode(w *codec.Writer) {
+	w.Int(h.Version)
+	w.String(h.Spec)
+	w.Int(h.Idx)
+	w.Int(h.Count)
+	w.Int(h.DupLimit)
+	w.Int(h.LocalBound)
+	w.Int(h.MaxPathDepth)
+	w.Int(h.MaxPredecessors)
+	w.Int(h.RoundDeliveryCap)
+}
+
+func decodeHello(r *codec.Reader) hello {
+	return hello{
+		Version:          r.Int(),
+		Spec:             r.String(),
+		Idx:              r.Int(),
+		Count:            r.Int(),
+		DupLimit:         r.Int(),
+		LocalBound:       r.Int(),
+		MaxPathDepth:     r.Int(),
+		MaxPredecessors:  r.Int(),
+		RoundDeliveryCap: r.Int(),
+	}
+}
+
+// recordWireMin is the minimum encoded size of one DeliveryRecord (entry +
+// parent + rejected flag); decode guards element counts against it so a
+// corrupted count cannot force a giant allocation.
+const recordWireMin = 17
+
+func encodeRecords(w *codec.Writer, recs []core.DeliveryRecord) {
+	w.Int(len(recs))
+	for i := range recs {
+		r := &recs[i]
+		w.Int(r.Entry)
+		w.Uint64(uint64(r.Parent))
+		w.Bool(r.Rejected)
+		if r.Rejected {
+			continue
+		}
+		w.Uint64(uint64(r.Succ))
+		w.Int(len(r.Emitted))
+		for _, fp := range r.Emitted {
+			w.Uint64(uint64(fp))
+		}
+	}
+}
+
+// decodeRecords reads a record batch. Malformed input never panics or
+// over-allocates: counts are clamped against the bytes actually remaining,
+// and truncation sticks an error on the reader (checked by the caller).
+func decodeRecords(r *codec.Reader) []core.DeliveryRecord {
+	n := r.Int()
+	if n <= 0 || n > r.Remaining()/recordWireMin+1 {
+		if n != 0 {
+			// Either corrupt or truncated; draining the reader as records
+			// would error anyway, so just report none.
+			r.Int() // provoke a sticky error on short input
+		}
+		return nil
+	}
+	recs := make([]core.DeliveryRecord, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		rec := core.DeliveryRecord{
+			Entry:    r.Int(),
+			Parent:   codec.Fingerprint(r.Uint64()),
+			Rejected: r.Bool(),
+		}
+		if !rec.Rejected {
+			rec.Succ = codec.Fingerprint(r.Uint64())
+			ne := r.Int()
+			if ne < 0 || ne > r.Remaining()/8+1 {
+				return recs
+			}
+			if ne > 0 {
+				rec.Emitted = make([]codec.Fingerprint, 0, ne)
+				for j := 0; j < ne && r.Err() == nil; j++ {
+					rec.Emitted = append(rec.Emitted, codec.Fingerprint(r.Uint64()))
+				}
+			}
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func encodeDigest(w *codec.Writer, round int, d core.ShardDigest) {
+	w.Int(round)
+	w.Int(d.NetLen)
+	w.Uint64(uint64(d.Net))
+	w.Int(d.States)
+	w.Uint64(uint64(d.Spaces))
+}
+
+func decodeDigest(r *codec.Reader) (int, core.ShardDigest) {
+	round := r.Int()
+	return round, core.ShardDigest{
+		NetLen: r.Int(),
+		Net:    codec.Fingerprint(r.Uint64()),
+		States: r.Int(),
+		Spaces: codec.Fingerprint(r.Uint64()),
+	}
+}

@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"lmc/internal/codec"
+	"lmc/internal/core"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := hello{
+		Version: Version, Spec: "bench:paxos", Idx: 2, Count: 4,
+		DupLimit: 1, LocalBound: 3, MaxPathDepth: 9,
+		MaxPredecessors: 64, RoundDeliveryCap: -1,
+	}
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+	in.encode(w)
+	r := codec.NewReader(w.Bytes())
+	out := decodeHello(r)
+	if r.Err() != nil {
+		t.Fatalf("decode error: %v", r.Err())
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestRecordsRoundTrip(t *testing.T) {
+	in := []core.DeliveryRecord{
+		{Entry: 0, Parent: 0xdead, Rejected: true},
+		{Entry: 3, Parent: 0xbeef, Succ: 0xf00d,
+			Emitted: []codec.Fingerprint{1, 2, 3}},
+		{Entry: 7, Parent: 42, Succ: 43}, // no emissions
+	}
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+	encodeRecords(w, in)
+	r := codec.NewReader(w.Bytes())
+	out := decodeRecords(r)
+	if r.Err() != nil {
+		t.Fatalf("decode error: %v", r.Err())
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestDecodeRecordsMalformed(t *testing.T) {
+	// A hostile record count far beyond the remaining bytes must not
+	// allocate or panic; it reports no records and a sticky reader error.
+	w := codec.GetWriter()
+	encodeInt := func(v int) {
+		w.Reset()
+		w.Int(v)
+	}
+	encodeInt(1 << 40)
+	r := codec.NewReader(w.Bytes())
+	if got := decodeRecords(r); got != nil {
+		t.Fatalf("hostile count decoded to %d records", len(got))
+	}
+	codec.PutWriter(w)
+
+	// A truncated but plausible batch errors instead of fabricating data.
+	w2 := codec.GetWriter()
+	defer codec.PutWriter(w2)
+	encodeRecords(w2, []core.DeliveryRecord{{Entry: 1, Parent: 2, Succ: 3}})
+	whole := w2.Bytes()
+	for cut := 0; cut < len(whole); cut++ {
+		r := codec.NewReader(whole[:cut])
+		_ = decodeRecords(r)
+		if r.Err() == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded cleanly", cut, len(whole))
+		}
+	}
+}
+
+func TestDigestRoundTrip(t *testing.T) {
+	in := core.ShardDigest{NetLen: 12, Net: 0xabc, States: 99, Spaces: 0xdef}
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+	encodeDigest(w, 5, in)
+	r := codec.NewReader(w.Bytes())
+	round, out := decodeDigest(r)
+	if r.Err() != nil {
+		t.Fatalf("decode error: %v", r.Err())
+	}
+	if round != 5 || out != in {
+		t.Fatalf("round trip mismatch: round=%d digest=%+v", round, out)
+	}
+}

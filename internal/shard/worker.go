@@ -1,0 +1,183 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"lmc/internal/codec"
+	"lmc/internal/core"
+	"lmc/internal/model"
+	"lmc/internal/netstate"
+)
+
+// Workload is what a worker needs to rebuild the coordinator's run: the
+// machine, the start state, and any seeded in-flight messages. Invariants,
+// reductions, and budgets deliberately do not travel — workers explore
+// without checking (core.NewShardWorker strips them), so the resolver only
+// reconstructs the explored system itself.
+type Workload struct {
+	Machine         model.Machine
+	Start           model.SystemState
+	InitialMessages []model.Message
+}
+
+// Resolver turns the spec string from the coordinator's HELLO into a
+// workload. Both sides of a deployment agree on a spec namespace — e.g.
+// "bench:<name>" resolved by internal/bench — and the resolver is the only
+// workload-construction code a worker binary needs.
+type Resolver func(spec string) (Workload, error)
+
+// dieAfterRoundEnv lets tests sever a re-exec'd worker mid-run: the worker
+// exits instead of answering the ROUND that starts the configured round,
+// which the coordinator sees as an EOF while collecting records.
+const dieAfterRoundEnv = "LMC_SHARD_DIE_AFTER_ROUND"
+
+// RunWorker serves the shard-worker protocol on stdin/stdout. This is the
+// body of a binary's -shard-worker mode; it returns when the coordinator
+// finishes (nil) or on a transport/protocol error. Nothing else may write
+// to stdout while it runs.
+func RunWorker(resolve Resolver) error {
+	die := 0
+	if v := os.Getenv(dieAfterRoundEnv); v != "" {
+		die, _ = strconv.Atoi(v)
+	}
+	return ServeConn(struct {
+		io.Reader
+		io.Writer
+	}{os.Stdin, os.Stdout}, resolve, die)
+}
+
+// ServeConn runs the worker side of the protocol over rw: HELLO→READY
+// handshake, then the lockstep pass/round loop. A DONE frame, a clean EOF,
+// or a closed pipe at any receive point ends the session with nil — the
+// coordinator closes the transport without ceremony when it degrades or
+// stops early, and that must not look like a worker failure. dieAfterRound
+// > 0 makes the worker exit instead of answering that round (test hook for
+// the degradation path).
+func ServeConn(rw io.ReadWriter, resolve Resolver, dieAfterRound int) error {
+	c := newConn(rw)
+
+	ft, r, err := c.recv()
+	if err != nil {
+		return fmt.Errorf("shard worker: reading HELLO: %w", err)
+	}
+	if ft != ftHello {
+		return fmt.Errorf("shard worker: expected HELLO, got %s", ft)
+	}
+	h := decodeHello(r)
+	if r.Err() != nil {
+		return fmt.Errorf("shard worker: bad HELLO: %w", r.Err())
+	}
+	if h.Version != Version {
+		return refuse(c, fmt.Sprintf("protocol version %d, worker speaks %d", h.Version, Version))
+	}
+	if h.Count < 2 || h.Idx < 0 || h.Idx >= h.Count {
+		return refuse(c, fmt.Sprintf("bad shard coordinates %d/%d", h.Idx, h.Count))
+	}
+	wl, err := resolve(h.Spec)
+	if err != nil {
+		return refuse(c, fmt.Sprintf("resolving workload %q: %v", h.Spec, err))
+	}
+	w := core.NewShardWorker(wl.Machine, wl.Start, core.Options{
+		DupLimit:         h.DupLimit,
+		LocalBound:       h.LocalBound,
+		MaxPathDepth:     h.MaxPathDepth,
+		MaxPredecessors:  h.MaxPredecessors,
+		RoundDeliveryCap: h.RoundDeliveryCap,
+		InitialMessages:  wl.InitialMessages,
+	}, h.Idx, h.Count)
+	if err := c.send(ftReady, nil); err != nil {
+		return fmt.Errorf("shard worker: sending READY: %w", err)
+	}
+
+	for {
+		ft, r, err := c.recv()
+		if err != nil {
+			if cleanShutdown(err) {
+				return nil
+			}
+			return fmt.Errorf("shard worker: %w", err)
+		}
+		switch ft {
+		case ftDone:
+			return nil
+		case ftPass:
+			r.Int() // pass number, informational
+			bound := r.Int()
+			if r.Err() != nil {
+				return fmt.Errorf("shard worker: bad PASS: %w", r.Err())
+			}
+			w.BeginPass(bound)
+		case ftRound:
+			round := r.Int()
+			if r.Err() != nil {
+				return fmt.Errorf("shard worker: bad ROUND: %w", r.Err())
+			}
+			if dieAfterRound > 0 && round > dieAfterRound {
+				return fmt.Errorf("shard worker: dying before round %d (test hook)", round)
+			}
+			recs := w.RunRound()
+			err := c.send(ftRecords, func(cw *codec.Writer) {
+				cw.Int(round)
+				encodeRecords(cw, recs)
+			})
+			if err != nil {
+				return fmt.Errorf("shard worker: sending RECORDS: %w", err)
+			}
+			// Lockstep: the only frames that may follow our RECORDS are the
+			// APPLY for this round or a DONE (the coordinator stopped or
+			// degraded mid-round).
+			ft, r, err := c.recv()
+			if err != nil {
+				if cleanShutdown(err) {
+					return nil
+				}
+				return fmt.Errorf("shard worker: awaiting APPLY: %w", err)
+			}
+			if ft == ftDone {
+				return nil
+			}
+			if ft != ftApply {
+				return fmt.Errorf("shard worker: expected APPLY, got %s", ft)
+			}
+			gotRound := r.Int()
+			merged := decodeRecords(r)
+			delta := netstate.DecodeEpochDelta(r)
+			if r.Err() != nil {
+				return fmt.Errorf("shard worker: bad APPLY: %w", r.Err())
+			}
+			if gotRound != round {
+				return fmt.Errorf("shard worker: APPLY for round %d during round %d", gotRound, round)
+			}
+			digest, err := w.Apply(merged, delta)
+			if err != nil {
+				return refuse(c, fmt.Sprintf("round %d: %v", round, err))
+			}
+			err = c.send(ftDigest, func(cw *codec.Writer) {
+				encodeDigest(cw, round, digest)
+			})
+			if err != nil {
+				return fmt.Errorf("shard worker: sending DIGEST: %w", err)
+			}
+		default:
+			return fmt.Errorf("shard worker: unexpected %s", ft)
+		}
+	}
+}
+
+// refuse reports a worker-side failure to the coordinator (best-effort) and
+// returns it as the serve error.
+func refuse(c *conn, msg string) error {
+	_ = c.send(ftError, func(w *codec.Writer) { w.String(msg) })
+	return errors.New("shard worker: " + msg)
+}
+
+// cleanShutdown reports whether a receive error means the coordinator closed
+// the transport on purpose: EOF on a frame boundary, or the closed half of
+// an in-process pipe.
+func cleanShutdown(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe)
+}

@@ -43,6 +43,11 @@ type Counters struct {
 	// SystemStateTime is the total wall time spent materializing system
 	// states and checking invariants on them.
 	SystemStateTime time.Duration
+	// ShardWaitTime is the wall time a sharded run's coordinator spent
+	// blocked on worker-process frames (collecting delivery records and
+	// end-of-round digests). Zero outside sharded runs; excluded from
+	// determinism comparisons like the other wall-clock fields.
+	ShardWaitTime time.Duration
 	// ConfirmedBugs counts violations that passed soundness verification.
 	ConfirmedBugs int
 	// CoverIndexHits / CoverIndexMisses count coverage queries answered by
@@ -102,6 +107,9 @@ func (c *Counters) String() string {
 	fmt.Fprintf(&b, "rejections=%d dupDropped=%d maxDepth=%d elapsed=%v soundnessTime=%v systemStateTime=%v",
 		c.Rejections, c.DuplicatesDropped, c.MaxDepth, c.Elapsed.Round(time.Microsecond),
 		c.SoundnessTime.Round(time.Microsecond), c.SystemStateTime.Round(time.Microsecond))
+	if c.ShardWaitTime > 0 {
+		fmt.Fprintf(&b, " shardWait=%v", c.ShardWaitTime.Round(time.Microsecond))
+	}
 	return b.String()
 }
 
