@@ -35,6 +35,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof and pulls in /debug/vars
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"testing"
@@ -49,6 +50,7 @@ import (
 	"lmc/internal/protocols/paxos"
 	"lmc/internal/protocols/twophase"
 	"lmc/internal/shard"
+	"lmc/internal/store"
 )
 
 // Entry is one benchmark measurement.
@@ -411,6 +413,8 @@ func main() {
 		"apply these reductions (comma-separated subset of sym,por; all/none) to EVERY explore entry — changes entry semantics, do not combine with baseline gating; default off")
 	reduceGate := flag.Float64("reducegate", 0,
 		"fail when the reduced 3-acceptor paxos-gen run materializes more than this fraction of the unreduced run's system states (e.g. 0.5 for the 2x bar); verdicts must agree; same-run ratio, needs no baseline; 0 disables")
+	storeGate := flag.Float64("storegate", 0,
+		"fail when checkpointing every round to a store file costs more than this factor over the plain paxos-gen run (e.g. 1.05 for the 5% budget; median of paired back-to-back trials, needs no baseline); 0 disables")
 	shardGate := flag.Bool("shardgate", false,
 		"fail unless a 2-shard multi-process paxos-gen run matches the in-process run bit-for-bit without degrading (same-run parity, needs no baseline)")
 	shardWorker := flag.Bool("shard-worker", false,
@@ -513,6 +517,23 @@ func main() {
 			withObserver(paxosGen, obs.NewExpvarObserver("lmc_bench"))),
 	)
 
+	// Checkpoint-overhead entry: the same sequential Paxos GEN run with
+	// every round checkpointed to a fresh store file (what `lmc serve`
+	// pays). Compare against explore/paxos-gen/seq; -storegate enforces
+	// the budget on paired trials.
+	ckptSpace, ckptRounds, closeCkpt, err := checkpointedSpace(paxosGen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.Entries = append(rep.Entries,
+		measureExplore("explore/paxos-gen/checkpointed", reps, -1, ckptSpace))
+	closeCkpt()
+	if *ckptRounds == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: checkpointed entry wrote no rounds; the sink is miswired")
+		os.Exit(1)
+	}
+
 	s := &fpState{round: 3, value: 7, active: true, peers: []int{2, 0, 1}}
 	rep.Entries = append(rep.Entries,
 		measureMicro("fingerprint/pooled", func(b *testing.B) {
@@ -543,6 +564,7 @@ func main() {
 	rep.Derived["gen_reduced_over_seq"] = ratio("explore/paxos-gen/reduced", "explore/paxos-gen/seq")
 	rep.Derived["opt_reduced_over_seq"] = ratio("explore/paxos-opt/reduced", "explore/paxos-opt/seq")
 	rep.Derived["fingerprint_unpooled_over_pooled"] = ratio("fingerprint/unpooled", "fingerprint/pooled")
+	rep.Derived["checkpoint_over_seq"] = ratio("explore/paxos-gen/checkpointed", "explore/paxos-gen/seq")
 	rep.Derived["obs_log_over_nil"] = ratio("explore/paxos-gen/obs-log", "explore/paxos-gen/seq")
 	rep.Derived["obs_expvar_over_nil"] = ratio("explore/paxos-gen/obs-expvar", "explore/paxos-gen/seq")
 	rep.Derived["actor_over_model"] = ratio("explore/2pc-actor/seq", "explore/2pc-model/seq")
@@ -577,6 +599,13 @@ func main() {
 
 	if *reduceGate > 0 {
 		if err := gateReduction(*reduceGate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *storeGate > 0 {
+		if err := gateStoreOverhead(*storeGate); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -692,6 +721,112 @@ func gateReduction(maxFraction float64) error {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: reducegate ok: reduced run kept %.3f of system states (bar %.3f): %d vs %d, skips=%d\n",
 		r, maxFraction, red.Stats.SystemStates, base.Stats.SystemStates, red.Stats.SymmetrySkips)
+	return nil
+}
+
+// roundCountSink counts sink calls so the harness can verify the
+// checkpointed entries really paid the write path.
+type roundCountSink struct {
+	n    *int
+	next core.CheckpointSink
+}
+
+func (c roundCountSink) OnRoundCheckpoint(cp core.RoundCheckpoint) error {
+	*c.n++
+	return c.next.OnRoundCheckpoint(cp)
+}
+
+// checkpointedSpace wraps a configuration so every call (one per measured
+// rep) checkpoints into a FRESH store file — reusing a bucket would let
+// AppendRound's dedupe skip the writes being measured. The returned
+// counter accumulates checkpointed rounds across calls; the closer
+// releases the store handles and deletes the files.
+func checkpointedSpace(s space) (space, *int, func(), error) {
+	dir, err := os.MkdirTemp("", "lmc-benchjson-store")
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("storegate temp dir: %w", err)
+	}
+	var open []*store.Store
+	rounds := new(int)
+	n := 0
+	sp := func() (model.Machine, model.SystemState, core.Options) {
+		m, start, opt := s()
+		n++
+		st, err := store.Open(filepath.Join(dir, fmt.Sprintf("rep%d.lmcstore", n)))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: checkpointed entry:", err)
+			os.Exit(1)
+		}
+		if err := st.CreateRun("gate", "paxos-gen", store.CodeHash(), store.OptionsSig("paxos-gen")); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: checkpointed entry:", err)
+			os.Exit(1)
+		}
+		opt.Checkpoint = roundCountSink{n: rounds, next: st.Sink("gate")}
+		open = append(open, st)
+		return m, start, opt
+	}
+	closer := func() {
+		for _, st := range open {
+			st.Close()
+		}
+		os.RemoveAll(dir)
+	}
+	return sp, rounds, closer, nil
+}
+
+// gateStoreOverhead enforces the durability budget: checkpointing every
+// round of the sequential Paxos GEN run to a store file may cost at most
+// maxRatio times the plain run. Both runs are milliseconds, where report
+// entries swing with harness heap state, so (like the actor gate) this
+// takes the median over paired back-to-back trials — each trial a
+// best-of-3 of plain then checkpointed on the same heap — making it
+// host-speed independent and baseline-free.
+func gateStoreOverhead(maxRatio float64) error {
+	const trials = 7
+	bestOf3 := func(s space) (time.Duration, error) {
+		var best time.Duration
+		for i := 0; i < 3; i++ {
+			m, start, opt := s()
+			res := core.Check(m, start, opt)
+			if !res.Complete {
+				return 0, fmt.Errorf("storegate: gate run incomplete")
+			}
+			if best == 0 || res.Stats.Elapsed < best {
+				best = res.Stats.Elapsed
+			}
+		}
+		return best, nil
+	}
+	ratios := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		ckptSpace, rounds, closeCkpt, err := checkpointedSpace(paxosGen)
+		if err != nil {
+			return err
+		}
+		plainNs, err := bestOf3(paxosGen)
+		if err == nil {
+			var ckptNs time.Duration
+			ckptNs, err = bestOf3(ckptSpace)
+			if err == nil && *rounds == 0 {
+				err = fmt.Errorf("storegate: checkpointed runs wrote no rounds; the sink is miswired")
+			}
+			if err == nil {
+				ratios = append(ratios, float64(ckptNs)/float64(plainNs))
+			}
+		}
+		closeCkpt()
+		if err != nil {
+			return err
+		}
+	}
+	sort.Float64s(ratios)
+	median := ratios[trials/2]
+	if median > maxRatio {
+		return fmt.Errorf("storegate: checkpointed run is %.3fx the plain run (budget %.3fx, median of %d paired trials, spread %.3f-%.3f)",
+			median, maxRatio, trials, ratios[0], ratios[trials-1])
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: storegate ok: checkpointing at %.3fx of plain run time (budget %.3fx, median of %d paired trials)\n",
+		median, maxRatio, trials)
 	return nil
 }
 

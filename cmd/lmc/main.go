@@ -1,6 +1,9 @@
 // Command lmc runs a model checker over one of the bundled protocol
 // workloads and prints the statistics and any confirmed bugs with their
-// witness schedules.
+// witness schedules. With -serve it stays resident instead: a daemon that
+// accepts a queue of checking jobs over HTTP, checkpoints every completed
+// round to a persistent store, and resumes unfinished jobs — bit-for-bit —
+// after any restart, SIGKILL included.
 //
 // Usage:
 //
@@ -10,12 +13,23 @@
 //	lmc -workload paxos -checker global    # the B-DFS baseline
 //	lmc -workload paxos -shards 4          # fingerprint-range sharded run
 //	lmc -list                              # list workloads
+//
+//	lmc -serve -listen localhost:8080 -store /var/lib/lmc/ckpt.lmcstore
+//	curl -X POST localhost:8080/jobs -d '{"workload":"paxos"}'
+//	curl localhost:8080/jobs/job-1         # status, checkpoint progress, result
+//
+// The serve listener also exposes /debug/pprof and /debug/vars (expvar;
+// live counters of the running job under the "lmc" map), so one port
+// carries the job API and the usual diagnostics.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof and pulls in /debug/vars
 	"os"
 	"time"
 
@@ -23,25 +37,96 @@ import (
 	"lmc/internal/core"
 	"lmc/internal/mc/global"
 	"lmc/internal/obs"
+	"lmc/internal/service"
 	"lmc/internal/shard"
+	"lmc/internal/store"
 )
 
-func main() {
-	workload := flag.String("workload", "paxos", "workload name (see -list)")
-	checker := flag.String("checker", "lmc-opt", "checker: lmc-opt, lmc, global, bfs")
-	budget := flag.Duration("budget", 30*time.Second, "wall-clock budget")
-	depth := flag.Int("depth", 0, "depth bound (0 = unbounded)")
-	stopFirst := flag.Bool("first", true, "stop at the first confirmed bug")
-	boundStep := flag.Int("deepen", 0, "iterative local-event bound deepening step (LMC)")
-	maxBound := flag.Int("maxbound", 4, "maximum local-event bound when deepening (LMC)")
-	verbose := flag.Bool("v", false, "print witness schedules")
-	reduce := flag.String("reduce", "",
+// checkConfig is the single flag surface shared by run and serve modes:
+// run mode executes one job built from it, serve mode uses it as the
+// default JobSpec fields for submitted jobs. Keeping both modes on one
+// struct keeps the flags from drifting apart.
+type checkConfig struct {
+	workload string
+	checker  string
+	reduce   string
+	budget   time.Duration
+	depth    int
+	first    bool
+	deepen   int
+	maxBound int
+	workers  int
+	shards   int
+	verbose  bool
+}
+
+func (c *checkConfig) registerFlags() {
+	flag.StringVar(&c.workload, "workload", "paxos", "workload name (see -list)")
+	flag.StringVar(&c.checker, "checker", "lmc-opt", "checker: lmc-opt, lmc, global, bfs")
+	flag.StringVar(&c.reduce, "reduce", "",
 		"state-space reductions for the LMC checkers: comma-separated subset of sym,por (or all/none; default off)")
-	shards := flag.Int("shards", 0,
+	flag.DurationVar(&c.budget, "budget", 30*time.Second, "wall-clock budget per job")
+	flag.IntVar(&c.depth, "depth", 0, "depth bound (0 = unbounded)")
+	flag.BoolVar(&c.first, "first", true, "stop at the first confirmed bug")
+	flag.IntVar(&c.deepen, "deepen", 0, "iterative local-event bound deepening step (LMC; run mode only)")
+	flag.IntVar(&c.maxBound, "maxbound", 4, "maximum local-event bound when deepening (LMC; run mode only)")
+	flag.IntVar(&c.workers, "workers", 0,
+		"in-process worker pool per job (0 = one per CPU, negative = sequential)")
+	flag.IntVar(&c.shards, "shards", 0,
 		"split exploration across N worker processes by fingerprint range (LMC checkers; <=1 = in-process)")
+	flag.BoolVar(&c.verbose, "v", false, "print witness schedules (run mode)")
+}
+
+// jobSpec maps the shared config onto a service job spec (the fields both
+// modes understand; deepen/maxbound/verbose stay run-mode extras).
+func (c *checkConfig) jobSpec() service.JobSpec {
+	spec := service.JobSpec{
+		Workload: c.workload,
+		Checker:  c.checker,
+		Reduce:   c.reduce,
+		Workers:  c.workers,
+		Shards:   c.shards,
+		Depth:    c.depth,
+		First:    c.first,
+	}
+	if c.budget > 0 {
+		spec.Budget = c.budget.String()
+	}
+	return spec
+}
+
+// coreOptions maps the shared config onto engine options for run mode.
+func (c *checkConfig) coreOptions(w bench.Workload) (core.Options, error) {
+	reductions, err := core.ParseReductions(c.reduce)
+	if err != nil {
+		return core.Options{}, err
+	}
+	opt := core.Options{
+		Invariant:       w.Invariant,
+		LocalInvariants: w.Locals,
+		MaxPathDepth:    c.depth,
+		Budget:          c.budget,
+		StopAtFirstBug:  c.first,
+		LocalBoundStep:  c.deepen,
+		MaxLocalBound:   c.maxBound,
+		Workers:         c.workers,
+		Reduce:          reductions,
+	}
+	if c.checker == "lmc-opt" {
+		opt.Reduction = w.Reduction
+	}
+	return opt, nil
+}
+
+func main() {
+	var cfg checkConfig
+	cfg.registerFlags()
 	shardWorker := flag.Bool("shard-worker", false,
 		"serve as a shard worker on stdin/stdout (internal; spawned by -shards)")
 	list := flag.Bool("list", false, "list workloads and exit")
+	serve := flag.Bool("serve", false, "run as a resident checking service instead of one job")
+	listen := flag.String("listen", "localhost:8080", "serve mode: HTTP listen address for jobs, expvar and pprof")
+	storePath := flag.String("store", "lmc.lmcstore", "serve mode: checkpoint store file")
 	flag.Parse()
 
 	if *shardWorker {
@@ -54,12 +139,6 @@ func main() {
 		return
 	}
 
-	reductions, err := core.ParseReductions(*reduce)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
 	if *list {
 		for _, w := range bench.Workloads() {
 			fmt.Printf("%-14s %s\n", w.Name, w.Description)
@@ -67,60 +146,64 @@ func main() {
 		return
 	}
 
-	w, err := bench.Lookup(*workload)
-	if err != nil {
+	if *serve {
+		if err := runServe(cfg, *listen, *storePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := runOnce(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(1)
+	}
+}
+
+// runOnce is the classic one-shot mode: check one workload and print.
+func runOnce(cfg checkConfig) error {
+	w, err := bench.Lookup(cfg.workload)
+	if err != nil {
+		return err
 	}
 	start, err := w.StartState()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "building start state: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("building start state: %w", err)
 	}
 
-	fmt.Printf("workload %s (%s), checker %s\n", w.Name, w.Machine.Name(), *checker)
+	fmt.Printf("workload %s (%s), checker %s\n", w.Name, w.Machine.Name(), cfg.checker)
 
-	switch *checker {
+	switch cfg.checker {
 	case "global", "bfs":
 		if w.Invariant == nil {
-			fmt.Fprintln(os.Stderr, "the global checker needs a system invariant; this workload has only local invariants")
-			os.Exit(1)
+			return fmt.Errorf("the global checker needs a system invariant; this workload has only local invariants")
 		}
 		strat := global.DFS
-		if *checker == "bfs" {
+		if cfg.checker == "bfs" {
 			strat = global.BFS
 		}
 		res := global.Check(w.Machine, start, global.Options{
 			Invariant:      w.Invariant,
 			Strategy:       strat,
-			MaxDepth:       *depth,
-			Budget:         *budget,
-			StopAtFirstBug: *stopFirst,
+			MaxDepth:       cfg.depth,
+			Budget:         cfg.budget,
+			StopAtFirstBug: cfg.first,
 		})
 		fmt.Println(res.Stats.String())
 		fmt.Printf("complete=%v bugs=%d\n", res.Complete, len(res.Bugs))
 		for _, b := range res.Bugs {
 			fmt.Printf("BUG: %v\n", b.Violation)
-			if *verbose {
+			if cfg.verbose {
 				fmt.Print(b.Schedule.String())
 			}
 		}
 	case "lmc", "lmc-opt":
-		opt := core.Options{
-			Invariant:       w.Invariant,
-			LocalInvariants: w.Locals,
-			MaxPathDepth:    *depth,
-			Budget:          *budget,
-			StopAtFirstBug:  *stopFirst,
-			LocalBoundStep:  *boundStep,
-			MaxLocalBound:   *maxBound,
-			Reduce:          reductions,
-		}
-		if *checker == "lmc-opt" {
-			opt.Reduction = w.Reduction
+		opt, err := cfg.coreOptions(w)
+		if err != nil {
+			return err
 		}
 		var res *core.Result
-		if *shards > 1 {
+		if cfg.shards > 1 {
 			opt.Observer = obs.FuncObserver(func(e obs.Event) {
 				if e.Kind == obs.KindShardDegraded {
 					fmt.Fprintf(os.Stderr, "shard fleet degraded (shard %d of %d): %s\n",
@@ -128,13 +211,12 @@ func main() {
 				}
 			})
 			res, err = shard.Check(context.Background(), w.Machine, start, opt, shard.Config{
-				Shards:  *shards,
+				Shards:  cfg.shards,
 				Spawner: shard.SelfExec{Args: []string{"-shard-worker"}},
 				Spec:    bench.ShardSpec(w.Name),
 			})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 		} else {
 			res = core.Check(w.Machine, start, opt)
@@ -143,12 +225,58 @@ func main() {
 		fmt.Printf("complete=%v bugs=%d\n", res.Complete, len(res.Bugs))
 		for _, b := range res.Bugs {
 			fmt.Printf("BUG: %v\n", b.Violation)
-			if *verbose {
+			if cfg.verbose {
 				fmt.Print(b.Schedule.String())
 			}
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown checker %q\n", *checker)
-		os.Exit(2)
+		return fmt.Errorf("unknown checker %q", cfg.checker)
 	}
+	return nil
+}
+
+// runServe is daemon mode: open (or recover) the checkpoint store, resume
+// whatever a previous daemon left unfinished, and serve the job API plus
+// expvar/pprof on one listener.
+func runServe(cfg checkConfig, listen, storePath string) error {
+	st, err := store.Open(storePath)
+	if err != nil {
+		return fmt.Errorf("opening checkpoint store: %w", err)
+	}
+	defer st.Close()
+
+	svc := service.New(service.Config{
+		Store:    st,
+		Spawner:  shard.SelfExec{Args: []string{"-shard-worker"}},
+		Defaults: cfg.jobSpec(),
+		Observer: obs.NewExpvarObserver("lmc"),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "lmc serve: "+format+"\n", args...)
+		},
+	})
+	svc.Recover()
+
+	// The job API shares the DefaultServeMux listener with the /debug/
+	// handlers net/http/pprof registered at init.
+	h := svc.Handler()
+	for _, pattern := range []string{"/jobs", "/jobs/", "/runs", "/workloads"} {
+		http.Handle(pattern, h)
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", listen, err)
+	}
+	// The resolved address line is load-bearing: scripts (and the serve
+	// test) pass -listen with port 0 and scrape the port from it.
+	fmt.Printf("lmc serve: store %s, listening on http://%s/\n", st.Path(), ln.Addr())
+
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "lmc serve: http:", err)
+			os.Exit(1)
+		}
+	}()
+	svc.Run(context.Background())
+	return nil
 }

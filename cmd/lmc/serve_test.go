@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"lmc/internal/service"
+	"lmc/internal/store"
+)
+
+// TestServeKillRestart is the daemon-level end-to-end of the checkpoint
+// story: build the real binary, start `lmc -serve`, submit a job over
+// HTTP, SIGKILL the daemon once checkpoints exist, start a second daemon
+// over the same store file, and watch it resume and finish the job with
+// the same result an uninterrupted daemon produces. The store and service
+// suites prove bit-for-bit parity at the engine level; this proves the
+// wiring — flags, recovery, HTTP — survives an honest kill.
+func TestServeKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "lmc")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building lmc: %v\n%s", err, out)
+	}
+	storePath := filepath.Join(dir, "ckpt.lmcstore")
+
+	// First daemon: submit depth-bounded paxos-two (~0.7s, enough rounds to kill mid-run) and
+	// SIGKILL as soon as one checkpoint is durable.
+	cmd, base := startServe(t, bin, storePath)
+	mustPost(t, base+"/jobs", `{"id":"victim","workload":"paxos-two","depth":4,"first":false}`)
+	waitStatus(t, base, "victim", func(st service.JobStatus) bool {
+		return st.CheckpointRounds >= 1
+	})
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// The surviving store holds the victim's rounds.
+	st, err := store.Open(storePath)
+	if err != nil {
+		t.Fatalf("reopen after kill: %v", err)
+	}
+	meta, ok := st.Run("victim")
+	st.Close()
+	if !ok || meta.Done || meta.Rounds == 0 {
+		t.Fatalf("post-kill store state: ok=%v meta=%+v", ok, meta)
+	}
+
+	// Second daemon over the same store: recovery resumes and finishes.
+	cmd2, base2 := startServe(t, bin, storePath)
+	defer func() { cmd2.Process.Kill(); cmd2.Wait() }()
+	final := waitStatus(t, base2, "victim", func(st service.JobStatus) bool {
+		return st.State == service.StateDone || st.State == service.StateFailed
+	})
+	if final.State != service.StateDone {
+		t.Fatalf("resumed job state=%s err=%q", final.State, final.Error)
+	}
+	if !final.Result.Resumed {
+		t.Fatal("restarted daemon re-ran the job instead of resuming it")
+	}
+	if !final.Result.Complete || len(final.Result.Bugs) != 0 {
+		t.Fatalf("resumed paxos-two result: %+v", final.Result)
+	}
+
+	// Reference: the same job on a fresh store, uninterrupted.
+	freshStore := filepath.Join(dir, "fresh.lmcstore")
+	cmd3, base3 := startServe(t, bin, freshStore)
+	defer func() { cmd3.Process.Kill(); cmd3.Wait() }()
+	mustPost(t, base3+"/jobs", `{"id":"victim","workload":"paxos-two","depth":4,"first":false}`)
+	fresh := waitStatus(t, base3, "victim", func(st service.JobStatus) bool {
+		return st.State == service.StateDone
+	})
+	if fresh.Result.Stats.Transitions != final.Result.Stats.Transitions ||
+		fresh.Result.Stats.SystemStates != final.Result.Stats.SystemStates {
+		t.Fatalf("resumed daemon diverged from uninterrupted daemon:\nresumed %+v\n  fresh %+v",
+			final.Result.Stats, fresh.Result.Stats)
+	}
+}
+
+var listenLine = regexp.MustCompile(`listening on (http://[^/\s]+)/`)
+
+// startServe launches `bin -serve` on an ephemeral port and scrapes the
+// base URL from its startup line.
+func startServe(t *testing.T, bin, storePath string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "-serve", "-listen", "127.0.0.1:0", "-store", storePath)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		if m := listenLine.FindStringSubmatch(sc.Text()); m != nil {
+			// Keep draining stdout so the daemon never blocks on a full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return cmd, m[1]
+		}
+	}
+	cmd.Process.Signal(syscall.SIGKILL)
+	cmd.Wait()
+	t.Fatal("daemon never printed its listen address")
+	return nil, ""
+}
+
+func mustPost(t *testing.T, url, body string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		buf := make([]byte, 1024)
+		n, _ := resp.Body.Read(buf)
+		t.Fatalf("POST %s: %d %s", url, resp.StatusCode, buf[:n])
+	}
+}
+
+// waitStatus polls one job until the predicate holds.
+func waitStatus(t *testing.T, base, id string, done func(service.JobStatus) bool) service.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%s", base, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st service.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done(st) {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached the awaited state", id)
+	return service.JobStatus{}
+}

@@ -31,6 +31,20 @@ var (
 	ErrFrameChecksum = errors.New("codec: frame checksum mismatch")
 )
 
+// AppendFrame appends payload's frame encoding — byte-identical to what
+// WriteFrame emits — to dst and returns the extended slice. Callers that
+// write frames to an unbuffered file use it to pay one write syscall per
+// frame instead of three.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	var sum [8]byte
+	binary.BigEndian.PutUint64(sum[:], fnvBytes(fnvOffset64, payload))
+	return append(dst, sum[:]...)
+}
+
 // WriteFrame writes payload as one frame. The caller flushes any buffering.
 func WriteFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte

@@ -37,6 +37,26 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAppendFrameMatchesWriteFrame(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		{0x00},
+		[]byte("hello"),
+		bytes.Repeat([]byte{0xab}, 1<<12),
+	}
+	for i, p := range payloads {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame %d: %v", i, err)
+		}
+		got := AppendFrame([]byte("prefix"), p)
+		if !bytes.Equal(got, append([]byte("prefix"), buf.Bytes()...)) {
+			t.Fatalf("payload %d: AppendFrame diverges from WriteFrame", i)
+		}
+	}
+}
+
 func TestFrameTooLarge(t *testing.T) {
 	var buf bytes.Buffer
 	var hdr [4]byte

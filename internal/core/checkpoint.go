@@ -1,0 +1,278 @@
+package core
+
+import (
+	"lmc/internal/codec"
+	"lmc/internal/obs"
+	"lmc/internal/stats"
+)
+
+// Round checkpointing reuses the shard layer's records-as-hints design
+// (shard.go) for durability instead of distribution: at every completed
+// round barrier the checker can hand a fingerprint-only description of the
+// round — the delivery records its walk produced, the per-node new-state
+// fingerprints, a replica digest, and a counter snapshot — to a
+// CheckpointSink. A later run of the identical spec resumes by replaying
+// exploration from scratch while feeding each round's stored records back
+// through loadShardRecords: the canonical walk consults them exactly like a
+// shard coordinator's merged batch, and because deliver charges the
+// transition before consulting the record table, the resumed run's Result —
+// bugs, schedules, state counts, Counters — is bit-for-bit identical to the
+// uninterrupted one (modulo the wall-clock duration fields). Only the
+// deliveries that discovered a node state are captured: a rejected or
+// duplicate-successor delivery re-derives itself bit-for-bit when the
+// resumed walk executes it inline, so recording it would buy resume speed
+// at several times the capture, encode and write volume (86% of a typical
+// round's deliveries land on already-visited successors). The stored digest is
+// compared against the replica's own after each primed round; a mismatch
+// (changed handler code, changed options, corrupted store) latches
+// StopResumeDiverged so the caller can invalidate the checkpoint and re-run
+// fresh. Records are hints, never authority — a truncated checkpoint simply
+// leaves the later rounds to execute inline.
+
+// RoundCheckpoint is one completed exploration round as handed to a
+// CheckpointSink at the round's merge barrier, and as returned by a
+// ResumeSource when a later run replays the same round.
+type RoundCheckpoint struct {
+	// Pass and Round locate the round (both 1-based); LocalBound is the
+	// pass's local-event bound.
+	Pass, Round, LocalBound int
+	// Records are the round's discovery records in the canonical merge order
+	// (ascending by network entry), the batch a resumed run feeds to its
+	// delivery walk. Deliveries that rejected or landed on an
+	// already-visited successor carry no record; the resumed walk
+	// re-executes them inline with identical results.
+	Records []DeliveryRecord
+	// NewStates holds, per node, the fingerprints of the node states first
+	// visited during this round (both phases) — the explored-set segment the
+	// round contributed.
+	NewStates [][]codec.Fingerprint
+	// Digest summarizes the replica after the round; a resumed run verifies
+	// its own post-round digest against it.
+	Digest ShardDigest
+	// Counters is the cumulative counter snapshot at the barrier. The
+	// wall-clock duration fields are as measured and are excluded from
+	// resume parity.
+	Counters stats.Counters
+}
+
+// CheckpointSink receives one RoundCheckpoint per completed round. Called
+// on the sequential merge goroutine; implementations must not retain the
+// slices beyond the call (the store serializes them synchronously). An
+// error disables checkpointing for the rest of the run — the run itself
+// continues and a KindCheckpoint event carries the error detail.
+type CheckpointSink interface {
+	OnRoundCheckpoint(RoundCheckpoint) error
+}
+
+// ResumeSource supplies the stored rounds of a previous run of the
+// identical spec. RoundHints is called once per (pass, round) before the
+// round's delivery walk; ok=false means the source has no checkpoint for
+// that round (the run has caught up with the stored frontier) and the
+// source is not consulted again.
+type ResumeSource interface {
+	RoundHints(pass, round int) (cp RoundCheckpoint, ok bool)
+}
+
+// capture buffers one delivery record produced by this node's walk; a
+// single branch when checkpointing is off. Canonical mode interleaves the
+// delivery walk across nodes in entry order on one goroutine, so its
+// captures land straight in the checker's round buffer already in the
+// canonical merge order; parallel phases capture per node and merge at the
+// barrier.
+func (r *nodeRun) capture(rec DeliveryRecord) {
+	if !r.c.ckptOn {
+		return
+	}
+	if r.c.ckptSeq {
+		r.c.ckptRecs = append(r.c.ckptRecs, rec)
+	} else {
+		r.recs = append(r.recs, rec)
+	}
+}
+
+// spaceLens snapshots every node's visited-list length, taken at round
+// start so the barrier can segment the round's new-state fingerprints.
+func (c *checker) spaceLens() []int {
+	lens := make([]int, len(c.spaces))
+	for n, sp := range c.spaces {
+		lens[n] = len(sp.states)
+	}
+	return lens
+}
+
+// beginRoundCheckpoint arms the per-round capture flag and primes the
+// delivery walk with the stored records of a resumed run. Returns the
+// round-start visited-list lengths when the sink needs them (nil
+// otherwise).
+func (c *checker) beginRoundCheckpoint(round int) []int {
+	c.ckptOn = c.ckpt != nil
+	var lens []int
+	if c.ckptOn {
+		lens = c.spaceLens()
+	}
+	if c.resume != nil {
+		cp, ok := c.resume.RoundHints(c.em.pass, round)
+		if !ok {
+			// Past the stored frontier: later rounds execute inline.
+			c.resume = nil
+		} else {
+			c.loadShardRecords(cp.Records)
+			c.resumeDigest = cp.Digest
+			c.resumePending = true
+			c.em.resume(len(cp.Records), "")
+		}
+	}
+	return lens
+}
+
+// endRoundCheckpoint is the barrier half: verify a resume-primed round's
+// digest against the stored one, then hand the completed round to the sink.
+// Skipped entirely when a stop criterion fired mid-round — the round is
+// incomplete and a partial checkpoint would poison a resume. Runs before
+// em.barrier so its events flush with the round's batch.
+func (c *checker) endRoundCheckpoint(round int, runs []*nodeRun, startLens []int) {
+	defer c.reclaimRecBufs(runs)
+	pending := c.resumePending
+	c.resumePending = false
+	if c.stopped || (!pending && !c.ckptOn) {
+		return
+	}
+	d := c.shardDigest()
+	if pending {
+		if d != c.resumeDigest {
+			c.resume = nil
+			c.em.resume(0, "post-round digest mismatch against stored checkpoint")
+			c.stop(obs.StopResumeDiverged)
+			return
+		}
+		if c.shardTaint != nil && c.link == nil {
+			// A record's emissions disagreed with re-execution during the
+			// primed walk (mergeEmit latched the taint). The net content
+			// still matched the digest, but the checkpoint lied once —
+			// treat it as divergence rather than trust the rest.
+			c.resume = nil
+			c.em.resume(0, c.shardTaint.Error())
+			c.shardTaint = nil
+			c.stop(obs.StopResumeDiverged)
+			return
+		}
+	}
+	if !c.ckptOn {
+		return
+	}
+	// Canonical merge order: ascending by producing entry. Entries have a
+	// single destination node, so cross-node ties cannot occur.
+	recs := c.ckptRecs
+	if !c.ckptSeq {
+		recs = c.mergeRunRecords(runs)
+	}
+	if len(c.ckptNews) != len(c.spaces) {
+		c.ckptNews = make([][]codec.Fingerprint, len(c.spaces))
+	}
+	news := c.ckptNews
+	for n, sp := range c.spaces {
+		buf := news[n][:0]
+		for _, ns := range sp.states[startLens[n]:] {
+			buf = append(buf, ns.fp)
+		}
+		news[n] = buf
+	}
+	cp := RoundCheckpoint{
+		Pass:       c.em.pass,
+		Round:      round,
+		LocalBound: c.localBound,
+		Records:    recs,
+		NewStates:  news,
+		Digest:     d,
+		Counters:   c.res.Stats,
+	}
+	if err := c.ckpt.OnRoundCheckpoint(cp); err != nil {
+		c.ckpt = nil
+		c.ckptOn = false
+		c.em.checkpoint(len(recs), err.Error())
+		return
+	}
+	c.em.checkpoint(len(recs), "")
+}
+
+// mergeRunRecords merges the per-node capture batches into the canonical
+// order (ascending by producing entry) in a single pass over a reused
+// buffer. Each batch is entry-ascending by construction and an entry has
+// exactly one destination node, so the batches are disjoint ascending
+// sequences: a k-way merge copies every record once. (Sorting the
+// concatenation instead hits exactly the interleaving that drives
+// comparison sorts to their worst case, and the repeated swaps of a
+// pointer-bearing struct made the write barrier the round's hottest path.)
+func (c *checker) mergeRunRecords(runs []*nodeRun) []DeliveryRecord {
+	total := 0
+	for _, r := range runs {
+		total += len(r.recs)
+	}
+	recs := c.ckptRecs[:0]
+	if cap(recs) < total {
+		recs = make([]DeliveryRecord, 0, total)
+	}
+	if len(c.recIdx) != len(runs) {
+		c.recIdx = make([]int, len(runs))
+	}
+	idx := c.recIdx
+	for k := range idx {
+		idx[k] = 0
+	}
+	for len(recs) < total {
+		best := -1
+		for k, r := range runs {
+			if idx[k] >= len(r.recs) {
+				continue
+			}
+			if best < 0 || r.recs[idx[k]].Entry < runs[best].recs[idx[best]].Entry {
+				best = k
+			}
+		}
+		// All records for one entry are contiguous in their node's batch;
+		// copy the whole group in one append.
+		b := runs[best].recs
+		j := idx[best]
+		for e := b[j].Entry; j < len(b) && b[j].Entry == e; j++ {
+		}
+		recs = append(recs, b[idx[best]:j]...)
+		idx[best] = j
+	}
+	c.ckptRecs = recs
+	return recs
+}
+
+// armRecBufs readies this round's capture buffers. A canonical phase (no
+// shared halt flag: one goroutine, entries walked in index order) captures
+// straight into the checker's round buffer; a parallel phase gets the
+// per-node buffers, which reclaimRecBufs takes back at the barrier once
+// the merge has copied the records out. Both reuse capacity across rounds,
+// so steady-state capture allocates only on growth.
+func (c *checker) armRecBufs(runs []*nodeRun) {
+	if !c.ckptOn {
+		return
+	}
+	c.ckptSeq = len(runs) == 0 || runs[0].halt == nil
+	if c.ckptSeq {
+		if c.ckptRecs == nil {
+			c.ckptRecs = make([]DeliveryRecord, 0, 512)
+		}
+		c.ckptRecs = c.ckptRecs[:0]
+		return
+	}
+	if len(c.recsBuf) != len(runs) {
+		c.recsBuf = make([][]DeliveryRecord, len(runs))
+	}
+	for n, r := range runs {
+		r.recs = c.recsBuf[n][:0]
+	}
+}
+
+func (c *checker) reclaimRecBufs(runs []*nodeRun) {
+	if c.ckptSeq || len(c.recsBuf) != len(runs) {
+		return
+	}
+	for n, r := range runs {
+		c.recsBuf[n] = r.recs[:0]
+	}
+}

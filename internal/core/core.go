@@ -169,6 +169,29 @@ type Options struct {
 	// policies discard the successor state (§4.2, "Local assertions").
 	AssertionPolicy spec.AssertionPolicy
 
+	// Checkpoint, when non-nil, receives a RoundCheckpoint at every
+	// completed round merge barrier: the round's delivery records (the same
+	// fingerprint-only records the shard layer exchanges), the per-node
+	// new-state fingerprints, a replica digest, and a counter snapshot. A
+	// sink error disables checkpointing for the rest of the run (reported
+	// via a KindCheckpoint event); the run itself continues. See
+	// checkpoint.go and internal/store.
+	Checkpoint CheckpointSink
+	// Resume, when non-nil, primes each round's delivery walk with the
+	// stored records of a previous run of the identical spec, so the resumed
+	// run re-derives — bit-for-bit, including Counters modulo the wall-clock
+	// duration fields — everything the interrupted run computed, without
+	// re-executing recorded handlers. After each primed round the replica's
+	// digest is verified against the stored one; a mismatch stops the run
+	// with StopResumeDiverged.
+	Resume ResumeSource
+	// Shards requests sharded multi-process exploration when the run is
+	// launched through a runner that can spawn worker processes (cmd/lmc,
+	// internal/service, internal/shard.Check); <= 1 means in-process. The
+	// in-process checkers themselves ignore it — sharding needs a Spawner,
+	// which only those runners supply.
+	Shards int
+
 	// Observer receives typed run events: round start/end, pass restarts,
 	// system-state batches, soundness calls, preliminary and confirmed
 	// violations, and periodic heartbeat snapshots of the counters. Events
@@ -371,6 +394,11 @@ type space struct {
 	states []*nodeState
 	byFP   map[codec.Fingerprint]*nodeState
 
+	// chain is the running combination of every visited fingerprint in
+	// discovery order. The states list only ever appends within a pass, so
+	// shardDigest reads this instead of re-hashing the whole list each round.
+	chain codec.Hasher
+
 	// minProducer indexes creation-edge message emissions: fingerprint → seq
 	// of the first state whose creation edge generated it (index.go).
 	minProducer map[codec.Fingerprint]int
@@ -431,6 +459,7 @@ func newSpace() *space {
 		byFP:        make(map[codec.Fingerprint]*nodeState),
 		groups:      make(map[string]*interestGroup),
 		minProducer: make(map[codec.Fingerprint]int),
+		chain:       codec.NewHasher(),
 	}
 }
 
@@ -438,6 +467,7 @@ func (sp *space) add(ns *nodeState) {
 	ns.seq = len(sp.states)
 	sp.states = append(sp.states, ns)
 	sp.byFP[ns.fp] = ns
+	sp.chain.Add(ns.fp)
 	sp.indexProducers(ns)
 }
 

@@ -164,6 +164,24 @@ func (e *emitter) shardRound(shard, shards, records int) {
 	e.push(obs.Event{Kind: obs.KindShardRound, Shard: shard, Shards: shards, Count: records})
 }
 
+// checkpoint buffers the round's checkpoint event (records captured, or the
+// sink error that disabled checkpointing); flushed with the round's batch.
+func (e *emitter) checkpoint(records int, detail string) {
+	if !e.active() {
+		return
+	}
+	e.push(obs.Event{Kind: obs.KindCheckpoint, Count: records, Detail: detail})
+}
+
+// resume buffers a resume event: a round primed with stored records, or —
+// with a non-empty detail — a digest divergence against the checkpoint.
+func (e *emitter) resume(records int, detail string) {
+	if !e.active() {
+		return
+	}
+	e.push(obs.Event{Kind: obs.KindResume, Count: records, Detail: detail})
+}
+
 // shardDegraded reports the fall back from sharded to in-process
 // exploration. It flushes immediately — degradation can happen right before
 // a long in-process round, and the operator should see it now.

@@ -104,6 +104,28 @@ type checker struct {
 	shardObjs  map[shardKey]shardExec
 	shardTaint error
 
+	// ckpt is the round-checkpoint sink (nil disables); ckptOn arms the
+	// per-round record capture in the delivery walk. resume supplies stored
+	// rounds of a previous identical run; resumeDigest/resumePending carry a
+	// primed round's stored digest to the barrier's verification.
+	ckpt          CheckpointSink
+	ckptOn        bool
+	resume        ResumeSource
+	resumeDigest  ShardDigest
+	resumePending bool
+	// Reused checkpoint buffers: the merged record batch and per-node
+	// new-state segments handed to the sink (which serializes them
+	// synchronously and must not retain them), plus the per-node capture
+	// buffers lent to the delivery runs. All keep their capacity across
+	// rounds so steady-state checkpointing allocates nothing per round.
+	ckptRecs []DeliveryRecord
+	ckptNews [][]codec.Fingerprint
+	recsBuf  [][]DeliveryRecord
+	recIdx   []int
+	// ckptSeq marks a canonical delivery phase, whose single-goroutine walk
+	// captures into ckptRecs directly in merge order (armRecBufs).
+	ckptSeq bool
+
 	stopped bool // a stop criterion (budget/transitions/first-bug) fired
 	// reason records which criterion fired first; meaningful only while
 	// stopped is set.
@@ -223,6 +245,8 @@ func newChecker(ctx context.Context, m model.Machine, start model.SystemState, o
 	c.ctx = ctx
 	c.em = newEmitter(opt.Observer, opt.HeartbeatEvery, c.begin)
 	c.localBound = opt.LocalBound
+	c.ckpt = opt.Checkpoint
+	c.resume = opt.Resume
 	return c
 }
 
@@ -399,6 +423,10 @@ func (c *checker) pass() bool {
 	for round := 1; !c.stopped; round++ {
 		progress := false
 		c.em.roundStart()
+		// Checkpointing: arm record capture, snapshot the round-start
+		// visited-list lengths, and prime the delivery walk with a resumed
+		// run's stored records for this round.
+		ckLens := c.beginRoundCheckpoint(round)
 		// Sharded runs: the workers replicate the action phase and sweep
 		// their delivery slices concurrently with the coordinator's own
 		// action phase. netBase marks the net length the round's
@@ -427,11 +455,11 @@ func (c *checker) pass() bool {
 		// Applied counter skips states already covered in earlier rounds.
 		// Messages appended during this round are picked up next round (the
 		// epoch snapshot), matching the paper's rounds.
+		var runsB []*nodeRun
 		if !c.stopped {
 			// Sharded runs: swap delivery records with the worker fleet
 			// before walking — the walk below consults them as hints.
 			c.shardExchange(round, netBase)
-			var runsB []*nodeRun
 			c.underPhase("delivery", func() { runsB = c.runDeliveryPhase(parallel) })
 			c.underPhase("sysstate", func() {
 				if c.mergeDeliveryPhase(runsB) {
@@ -443,6 +471,11 @@ func (c *checker) pass() bool {
 
 		c.underPhase("soundness", func() { c.drainPending(false) })
 		c.recordRound()
+		// Checkpoint barrier: verify a resume-primed round's digest, then
+		// hand the completed round to the sink. Before em.barrier, so the
+		// checkpoint/resume events flush with the round's batch; skipped
+		// when a stop criterion fired mid-round (the round is incomplete).
+		c.endRoundCheckpoint(round, runsB, ckLens)
 		// The round barrier: flush buffered run events, then poll the
 		// context. The observer runs before the poll, so a hook that cancels
 		// on a chosen round stops the run at that exact barrier regardless of

@@ -35,6 +35,10 @@ type nodeRun struct {
 	// internal events), which is what the barrier sorts by.
 	emits []emitBatch
 	news  []discovery
+	// recs are the delivery records captured for the round checkpoint
+	// (checkpoint.go); entry-ascending by construction, empty unless a
+	// CheckpointSink armed the capture.
+	recs []DeliveryRecord
 
 	// Stats deltas, merged into Result.Stats at the barrier. transitions
 	// stays zero in canonical mode (chargeTransition charges the global
@@ -249,7 +253,14 @@ func (r *nodeRun) deliver(e *netstate.Entry, s *nodeState, entry int) {
 	if e.RecvEventFP == 0 {
 		e.RecvEventFP = ev.Fingerprint()
 	}
-	r.addNext(s, ev, e.RecvEventFP, evfp, next, emitted, e.FP, entry)
+	fp, generated, fresh := r.addNext(s, ev, e.RecvEventFP, evfp, next, emitted, e.FP, entry)
+	// Checkpoint only the deliveries that discovered a state: records are
+	// hints, and a rejected or duplicate-successor delivery re-derives
+	// itself bit-for-bit when a resumed walk executes it inline, so those
+	// records would buy resume speed at a ~7x capture/encode/write cost.
+	if fresh {
+		r.capture(DeliveryRecord{Entry: entry, Parent: s.fp, Succ: fp, Emitted: generated})
+	}
 }
 
 // deliverRecorded resolves one delivery pair from its shard record instead
@@ -308,7 +319,10 @@ func (r *nodeRun) deliverRecorded(e *netstate.Entry, s *nodeState, entry int,
 		r.rejections++
 		return
 	}
-	r.addNext(s, ev, e.RecvEventFP, evfp, next, emitted, e.FP, entry)
+	fp, generated, fresh := r.addNext(s, ev, e.RecvEventFP, evfp, next, emitted, e.FP, entry)
+	if fresh {
+		r.capture(DeliveryRecord{Entry: entry, Parent: s.fp, Succ: fp, Emitted: generated})
+	}
 }
 
 // addNext is Procedure addNextState of Figure 9, split around the round
@@ -318,9 +332,13 @@ func (r *nodeRun) deliverRecorded(e *netstate.Entry, s *nodeState, entry int,
 // evFP is ev's fingerprint (hashed once by the caller); historyFP the
 // delivery-event fingerprint for network events (zero for internal
 // events); msgFP the consumed message's content fingerprint; entry the
-// producing network-entry index (-1 for internal events).
+// producing network-entry index (-1 for internal events). It returns the
+// successor's state fingerprint and the generated-message fingerprints —
+// both computed here anyway, so the delivery walk's checkpoint capture
+// never re-hashes — plus whether the successor was first visited here,
+// which is what decides if the delivery is worth a checkpoint record.
 func (r *nodeRun) addNext(prev *nodeState, ev model.Event, evFP, historyFP codec.Fingerprint,
-	next model.State, emitted []model.Message, msgFP codec.Fingerprint, entry int) {
+	next model.State, emitted []model.Message, msgFP codec.Fingerprint, entry int) (codec.Fingerprint, []codec.Fingerprint, bool) {
 
 	c := r.c
 	generated := make([]codec.Fingerprint, len(emitted))
@@ -348,7 +366,7 @@ func (r *nodeRun) addNext(prev *nodeState, ev model.Event, evFP, historyFP codec
 		// is deliberately not applied to existing states, matching the
 		// paper's simplification.
 		c.addPred(existing, edge)
-		return
+		return fp, generated, false
 	}
 
 	ns := &nodeState{
@@ -381,6 +399,7 @@ func (r *nodeRun) addNext(prev *nodeState, ev model.Event, evFP, historyFP codec
 		r.maxDepth = ns.depth
 	}
 	r.news = append(r.news, discovery{ns: ns, entry: entry})
+	return fp, generated, true
 }
 
 // runActionPhase executes the internal-events half of a round. In parallel
@@ -409,6 +428,7 @@ func (c *checker) runActionPhase(parallel bool) []*nodeRun {
 func (c *checker) runDeliveryPhase(parallel bool) []*nodeRun {
 	ep := c.net.Epoch()
 	runs := c.newRuns(parallel)
+	c.armRecBufs(runs)
 	if !parallel {
 		for i := 0; i < ep.Len() && !c.stopped; i++ {
 			e := ep.Entry(i)

@@ -242,14 +242,14 @@ func fingerprintAll(msgs []model.Message) []codec.Fingerprint {
 }
 
 // shardDigest fingerprints the replica's deterministic state after a round.
+// Each space maintains its visited-list combination incrementally (space.
+// chain), so the digest costs O(nodes), not O(visited states).
 func (c *checker) shardDigest() ShardDigest {
 	h := codec.NewHasher()
 	states := 0
 	for _, sp := range c.spaces {
 		h.Add(codec.Fingerprint(len(sp.states)))
-		for _, ns := range sp.states {
-			h.Add(ns.fp)
-		}
+		h.Add(sp.chain.Sum())
 		states += len(sp.states)
 	}
 	return ShardDigest{
@@ -358,6 +358,9 @@ func NewShardWorker(m model.Machine, start model.SystemState, opt Options, idx, 
 	opt.Workers = -1
 	opt.Observer = nil
 	opt.RecordSeries = false
+	opt.Checkpoint = nil
+	opt.Resume = nil
+	opt.Shards = 0
 	c := newChecker(context.Background(), m, start, opt)
 	return &ShardWorker{c: c, idx: idx, count: count}
 }

@@ -80,6 +80,18 @@ func (o *Options) Validate() error {
 	if o.Invariant == nil {
 		return errors.New("global: Options.Invariant is required")
 	}
+	if o.Strategy != DFS && o.Strategy != BFS {
+		return errors.New("global: Options.Strategy must be DFS or BFS")
+	}
+	if o.MaxDepth < 0 {
+		return errors.New("global: Options.MaxDepth must be >= 0 (0 means unbounded)")
+	}
+	if o.MaxTransitions < 0 {
+		return errors.New("global: Options.MaxTransitions must be >= 0 (0 means unbounded)")
+	}
+	if o.Budget < 0 {
+		return errors.New("global: Options.Budget must be >= 0 (0 means unbounded)")
+	}
 	return nil
 }
 

@@ -78,6 +78,18 @@ const (
 	// the reason (EOF from a dead worker, digest divergence, spawn failure)
 	// and Event.Shard the implicated shard (-1 when not attributable).
 	KindShardDegraded
+	// KindCheckpoint reports one round checkpoint handed to the configured
+	// sink at the round's merge barrier: Event.Count carries the delivery
+	// records captured for the round. A non-empty Event.Detail means the sink
+	// failed and checkpointing was disabled for the rest of the run (the run
+	// itself continues).
+	KindCheckpoint
+	// KindResume reports that a round's delivery walk was primed with the
+	// records of a previous run's checkpoint (Event.Count records). A
+	// non-empty Event.Detail reports a post-round digest mismatch against the
+	// stored checkpoint — the run stops with StopResumeDiverged and the
+	// caller should invalidate the checkpoint and re-run fresh.
+	KindResume
 )
 
 // String names the kind.
@@ -109,6 +121,10 @@ func (k Kind) String() string {
 		return "shard-round"
 	case KindShardDegraded:
 		return "shard-degraded"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindResume:
+		return "resume"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -134,6 +150,11 @@ const (
 	// StopFirstBug: Options.StopAtFirstBug ended the run at the first
 	// confirmed violation.
 	StopFirstBug
+	// StopResumeDiverged: a run resumed from a checkpoint produced a
+	// post-round digest that disagreed with the stored one — the checkpoint
+	// belongs to a different code or option state. The partial result is
+	// meaningless; invalidate the checkpoint and re-run fresh.
+	StopResumeDiverged
 )
 
 // String names the reason.
@@ -149,6 +170,8 @@ func (r StopReason) String() string {
 		return "cancelled"
 	case StopFirstBug:
 		return "first-bug"
+	case StopResumeDiverged:
+		return "resume-diverged"
 	default:
 		return fmt.Sprintf("reason(%d)", int(r))
 	}
@@ -259,6 +282,16 @@ func (e Event) String() string {
 			e.Pass, e.Round, e.Shard, e.Shards, e.Count)
 	case KindShardDegraded:
 		s += fmt.Sprintf(" shard=%d/%d reason=%q", e.Shard, e.Shards, e.Detail)
+	case KindCheckpoint:
+		s += fmt.Sprintf(" pass=%d round=%d records=%d", e.Pass, e.Round, e.Count)
+		if e.Detail != "" {
+			s += fmt.Sprintf(" error=%q", e.Detail)
+		}
+	case KindResume:
+		s += fmt.Sprintf(" pass=%d round=%d records=%d", e.Pass, e.Round, e.Count)
+		if e.Detail != "" {
+			s += fmt.Sprintf(" diverged=%q", e.Detail)
+		}
 	}
 	return s
 }

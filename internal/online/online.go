@@ -9,6 +9,7 @@ package online
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"lmc/internal/core"
@@ -33,6 +34,23 @@ type Config struct {
 	Checker core.Options
 	// StopAtFirstBug ends the session at the first confirmed bug.
 	StopAtFirstBug bool
+}
+
+// Validate reports whether the config describes a runnable session: a
+// machine to model-check, non-negative timing (zero selects the defaults —
+// 60 s interval, 24 simulated hours), and runnable checker options. It is
+// called by RunContext; the legacy Run entry point deliberately skips it.
+func (c *Config) Validate() error {
+	if c.Machine == nil {
+		return errors.New("online: Config.Machine is required")
+	}
+	if c.Interval < 0 {
+		return errors.New("online: Config.Interval is simulated seconds between restarts and must be >= 0 (0 means 60)")
+	}
+	if c.MaxSimTime < 0 {
+		return errors.New("online: Config.MaxSimTime is simulated seconds and must be >= 0 (0 means 24 hours)")
+	}
+	return c.Checker.Validate()
 }
 
 // RunReport records one checker restart.
@@ -76,7 +94,7 @@ func Run(live *sim.Sim, cfg Config) *Report {
 // announced to cfg.Checker.Observer with a KindSnapshot event before the
 // checker run's own events.
 func RunContext(ctx context.Context, live *sim.Sim, cfg Config) (*Report, error) {
-	if err := cfg.Checker.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	return run(ctx, live, cfg, true), nil

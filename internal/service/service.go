@@ -1,0 +1,633 @@
+// Package service is the resident checking service behind `lmc serve`: a
+// sequential job queue over the bench workload registry, executing each job
+// under the parallel (and optionally sharded) engine with every completed
+// round checkpointed to a persistent store (internal/store). Kill the
+// daemon — SIGKILL included — and the next daemon over the same store file
+// resumes every unfinished job from its last completed round, bit-for-bit:
+// resumed results are identical to uninterrupted ones because resume just
+// replays exploration with the stored delivery records primed into the
+// canonical walk (internal/core/checkpoint.go).
+//
+// Staleness is handled at two levels. At startup, a stored run whose code
+// hash (the checker binary's fingerprint) or options signature disagrees
+// with the current daemon is invalidated and re-run fresh — handler code
+// changed, so the records are lies. As a backstop, a resume whose
+// post-round digest disagrees with the stored checkpoint stops with
+// StopResumeDiverged; the service invalidates that run and re-runs it
+// fresh under a new run ID.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"lmc/internal/bench"
+	"lmc/internal/core"
+	"lmc/internal/mc/global"
+	"lmc/internal/model"
+	"lmc/internal/obs"
+	"lmc/internal/shard"
+	"lmc/internal/stats"
+	"lmc/internal/store"
+)
+
+// JobSpec is the wire format of one job submission (POST /jobs).
+type JobSpec struct {
+	// ID names the job; empty means the service assigns job-<n>.
+	ID string `json:"id,omitempty"`
+	// Workload is a bench registry name (GET /workloads lists them).
+	Workload string `json:"workload"`
+	// Checker is "lmc-opt" (default), "lmc", "global" or "bfs".
+	Checker string `json:"checker,omitempty"`
+	// Reduce is the reduction spec for the LMC checkers ("sym,por", "all",
+	// "none"; empty = off).
+	Reduce string `json:"reduce,omitempty"`
+	// Workers sets the in-process worker pool (0 = auto).
+	Workers int `json:"workers,omitempty"`
+	// Shards requests sharded multi-process exploration (<=1 = in-process).
+	Shards int `json:"shards,omitempty"`
+	// Budget is a Go duration string bounding wall time ("30s"; empty =
+	// unbounded).
+	Budget string `json:"budget,omitempty"`
+	// Depth bounds the per-node path depth (LMC) or event depth (global).
+	Depth int `json:"depth,omitempty"`
+	// First stops at the first confirmed bug.
+	First bool `json:"first,omitempty"`
+}
+
+// Sig returns the job's options signature: exactly the fields that shape
+// the explored state space. Workers, Shards and Budget are excluded —
+// exploration is bit-for-bit identical across worker and shard counts, and
+// a wall-clock budget only decides where a run stops, never what a
+// completed round contains.
+func (j JobSpec) Sig() uint64 {
+	return store.OptionsSig(j.Workload, j.Checker, j.Reduce,
+		strconv.Itoa(j.Depth), strconv.FormatBool(j.First))
+}
+
+// validate resolves and normalizes the spec.
+func (j *JobSpec) validate() error {
+	if j.Workload == "" {
+		return fmt.Errorf("service: job needs a workload")
+	}
+	if _, err := bench.Lookup(j.Workload); err != nil {
+		return err
+	}
+	switch j.Checker {
+	case "":
+		j.Checker = "lmc-opt"
+	case "lmc-opt", "lmc", "global", "bfs":
+	default:
+		return fmt.Errorf("service: unknown checker %q (want lmc-opt, lmc, global, bfs)", j.Checker)
+	}
+	if _, err := core.ParseReductions(j.Reduce); err != nil {
+		return err
+	}
+	if j.Budget != "" {
+		if _, err := time.ParseDuration(j.Budget); err != nil {
+			return fmt.Errorf("service: bad budget: %w", err)
+		}
+	}
+	if j.Depth < 0 {
+		return fmt.Errorf("service: negative depth")
+	}
+	return nil
+}
+
+// BugSummary is one confirmed bug in a job result.
+type BugSummary struct {
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+	Depth     int    `json:"depth"`
+}
+
+// JobResult summarizes a finished checker run. It is stored verbatim (as
+// JSON) in the run's store bucket, so a restarted daemon can report
+// finished jobs without re-running them.
+type JobResult struct {
+	Complete   bool           `json:"complete"`
+	StopReason string         `json:"stop_reason"`
+	Bugs       []BugSummary   `json:"bugs,omitempty"`
+	Stats      stats.Counters `json:"stats"`
+	// Resumed is true when the run was primed from stored checkpoints.
+	Resumed bool `json:"resumed,omitempty"`
+	// Invalidated carries the reason the job's previous checkpoints were
+	// discarded before this (fresh) run, when they were.
+	Invalidated string `json:"invalidated,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// JobStatus is the externally visible state of one job.
+type JobStatus struct {
+	ID    string  `json:"id"`
+	Spec  JobSpec `json:"spec"`
+	State string  `json:"state"`
+	// RunID is the store bucket the job checkpoints into (differs from ID
+	// after a divergence re-run).
+	RunID string `json:"run_id,omitempty"`
+	// CheckpointRounds counts the round checkpoints persisted so far.
+	CheckpointRounds int        `json:"checkpoint_rounds,omitempty"`
+	Result           *JobResult `json:"result,omitempty"`
+	Error            string     `json:"error,omitempty"`
+}
+
+// job is the internal job record.
+type job struct {
+	status JobStatus
+	cancel context.CancelFunc
+	// resume marks a job recovered from the store at startup.
+	resume bool
+}
+
+// Config parameterizes a Service.
+type Config struct {
+	// Store is the checkpoint store; required.
+	Store *store.Store
+	// CodeHash overrides the binary fingerprint (store.CodeHash()); zero
+	// means compute it. Tests use a fixed value to simulate rebuilds.
+	CodeHash uint64
+	// Spawner, when non-nil, enables sharded exploration for jobs with
+	// Shards > 1 (cmd/lmc passes a SelfExec re-running itself as a shard
+	// worker; tests pass a PipeSpawner).
+	Spawner shard.Spawner
+	// Defaults fills unset JobSpec fields at submission time: Workload,
+	// Checker, Reduce, Workers, Shards, Budget and Depth each apply when
+	// the submitted spec leaves them zero. cmd/lmc passes its run-mode
+	// flag values here, so both modes share one configuration surface.
+	Defaults JobSpec
+	// Observer receives the run events of every job (e.g. the expvar
+	// observer, so /debug/vars shows live counters); nil disables.
+	Observer obs.Observer
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Service is the resident job queue. Create with New, recover stored jobs
+// with Recover, then drive with Run; Submit/Jobs/Job/Cancel are safe from
+// any goroutine (the HTTP layer calls them).
+type Service struct {
+	st       *store.Store
+	codeHash uint64
+	spawner  shard.Spawner
+	defaults JobSpec
+	observer obs.Observer
+	logf     func(string, ...any)
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	queue  chan string
+	nextID int
+}
+
+// New builds a Service over the given store.
+func New(cfg Config) *Service {
+	if cfg.CodeHash == 0 {
+		cfg.CodeHash = store.CodeHash()
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Service{
+		st:       cfg.Store,
+		codeHash: cfg.CodeHash,
+		spawner:  cfg.Spawner,
+		defaults: cfg.Defaults,
+		observer: cfg.Observer,
+		logf:     logf,
+		jobs:     make(map[string]*job),
+		queue:    make(chan string, 1024),
+	}
+}
+
+// applyDefaults fills unset spec fields from the service defaults.
+func (s *Service) applyDefaults(spec *JobSpec) {
+	d := s.defaults
+	if spec.Workload == "" {
+		spec.Workload = d.Workload
+	}
+	if spec.Checker == "" {
+		spec.Checker = d.Checker
+	}
+	if spec.Reduce == "" {
+		spec.Reduce = d.Reduce
+	}
+	if spec.Workers == 0 {
+		spec.Workers = d.Workers
+	}
+	if spec.Shards == 0 {
+		spec.Shards = d.Shards
+	}
+	if spec.Budget == "" {
+		spec.Budget = d.Budget
+	}
+	if spec.Depth == 0 {
+		spec.Depth = d.Depth
+	}
+}
+
+// Recover scans the store for runs left behind by a previous daemon and
+// re-enqueues the unfinished ones: matching code hash and options
+// signature → resume from the stored rounds; mismatch → invalidate and run
+// fresh. Finished runs surface as done jobs with their stored results.
+// Call once, before Run.
+func (s *Service) Recover() {
+	for _, meta := range s.st.Runs() {
+		var spec JobSpec
+		if err := json.Unmarshal([]byte(meta.Spec), &spec); err != nil {
+			s.logf("recover: run %s has an unreadable spec; ignoring", meta.ID)
+			continue
+		}
+		switch {
+		case meta.Done:
+			var res JobResult
+			if err := json.Unmarshal([]byte(meta.Detail), &res); err == nil {
+				s.adopt(spec, meta.ID, JobStatus{State: StateDone, Result: &res,
+					CheckpointRounds: meta.Rounds})
+			}
+		case meta.Invalid:
+			// A bucket invalidated by a previous daemon whose replacement
+			// run never finished (or never started): run fresh.
+			s.logf("recover: %s was invalidated (%s); running fresh", meta.ID, meta.Detail)
+			s.enqueueRecovered(spec, meta.ID, false, meta.Detail)
+		case meta.CodeHash != s.codeHash:
+			s.st.InvalidateRun(meta.ID, "checker binary changed")
+			s.logf("recover: %s checkpointed under a different binary; running fresh", meta.ID)
+			s.enqueueRecovered(spec, meta.ID, false, "checker binary changed")
+		case meta.OptionsSig != spec.Sig():
+			s.st.InvalidateRun(meta.ID, "options changed")
+			s.logf("recover: %s checkpointed under different options; running fresh", meta.ID)
+			s.enqueueRecovered(spec, meta.ID, false, "options changed")
+		default:
+			s.logf("recover: resuming %s from %d stored rounds", meta.ID, meta.Rounds)
+			s.enqueueRecovered(spec, meta.ID, true, "")
+		}
+	}
+}
+
+// adopt registers a terminal job without queueing it.
+func (s *Service) adopt(spec JobSpec, id string, st JobStatus) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.ID, st.Spec, st.RunID = id, spec, id
+	s.jobs[id] = &job{status: st, cancel: func() {}}
+	s.order = append(s.order, id)
+}
+
+// enqueueRecovered queues a job recovered from bucket id. When resume is
+// false the bucket was invalidated for the given reason and the job will
+// checkpoint into a fresh bucket.
+func (s *Service) enqueueRecovered(spec JobSpec, id string, resume bool, invalidated string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := &job{
+		status: JobStatus{ID: id, Spec: spec, State: StateQueued, RunID: id, Error: invalidated},
+		cancel: func() {},
+		resume: resume,
+	}
+	// Error doubles as the invalidation note until the run finishes.
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.queue <- id
+}
+
+// Submit validates and enqueues a job, filling unset spec fields from the
+// service defaults first.
+func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
+	s.applyDefaults(&spec)
+	if err := spec.validate(); err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if spec.ID == "" {
+		for {
+			s.nextID++
+			spec.ID = "job-" + strconv.Itoa(s.nextID)
+			if _, taken := s.jobs[spec.ID]; !taken {
+				break
+			}
+		}
+	} else if _, taken := s.jobs[spec.ID]; taken {
+		return JobStatus{}, fmt.Errorf("service: job %q already exists", spec.ID)
+	}
+	j := &job{
+		status: JobStatus{ID: spec.ID, Spec: spec, State: StateQueued},
+		cancel: func() {},
+	}
+	s.jobs[spec.ID] = j
+	s.order = append(s.order, spec.ID)
+	s.queue <- spec.ID
+	return j.status, nil
+}
+
+// Jobs lists every job in submission order.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status)
+	}
+	return out
+}
+
+// Job returns one job's status.
+func (s *Service) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status, true
+}
+
+// Cancel stops a running job at its next round barrier (keeping its
+// checkpoints, so a later daemon can resume it), or drops a queued one.
+func (s *Service) Cancel(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false
+	}
+	switch j.status.State {
+	case StateQueued:
+		j.status.State = StateCancelled
+	case StateRunning:
+		j.cancel()
+	default:
+		return false
+	}
+	return true
+}
+
+// Run executes queued jobs sequentially until ctx is cancelled. It is the
+// daemon's main loop; run it on one goroutine.
+func (s *Service) Run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case id := <-s.queue:
+			s.mu.Lock()
+			j, ok := s.jobs[id]
+			if !ok || j.status.State != StateQueued {
+				s.mu.Unlock()
+				continue
+			}
+			jctx, cancel := context.WithCancel(ctx)
+			j.cancel = cancel
+			j.status.State = StateRunning
+			status := j.status
+			resume := j.resume
+			s.mu.Unlock()
+
+			res, err := s.execute(jctx, &status, resume)
+			cancel()
+
+			s.mu.Lock()
+			// The sink mirrored checkpoint progress into the live status
+			// while execute ran; keep it over the stale snapshot.
+			status.CheckpointRounds = j.status.CheckpointRounds
+			j.status = status
+			switch {
+			case err != nil:
+				j.status.State = StateFailed
+				j.status.Error = err.Error()
+				s.logf("job %s failed: %v", id, err)
+			case res.StopReason == obs.StopCancelled.String() && !res.Complete:
+				j.status.State = StateCancelled
+				j.status.Result = res
+				s.logf("job %s cancelled at round barrier", id)
+			default:
+				j.status.State = StateDone
+				j.status.Result = res
+				j.status.Error = ""
+				s.logf("job %s done: complete=%v bugs=%d", id, res.Complete, len(res.Bugs))
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// countSink wraps the store sink to mirror checkpoint progress into the
+// job status (read by GET /jobs/{id} while the job runs).
+type countSink struct {
+	next   core.CheckpointSink
+	s      *Service
+	id     string
+	rounds int
+}
+
+func (c *countSink) OnRoundCheckpoint(cp core.RoundCheckpoint) error {
+	if err := c.next.OnRoundCheckpoint(cp); err != nil {
+		return err
+	}
+	c.rounds++
+	n := c.rounds
+	c.s.mu.Lock()
+	if j, ok := c.s.jobs[c.id]; ok {
+		j.status.CheckpointRounds = n
+	}
+	c.s.mu.Unlock()
+	return nil
+}
+
+// execute runs one job to completion, handling checkpoint setup, resume,
+// and the divergence retry. status is the caller's snapshot; execute
+// updates its RunID/CheckpointRounds fields.
+func (s *Service) execute(ctx context.Context, status *JobStatus, resume bool) (*JobResult, error) {
+	spec := status.Spec
+	w, err := bench.Lookup(spec.Workload)
+	if err != nil {
+		return nil, err
+	}
+	start, err := w.StartState()
+	if err != nil {
+		return nil, err
+	}
+
+	if spec.Checker == "global" || spec.Checker == "bfs" {
+		return s.executeGlobal(ctx, spec, w, start)
+	}
+
+	reductions, err := core.ParseReductions(spec.Reduce)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.Options{
+		Invariant:       w.Invariant,
+		LocalInvariants: w.Locals,
+		Reduce:          reductions,
+		MaxPathDepth:    spec.Depth,
+		StopAtFirstBug:  spec.First,
+		Workers:         spec.Workers,
+		Shards:          spec.Shards,
+		Observer:        s.observer,
+	}
+	if spec.Checker == "lmc-opt" {
+		opt.Reduction = w.Reduction
+	}
+	if spec.Budget != "" {
+		opt.Budget, _ = time.ParseDuration(spec.Budget)
+	}
+
+	invalidated := status.Error // recovery stored the invalidation note here
+	runID := status.RunID
+	if runID == "" {
+		runID = status.ID
+	}
+	// An invalidated bucket rejects appends; a fresh run after an
+	// invalidation checkpoints into a new one.
+	if meta, ok := s.st.Run(runID); ok && meta.Invalid {
+		runID = s.freeRunID(status.ID)
+	}
+	res, resumed, err := s.runLocal(ctx, spec, w, start, opt, runID, resume)
+	if err != nil {
+		return nil, err
+	}
+	if res.StopReason == obs.StopResumeDiverged {
+		// The stored rounds lied (stale or corrupt despite matching
+		// hashes). Invalidate and run once more, fresh, in a new bucket.
+		reason := "resume diverged from stored checkpoint"
+		s.logf("job %s: %s; invalidating %s and re-running fresh", status.ID, reason, runID)
+		s.st.InvalidateRun(runID, reason)
+		invalidated = reason
+		runID = s.freeRunID(status.ID)
+		res, resumed, err = s.runLocal(ctx, spec, w, start, opt, runID, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	status.RunID = runID
+	s.mu.Lock()
+	if j, ok := s.jobs[status.ID]; ok {
+		j.status.RunID = runID
+	}
+	s.mu.Unlock()
+
+	out := &JobResult{
+		Complete:    res.Complete,
+		StopReason:  res.StopReason.String(),
+		Stats:       res.Stats,
+		Resumed:     resumed,
+		Invalidated: invalidated,
+	}
+	for _, b := range res.Bugs {
+		out.Bugs = append(out.Bugs, BugSummary{
+			Invariant: b.Violation.Invariant,
+			Detail:    b.Violation.Detail,
+			Depth:     b.Depth,
+		})
+	}
+	// A cancelled (incomplete) run keeps its bucket open so the next
+	// daemon resumes it; a finished one records its result durably.
+	if res.Complete || res.StopReason != obs.StopCancelled {
+		detail, _ := json.Marshal(out)
+		s.st.FinishRun(runID, string(detail))
+	}
+	return out, nil
+}
+
+// runLocal performs one LMC run against bucket runID, creating it if
+// needed and attaching sink and (when asked) resume source.
+func (s *Service) runLocal(ctx context.Context, spec JobSpec, w bench.Workload,
+	start model.SystemState, opt core.Options, runID string, resume bool) (*core.Result, bool, error) {
+
+	if _, ok := s.st.Run(runID); !ok {
+		specJSON, _ := json.Marshal(spec)
+		if err := s.st.CreateRun(runID, string(specJSON), s.codeHash, spec.Sig()); err != nil {
+			return nil, false, err
+		}
+	}
+	opt.Checkpoint = &countSink{next: s.st.Sink(runID), s: s, id: spec.ID}
+
+	resumed := false
+	if resume {
+		if src := s.st.Resume(runID); src != nil {
+			opt.Resume = src
+			resumed = true
+		}
+	}
+
+	// Sharded execution: the coordinator's canonical walk still produces
+	// every checkpoint record, so the sink composes with sharding. Resume
+	// does not — the shard exchange would overwrite the primed records —
+	// so a resumed run always executes in-process (results are identical
+	// for every shard count, so nothing is lost but the fan-out).
+	if opt.Shards > 1 && s.spawner != nil && !resumed {
+		res, err := shard.Check(ctx, w.Machine, start, opt, shard.Config{
+			Shards:  opt.Shards,
+			Spawner: s.spawner,
+			Spec:    bench.ShardSpec(w.Name),
+		})
+		return res, false, err
+	}
+	opt.Shards = 0
+	res, err := core.CheckContext(ctx, w.Machine, start, opt)
+	return res, resumed, err
+}
+
+func (s *Service) executeGlobal(ctx context.Context, spec JobSpec, w bench.Workload,
+	start model.SystemState) (*JobResult, error) {
+
+	if w.Invariant == nil {
+		return nil, fmt.Errorf("service: workload %s has no system invariant; the global checker needs one", w.Name)
+	}
+	strat := global.DFS
+	if spec.Checker == "bfs" {
+		strat = global.BFS
+	}
+	gopt := global.Options{
+		Invariant:      w.Invariant,
+		Strategy:       strat,
+		MaxDepth:       spec.Depth,
+		StopAtFirstBug: spec.First,
+		Observer:       s.observer,
+	}
+	if spec.Budget != "" {
+		gopt.Budget, _ = time.ParseDuration(spec.Budget)
+	}
+	res, err := global.CheckContext(ctx, w.Machine, start, gopt)
+	if err != nil {
+		return nil, err
+	}
+	out := &JobResult{
+		Complete:   res.Complete,
+		StopReason: res.StopReason.String(),
+		Stats:      res.Stats,
+	}
+	for _, b := range res.Bugs {
+		out.Bugs = append(out.Bugs, BugSummary{
+			Invariant: b.Violation.Invariant,
+			Detail:    b.Violation.Detail,
+			Depth:     len(b.Schedule),
+		})
+	}
+	return out, nil
+}
+
+// freeRunID finds an unused store bucket ID derived from id.
+func (s *Service) freeRunID(id string) string {
+	for n := 2; ; n++ {
+		cand := fmt.Sprintf("%s.r%d", id, n)
+		if _, taken := s.st.Run(cand); !taken {
+			return cand
+		}
+	}
+}

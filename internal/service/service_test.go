@@ -1,0 +1,433 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lmc/internal/bench"
+	"lmc/internal/core"
+	"lmc/internal/model"
+	"lmc/internal/obs"
+	"lmc/internal/service"
+	"lmc/internal/shard"
+	"lmc/internal/store"
+)
+
+func openStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(filepath.Join(t.TempDir(), "svc.lmcstore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// startService runs the job loop until the test ends.
+func startService(t *testing.T, cfg service.Config) *service.Service {
+	t.Helper()
+	s := service.New(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go s.Run(ctx)
+	return s
+}
+
+// waitJob polls until the job leaves the queued/running states.
+func waitJob(t *testing.T, s *service.Service, id string) service.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st.State != service.StateQueued && st.State != service.StateRunning {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return service.JobStatus{}
+}
+
+func TestServiceJobLifecycle(t *testing.T) {
+	st := openStore(t)
+	s := startService(t, service.Config{Store: st})
+
+	sub, err := s.Submit(service.JobSpec{Workload: "paxos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID != "job-1" || sub.State != service.StateQueued {
+		t.Fatalf("fresh submission: %+v", sub)
+	}
+	got := waitJob(t, s, sub.ID)
+	if got.State != service.StateDone {
+		t.Fatalf("state=%s err=%q", got.State, got.Error)
+	}
+	if got.Result == nil || !got.Result.Complete || len(got.Result.Bugs) != 0 {
+		t.Fatalf("correct paxos result: %+v", got.Result)
+	}
+	if got.CheckpointRounds == 0 {
+		t.Fatal("no rounds checkpointed")
+	}
+	if got.RunID != sub.ID {
+		t.Fatalf("run bucket %q, want the job ID", got.RunID)
+	}
+
+	// The result is durable: the store bucket is finished, carries the
+	// serialized result, and holds every checkpointed round.
+	meta, ok := st.Run(sub.ID)
+	if !ok || !meta.Done {
+		t.Fatalf("store bucket not finished: %+v", meta)
+	}
+	if meta.Rounds != got.CheckpointRounds {
+		t.Fatalf("store has %d rounds, status says %d", meta.Rounds, got.CheckpointRounds)
+	}
+	var stored service.JobResult
+	if err := json.Unmarshal([]byte(meta.Detail), &stored); err != nil {
+		t.Fatalf("stored detail is not a JobResult: %v", err)
+	}
+	if stored.Stats.Transitions != got.Result.Stats.Transitions {
+		t.Fatal("stored result diverged from reported result")
+	}
+}
+
+func TestServiceFindsBugs(t *testing.T) {
+	st := openStore(t)
+	s := startService(t, service.Config{Store: st})
+	sub, err := s.Submit(service.JobSpec{Workload: "twophase-bug", First: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitJob(t, s, sub.ID)
+	if got.State != service.StateDone || got.Result == nil {
+		t.Fatalf("state=%s", got.State)
+	}
+	if len(got.Result.Bugs) == 0 {
+		t.Fatal("majority 2PC bug not reported")
+	}
+	if got.Result.Bugs[0].Invariant == "" || got.Result.Bugs[0].Detail == "" {
+		t.Fatalf("bug summary incomplete: %+v", got.Result.Bugs[0])
+	}
+}
+
+func TestServiceGlobalChecker(t *testing.T) {
+	st := openStore(t)
+	s := startService(t, service.Config{Store: st})
+	sub, err := s.Submit(service.JobSpec{Workload: "tree", Checker: "global"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitJob(t, s, sub.ID)
+	if got.State != service.StateDone || !got.Result.Complete {
+		t.Fatalf("global job: state=%s result=%+v", got.State, got.Result)
+	}
+	// The global checker has no round structure, so nothing checkpoints.
+	if got.CheckpointRounds != 0 {
+		t.Fatalf("global job checkpointed %d rounds", got.CheckpointRounds)
+	}
+}
+
+func TestServiceSubmitRejects(t *testing.T) {
+	st := openStore(t)
+	s := service.New(service.Config{Store: st})
+	cases := []struct {
+		spec service.JobSpec
+		want string
+	}{
+		{service.JobSpec{}, "workload"},
+		{service.JobSpec{Workload: "no-such"}, "unknown workload"},
+		{service.JobSpec{Workload: "paxos", Checker: "tlc"}, "unknown checker"},
+		{service.JobSpec{Workload: "paxos", Budget: "fast"}, "budget"},
+		{service.JobSpec{Workload: "paxos", Depth: -1}, "depth"},
+		{service.JobSpec{Workload: "paxos", Reduce: "magic"}, "magic"},
+	}
+	for i, tc := range cases {
+		if _, err := s.Submit(tc.spec); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("case %d: err=%v, want containing %q", i, err, tc.want)
+		}
+	}
+	if _, err := s.Submit(service.JobSpec{ID: "dup", Workload: "paxos"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(service.JobSpec{ID: "dup", Workload: "paxos"}); err == nil {
+		t.Fatal("duplicate job ID accepted")
+	}
+	// Without a Run loop the job stays queued; cancelling drops it.
+	if !s.Cancel("dup") {
+		t.Fatal("cancel of a queued job refused")
+	}
+	if got, _ := s.Job("dup"); got.State != service.StateCancelled {
+		t.Fatalf("state=%s after cancel", got.State)
+	}
+	if s.Cancel("dup") {
+		t.Fatal("cancel of a cancelled job accepted")
+	}
+}
+
+// serviceOptions mirrors how the service builds core options for a default
+// lmc-opt job, so manually planted "previous daemon" buckets explore the
+// identical space.
+func serviceOptions(t *testing.T, workload string) (bench.Workload, core.Options) {
+	t.Helper()
+	w, err := bench.Lookup(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, core.Options{
+		Invariant:       w.Invariant,
+		LocalInvariants: w.Locals,
+		Reduction:       w.Reduction,
+	}
+}
+
+// plantInterruptedRun simulates a daemon that died mid-job: it creates the
+// job's bucket under the given code hash and runs the workload with the
+// store sink attached, cancelling at the round-`rounds` barrier — exactly
+// the state a SIGKILL at that barrier leaves behind.
+func plantInterruptedRun(t *testing.T, st *store.Store, id, workload string, codeHash uint64, rounds int) {
+	t.Helper()
+	spec := service.JobSpec{ID: id, Workload: workload, Checker: "lmc-opt"}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateRun(id, string(specJSON), codeHash, spec.Sig()); err != nil {
+		t.Fatal(err)
+	}
+	w, opt := serviceOptions(t, workload)
+	opt.Checkpoint = st.Sink(id)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt.Observer = obs.FuncObserver(func(e obs.Event) {
+		if e.Kind == obs.KindCheckpoint && e.Detail == "" && e.Pass == 1 && e.Round == rounds {
+			cancel()
+		}
+	})
+	res, err := core.CheckContext(ctx, w.Machine, model.InitialSystem(w.Machine), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatalf("interrupted run completed before round %d; pick a shallower cut", rounds)
+	}
+	meta, _ := st.Run(id)
+	if meta.Rounds != rounds {
+		t.Fatalf("planted %d rounds, want %d", meta.Rounds, rounds)
+	}
+}
+
+func TestServiceRecoverResumes(t *testing.T) {
+	const codeHash = 7
+	st := openStore(t)
+	plantInterruptedRun(t, st, "j1", "paxos", codeHash, 2)
+
+	// "Restart the daemon": a new service over the same store.
+	s := service.New(service.Config{Store: st, CodeHash: codeHash})
+	s.Recover()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.Run(ctx)
+
+	got := waitJob(t, s, "j1")
+	if got.State != service.StateDone {
+		t.Fatalf("state=%s err=%q", got.State, got.Error)
+	}
+	if !got.Result.Resumed {
+		t.Fatal("recovered job did not resume from its checkpoints")
+	}
+	if got.Result.Invalidated != "" {
+		t.Fatalf("clean resume reported an invalidation: %q", got.Result.Invalidated)
+	}
+
+	// The resumed result matches an uninterrupted run of the same job.
+	w, opt := serviceOptions(t, "paxos")
+	base, err := core.CheckContext(context.Background(), w.Machine, model.InitialSystem(w.Machine), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Stats.Transitions != base.Stats.Transitions ||
+		got.Result.Stats.SystemStates != base.Stats.SystemStates ||
+		got.Result.Complete != base.Complete {
+		t.Fatalf("resumed result diverged from uninterrupted run:\n got %+v\nbase %+v",
+			got.Result.Stats, base.Stats)
+	}
+
+	// A second restart adopts the finished job without re-running it.
+	s2 := service.New(service.Config{Store: st, CodeHash: codeHash})
+	s2.Recover()
+	adopted, ok := s2.Job("j1")
+	if !ok || adopted.State != service.StateDone {
+		t.Fatalf("finished job not adopted on restart: %+v", adopted)
+	}
+	if adopted.Result.Stats.Transitions != got.Result.Stats.Transitions {
+		t.Fatal("adopted result diverged from the stored one")
+	}
+}
+
+func TestServiceRecoverInvalidatesStaleCode(t *testing.T) {
+	st := openStore(t)
+	plantInterruptedRun(t, st, "j1", "paxos", 7, 2)
+
+	// The "rebuilt" daemon has a different code hash: the stored rounds
+	// are untrustworthy, so the job must re-run from scratch.
+	s := service.New(service.Config{Store: st, CodeHash: 8})
+	s.Recover()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.Run(ctx)
+
+	got := waitJob(t, s, "j1")
+	if got.State != service.StateDone {
+		t.Fatalf("state=%s err=%q", got.State, got.Error)
+	}
+	if got.Result.Resumed {
+		t.Fatal("job resumed from checkpoints written by a different binary")
+	}
+	if !strings.Contains(got.Result.Invalidated, "binary") {
+		t.Fatalf("invalidation reason %q", got.Result.Invalidated)
+	}
+	// The old bucket is invalidated; the fresh run checkpointed into a new
+	// one and finished there.
+	old, _ := st.Run("j1")
+	if !old.Invalid {
+		t.Fatal("stale bucket not invalidated")
+	}
+	if got.RunID == "j1" {
+		t.Fatal("fresh run reused the invalidated bucket")
+	}
+	fresh, ok := st.Run(got.RunID)
+	if !ok || !fresh.Done || fresh.Rounds == 0 {
+		t.Fatalf("fresh bucket wrong: %+v", fresh)
+	}
+}
+
+func TestServiceResumeDivergenceBackstop(t *testing.T) {
+	const codeHash = 7
+	st := openStore(t)
+	// Plant checkpoints that CLAIM to be paxos (spec, sig, hash all match)
+	// but were actually produced by a different protocol: the startup
+	// staleness checks cannot catch this, only the per-round digest can.
+	spec := service.JobSpec{ID: "j1", Workload: "paxos", Checker: "lmc-opt"}
+	specJSON, _ := json.Marshal(spec)
+	if err := st.CreateRun("j1", string(specJSON), codeHash, spec.Sig()); err != nil {
+		t.Fatal(err)
+	}
+	w, opt := serviceOptions(t, "twophase")
+	opt.Checkpoint = st.Sink("j1")
+	ctx0, cancel0 := context.WithCancel(context.Background())
+	defer cancel0()
+	opt.Observer = obs.FuncObserver(func(e obs.Event) {
+		if e.Kind == obs.KindCheckpoint && e.Detail == "" && e.Pass == 1 && e.Round == 2 {
+			cancel0()
+		}
+	})
+	if _, err := core.CheckContext(ctx0, w.Machine, model.InitialSystem(w.Machine), opt); err != nil {
+		t.Fatal(err)
+	}
+
+	s := service.New(service.Config{Store: st, CodeHash: codeHash})
+	s.Recover()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.Run(ctx)
+
+	got := waitJob(t, s, "j1")
+	if got.State != service.StateDone {
+		t.Fatalf("state=%s err=%q", got.State, got.Error)
+	}
+	if !strings.Contains(got.Result.Invalidated, "diverged") {
+		t.Fatalf("divergence not reported: %+v", got.Result)
+	}
+	if got.RunID == "j1" {
+		t.Fatal("diverged bucket reused")
+	}
+	// The retry's fresh result matches a plain paxos run.
+	pw, popt := serviceOptions(t, "paxos")
+	base, err := core.CheckContext(context.Background(), pw.Machine, model.InitialSystem(pw.Machine), popt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Stats.Transitions != base.Stats.Transitions || !got.Result.Complete {
+		t.Fatalf("post-divergence rerun diverged from a clean run:\n got %+v\nbase %+v",
+			got.Result.Stats, base.Stats)
+	}
+	if old, _ := st.Run("j1"); !old.Invalid {
+		t.Fatal("diverged bucket not invalidated")
+	}
+}
+
+func TestServiceShardedJob(t *testing.T) {
+	st := openStore(t)
+	s := startService(t, service.Config{
+		Store:   st,
+		Spawner: shard.PipeSpawner{Resolve: bench.ShardResolver()},
+	})
+	sub, err := s.Submit(service.JobSpec{Workload: "paxos", Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitJob(t, s, sub.ID)
+	if got.State != service.StateDone {
+		t.Fatalf("state=%s err=%q", got.State, got.Error)
+	}
+	if got.CheckpointRounds == 0 {
+		t.Fatal("sharded run did not checkpoint")
+	}
+
+	// Sharded and in-process jobs explore identically.
+	w, opt := serviceOptions(t, "paxos")
+	base, err := core.CheckContext(context.Background(), w.Machine, model.InitialSystem(w.Machine), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Stats.Transitions != base.Stats.Transitions ||
+		got.Result.Stats.SystemStates != base.Stats.SystemStates {
+		t.Fatalf("sharded job diverged from in-process run:\n got %+v\nbase %+v",
+			got.Result.Stats, base.Stats)
+	}
+	meta, ok := st.Run(sub.ID)
+	if !ok || meta.Rounds != got.CheckpointRounds {
+		t.Fatalf("store rounds=%d, status says %d", meta.Rounds, got.CheckpointRounds)
+	}
+}
+
+// A job that asked for shards resumes fine on a daemon without a spawner:
+// resumed runs always execute in-process (results are identical anyway).
+func TestServiceResumedShardedSpecRunsInProcess(t *testing.T) {
+	const codeHash = 7
+	st := openStore(t)
+	spec := service.JobSpec{ID: "j1", Workload: "paxos", Checker: "lmc-opt", Shards: 4}
+	specJSON, _ := json.Marshal(spec)
+	if err := st.CreateRun("j1", string(specJSON), codeHash, spec.Sig()); err != nil {
+		t.Fatal(err)
+	}
+	w, opt := serviceOptions(t, "paxos")
+	opt.Checkpoint = st.Sink("j1")
+	ctx0, cancel0 := context.WithCancel(context.Background())
+	defer cancel0()
+	opt.Observer = obs.FuncObserver(func(e obs.Event) {
+		if e.Kind == obs.KindCheckpoint && e.Detail == "" && e.Pass == 1 && e.Round == 2 {
+			cancel0()
+		}
+	})
+	if _, err := core.CheckContext(ctx0, w.Machine, model.InitialSystem(w.Machine), opt); err != nil {
+		t.Fatal(err)
+	}
+
+	s := service.New(service.Config{Store: st, CodeHash: codeHash})
+	s.Recover()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.Run(ctx)
+	got := waitJob(t, s, "j1")
+	if got.State != service.StateDone || !got.Result.Resumed || !got.Result.Complete {
+		t.Fatalf("sharded-spec resume: state=%s result=%+v err=%q", got.State, got.Result, got.Error)
+	}
+}

@@ -1,0 +1,233 @@
+package lmc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"lmc/internal/core"
+	"lmc/internal/mc/global"
+	"lmc/internal/model"
+	"lmc/internal/online"
+)
+
+// JobKind selects which checker a job runs.
+type JobKind int
+
+const (
+	// JobLocal runs the local model checker (LMC), the paper's approach.
+	JobLocal JobKind = iota
+	// JobGlobal runs the classic global-state baseline (B-DFS/BFS).
+	JobGlobal
+	// JobOnline runs an online checking session over a live simulation.
+	JobOnline
+)
+
+// String names the kind ("local", "global", "online").
+func (k JobKind) String() string {
+	switch k {
+	case JobLocal:
+		return "local"
+	case JobGlobal:
+		return "global"
+	case JobOnline:
+		return "online"
+	}
+	return fmt.Sprintf("JobKind(%d)", int(k))
+}
+
+// JobSpec describes one checking job: the protocol, the start state, and
+// the per-kind configuration. The zero Kind is JobLocal.
+type JobSpec struct {
+	Kind JobKind
+	// Machine is the protocol under test. Required for JobLocal and
+	// JobGlobal; for JobOnline it defaults Online.Machine when that is nil.
+	Machine Machine
+	// Start is the start system state; nil means InitialSystem(Machine).
+	// Ignored by JobOnline (the session snapshots the live run).
+	Start SystemState
+
+	// Options configures a JobLocal run.
+	Options Options
+	// Global configures a JobGlobal run.
+	Global GlobalOptions
+	// Live is the running simulation a JobOnline session snapshots.
+	// Required for JobOnline.
+	Live *Sim
+	// Online configures a JobOnline session.
+	Online OnlineConfig
+}
+
+// JobResult is the result of a finished job; exactly the field matching the
+// job's Kind is set.
+type JobResult struct {
+	Kind   JobKind
+	Local  *Result
+	Global *GlobalResult
+	Online *OnlineReport
+}
+
+// CheckpointStatus reports a running job's checkpoint progress, when the
+// job's options carry a CheckpointSink (see internal/store and the Shards,
+// Checkpoint, Resume fields of Options).
+type CheckpointStatus struct {
+	// Pass and Round locate the newest checkpointed round barrier.
+	Pass, Round int
+	// Records is that round's delivery-record count.
+	Records int
+	// Rounds counts the checkpoints delivered so far in this job.
+	Rounds int
+}
+
+// Handle is a submitted job. Wait or Done observe completion, Result polls,
+// Cancel requests a cooperative stop (honored at the engine's next round
+// barrier), and Checkpoint reports live checkpoint progress.
+type Handle struct {
+	kind   JobKind
+	cancel context.CancelFunc
+	done   chan struct{}
+	res    *JobResult
+	err    error
+	ck     atomic.Pointer[CheckpointStatus]
+}
+
+// trackSink wraps the job's CheckpointSink so the Handle can report
+// progress without the caller wiring an observer.
+type trackSink struct {
+	h    *Handle
+	next core.CheckpointSink
+}
+
+func (t trackSink) OnRoundCheckpoint(cp core.RoundCheckpoint) error {
+	if err := t.next.OnRoundCheckpoint(cp); err != nil {
+		return err
+	}
+	prev := t.h.ck.Load()
+	st := CheckpointStatus{Pass: cp.Pass, Round: cp.Round, Records: len(cp.Records), Rounds: 1}
+	if prev != nil {
+		st.Rounds = prev.Rounds + 1
+	}
+	t.h.ck.Store(&st)
+	return nil
+}
+
+// Submit validates the spec and starts the job on its own goroutine,
+// returning immediately with a Handle. The context bounds the whole job
+// (on top of any Options.Budget); cancelling it — or calling
+// Handle.Cancel — stops the run cooperatively at the next round barrier
+// with the partial result, exactly as the context-taking entry points do.
+func Submit(ctx context.Context, spec JobSpec) (*Handle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	switch spec.Kind {
+	case JobLocal, JobGlobal:
+		if spec.Machine == nil {
+			return nil, errors.New("lmc: JobSpec.Machine is required")
+		}
+		if spec.Start == nil {
+			spec.Start = model.InitialSystem(spec.Machine)
+		}
+	case JobOnline:
+		if spec.Live == nil {
+			return nil, errors.New("lmc: JobSpec.Live is required for JobOnline")
+		}
+		if spec.Online.Machine == nil {
+			spec.Online.Machine = spec.Machine
+		}
+	default:
+		return nil, fmt.Errorf("lmc: unknown JobKind %d", int(spec.Kind))
+	}
+
+	h := &Handle{kind: spec.Kind, done: make(chan struct{})}
+	switch spec.Kind {
+	case JobLocal:
+		if spec.Options.Checkpoint != nil {
+			spec.Options.Checkpoint = trackSink{h, spec.Options.Checkpoint}
+		}
+		if err := spec.Options.Validate(); err != nil {
+			return nil, err
+		}
+	case JobGlobal:
+		if err := spec.Global.Validate(); err != nil {
+			return nil, err
+		}
+	case JobOnline:
+		if spec.Online.Checker.Checkpoint != nil {
+			spec.Online.Checker.Checkpoint = trackSink{h, spec.Online.Checker.Checkpoint}
+		}
+		if err := spec.Online.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	ctx, h.cancel = context.WithCancel(ctx)
+	go func() {
+		defer close(h.done)
+		defer h.cancel()
+		res := &JobResult{Kind: spec.Kind}
+		switch spec.Kind {
+		case JobLocal:
+			res.Local, h.err = core.CheckContext(ctx, spec.Machine, spec.Start, spec.Options)
+		case JobGlobal:
+			res.Global, h.err = global.CheckContext(ctx, spec.Machine, spec.Start, spec.Global)
+		case JobOnline:
+			res.Online, h.err = online.RunContext(ctx, spec.Live, spec.Online)
+		}
+		if h.err == nil {
+			h.res = res
+		}
+	}()
+	return h, nil
+}
+
+// Kind returns the job's kind.
+func (h *Handle) Kind() JobKind { return h.kind }
+
+// Done is closed when the job finishes (normally, by cancellation, or by
+// error).
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the job finishes or ctx is cancelled. Cancelling the
+// wait does NOT cancel the job — call Cancel for that. A job stopped by
+// Cancel still returns its partial result (Complete=false,
+// StopReason=StopCancelled), matching the context-taking entry points.
+func (h *Handle) Wait(ctx context.Context) (*JobResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-h.done:
+		return h.res, h.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Result polls: it returns the result and true when the job has finished
+// successfully, nil and false while it is still running or if it failed
+// (Wait surfaces the error).
+func (h *Handle) Result() (*JobResult, bool) {
+	select {
+	case <-h.done:
+		return h.res, h.res != nil
+	default:
+		return nil, false
+	}
+}
+
+// Cancel requests a cooperative stop. Safe to call multiple times and
+// after completion.
+func (h *Handle) Cancel() { h.cancel() }
+
+// Checkpoint reports the newest round checkpoint the job has durably
+// handed to its CheckpointSink, and false when the job checkpoints nothing
+// (no sink configured, or no round barrier reached yet).
+func (h *Handle) Checkpoint() (CheckpointStatus, bool) {
+	st := h.ck.Load()
+	if st == nil {
+		return CheckpointStatus{}, false
+	}
+	return *st, true
+}

@@ -24,18 +24,47 @@
 //
 // # Checking
 //
-//	res := lmc.Check(machine, lmc.InitialSystem(machine), lmc.Options{
-//	    Invariant: myInvariant,
+// Submit is the entry point: one job-oriented API over all three checkers
+// (local, global baseline, online session), with cancellation, polling and
+// checkpoint progress on the returned Handle.
+//
+//	h, err := lmc.Submit(ctx, lmc.JobSpec{
+//	    Machine: machine,
+//	    Options: lmc.NewOptions(lmc.WithInvariant(myInvariant)),
 //	})
-//	for _, bug := range res.Bugs {
+//	if err != nil { ... }
+//	res, err := h.Wait(ctx)
+//	for _, bug := range res.Local.Bugs {
 //	    fmt.Println(bug.Violation, bug.Schedule)
 //	}
 //
 // Supplying a Reduction turns on LMC-OPT, the invariant-specific
-// system-state creation of the paper's §4.2. Global runs the classic
-// bounded-DFS baseline for comparison. NewSim and Online reproduce the
+// system-state creation of the paper's §4.2. JobGlobal runs the classic
+// bounded-DFS baseline for comparison. NewSim and JobOnline reproduce the
 // paper's online checking scheme: a live (simulated, lossy) deployment
 // snapshotted periodically, with the checker restarted from each snapshot.
+// The older per-checker entry points (Check, Global, Online and their
+// Context forms) remain as thin wrappers.
+//
+// # Options: fields and functional options
+//
+// Options is a plain struct; NewOptions builds one from functional
+// options. The two styles are exactly equivalent — every WithX helper sets
+// the Options field of the same name (WithInvariant ↔ Options.Invariant,
+// WithWorkers ↔ Options.Workers, WithReduce ↔ Options.Reduce, WithShards ↔
+// Options.Shards, WithObserver ↔ Options.Observer, and so on) — so a
+// NewOptions result can be further adjusted by field assignment and a
+// struct literal can be passed anywhere an Opt-built value can.
+//
+// # Durability
+//
+// Long runs can checkpoint at every round barrier (Options.Checkpoint) and
+// later resume bit-for-bit (Options.Resume): the resumed run replays
+// exploration with the stored delivery records primed into its canonical
+// walk, so its Result — bugs, schedules, every deterministic counter — is
+// identical to the uninterrupted run's. internal/store persists
+// checkpoints in a single append-only file and survives SIGKILL mid-write;
+// cmd/lmc's serve mode runs a resident checking service on top of it.
 package lmc
 
 import (
@@ -113,6 +142,25 @@ type (
 	Schedule = trace.Schedule
 )
 
+// Checkpoint/resume vocabulary (see internal/core/checkpoint.go and
+// internal/store). A run with Options.Checkpoint set hands one
+// RoundCheckpoint to the sink per completed round barrier; a run with
+// Options.Resume set replays a previous run's rounds bit-for-bit.
+type (
+	// RoundCheckpoint is one completed exploration round: delivery
+	// records, new-state fingerprints, a replica digest, counters.
+	RoundCheckpoint = core.RoundCheckpoint
+	// CheckpointSink receives round checkpoints (internal/store's
+	// Store.Sink returns one).
+	CheckpointSink = core.CheckpointSink
+	// ResumeSource replays a previous run's stored rounds
+	// (internal/store's Store.Resume returns one).
+	ResumeSource = core.ResumeSource
+	// DeliveryRecord is one recorded delivery-pair execution, the
+	// fingerprint-only hint both sharding and checkpointing exchange.
+	DeliveryRecord = core.DeliveryRecord
+)
+
 // Run-event observability (see internal/obs). Both checkers and the online
 // driver emit typed events into Options.Observer: run and pass boundaries,
 // per-round progress, system-state and soundness batches, violations, and
@@ -153,6 +201,8 @@ const (
 	KindHeartbeat        = obs.KindHeartbeat
 	KindSnapshot         = obs.KindSnapshot
 	KindRunEnd           = obs.KindRunEnd
+	KindCheckpoint       = obs.KindCheckpoint
+	KindResume           = obs.KindResume
 )
 
 // StopReason values.
@@ -168,6 +218,9 @@ const (
 	StopCancelled = obs.StopCancelled
 	// StopFirstBug: StopAtFirstBug ended the run at a confirmed bug.
 	StopFirstBug = obs.StopFirstBug
+	// StopResumeDiverged: a resumed run's post-round digest disagreed with
+	// the stored checkpoint (stale or corrupted checkpoint data).
+	StopResumeDiverged = obs.StopResumeDiverged
 )
 
 // NewLogObserver returns an Observer that logs run milestones through
@@ -203,11 +256,17 @@ const (
 )
 
 // Check runs the local model checker (LMC) on machine m from the given
-// start system state. Set Options.Reduction for LMC-OPT. It is a thin
-// wrapper over CheckContext with a background context and, for backward
-// compatibility, no option validation.
+// start system state. Set Options.Reduction for LMC-OPT. It is
+// CheckContext with a background context, panicking on invalid options.
+//
+// Deprecated: use Submit with a JobLocal JobSpec (or CheckContext when an
+// error return is preferred over a panic).
 func Check(m Machine, start SystemState, opt Options) *Result {
-	return core.Check(m, start, opt)
+	res, err := CheckContext(context.Background(), m, start, opt)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // CheckContext is Check with option validation (Options.Validate) and
@@ -216,21 +275,32 @@ func Check(m Machine, start SystemState, opt Options) *Result {
 // from an Observer hook stops at the same round for every Workers setting.
 // A cancelled run is not an error: it returns the partial Result with
 // Complete=false and StopReason=StopCancelled.
+//
+// Deprecated: use Submit with a JobLocal JobSpec.
 func CheckContext(ctx context.Context, m Machine, start SystemState, opt Options) (*Result, error) {
 	return core.CheckContext(ctx, m, start, opt)
 }
 
 // Global runs the classic global-state model checker (B-DFS by default),
-// the baseline the paper compares against. It panics on invalid options;
-// GlobalContext returns the validation error instead.
+// the baseline the paper compares against. It is GlobalContext with a
+// background context, panicking on invalid options.
+//
+// Deprecated: use Submit with a JobGlobal JobSpec (or GlobalContext when
+// an error return is preferred over a panic).
 func Global(m Machine, start SystemState, opt GlobalOptions) *GlobalResult {
-	return global.Check(m, start, opt)
+	res, err := GlobalContext(context.Background(), m, start, opt)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // GlobalContext is Global with option validation surfaced as an error and
 // cooperative cancellation, polled once per worklist iteration. A
 // cancelled search returns the partial GlobalResult with Complete=false
 // and StopReason=StopCancelled.
+//
+// Deprecated: use Submit with a JobGlobal JobSpec.
 func GlobalContext(ctx context.Context, m Machine, start SystemState, opt GlobalOptions) (*GlobalResult, error) {
 	return global.CheckContext(ctx, m, start, opt)
 }
@@ -256,15 +326,27 @@ func Replay(m Machine, start SystemState, sc Schedule) error {
 func NewSim(cfg SimConfig) *Sim { return sim.New(cfg) }
 
 // Online snapshots a live run periodically and restarts the local checker
-// from each snapshot (the paper's online model checking scheme, §3.3).
+// from each snapshot (the paper's online model checking scheme, §3.3). It
+// is OnlineContext with a background context, panicking on an invalid
+// config.
+//
+// Deprecated: use Submit with a JobOnline JobSpec (or OnlineContext when
+// an error return is preferred over a panic).
 func Online(live *Sim, cfg OnlineConfig) *OnlineReport {
-	return online.Run(live, cfg)
+	rep, err := OnlineContext(context.Background(), live, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rep
 }
 
-// OnlineContext is Online with checker-option validation surfaced as an
-// error and cooperative cancellation: the context cuts the current checker
-// restart off at its next round barrier and stops the session. Each
-// restart is announced to cfg.Checker.Observer with a KindSnapshot event.
+// OnlineContext is Online with config validation (OnlineConfig.Validate)
+// surfaced as an error and cooperative cancellation: the context cuts the
+// current checker restart off at its next round barrier and stops the
+// session. Each restart is announced to cfg.Checker.Observer with a
+// KindSnapshot event.
+//
+// Deprecated: use Submit with a JobOnline JobSpec.
 func OnlineContext(ctx context.Context, live *Sim, cfg OnlineConfig) (*OnlineReport, error) {
 	return online.RunContext(ctx, live, cfg)
 }

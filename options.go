@@ -1,0 +1,95 @@
+package lmc
+
+import "time"
+
+// Opt mutates an Options value; see NewOptions.
+type Opt func(*Options)
+
+// NewOptions builds checker Options from functional options. It is sugar
+// over the Options struct literal — every Opt sets exactly the field of
+// the same name, so the two styles compose and mix freely:
+//
+//	opt := lmc.NewOptions(lmc.WithInvariant(inv), lmc.WithWorkers(4))
+//	opt.MaxTransitions = 1e6 // fields stay addressable afterwards
+func NewOptions(opts ...Opt) Options {
+	var o Options
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// WithInvariant sets Options.Invariant, the system-wide safety property.
+func WithInvariant(inv Invariant) Opt {
+	return func(o *Options) { o.Invariant = inv }
+}
+
+// WithLocalInvariants sets Options.LocalInvariants, checked per node state
+// with no Cartesian combination.
+func WithLocalInvariants(ls ...LocalInvariant) Opt {
+	return func(o *Options) { o.LocalInvariants = ls }
+}
+
+// WithReduction sets Options.Reduction, enabling LMC-OPT.
+func WithReduction(r Reduction) Opt {
+	return func(o *Options) { o.Reduction = r }
+}
+
+// WithReduce sets Options.Reduce, the fingerprint-layer reductions
+// (symmetry, partial order); see ParseReductions for the CLI spelling.
+func WithReduce(r Reductions) Opt {
+	return func(o *Options) { o.Reduce = r }
+}
+
+// WithWorkers sets Options.Workers, the in-process worker-pool size
+// (0 auto-detects, negative forces sequential). Results are bit-for-bit
+// identical for every setting.
+func WithWorkers(n int) Opt {
+	return func(o *Options) { o.Workers = n }
+}
+
+// WithShards sets Options.Shards, requesting sharded multi-process
+// exploration from runners that can spawn worker processes (cmd/lmc,
+// internal/service); <= 1 means in-process.
+func WithShards(n int) Opt {
+	return func(o *Options) { o.Shards = n }
+}
+
+// WithObserver sets Options.Observer, the run-event receiver.
+func WithObserver(ob Observer) Opt {
+	return func(o *Options) { o.Observer = ob }
+}
+
+// WithBudget sets Options.Budget, the wall-time bound.
+func WithBudget(d time.Duration) Opt {
+	return func(o *Options) { o.Budget = d }
+}
+
+// WithMaxTransitions sets Options.MaxTransitions, the handler-execution
+// bound.
+func WithMaxTransitions(n int) Opt {
+	return func(o *Options) { o.MaxTransitions = n }
+}
+
+// WithStopAtFirstBug sets Options.StopAtFirstBug.
+func WithStopAtFirstBug() Opt {
+	return func(o *Options) { o.StopAtFirstBug = true }
+}
+
+// WithInitialMessages sets Options.InitialMessages, seeding the shared
+// network before exploration.
+func WithInitialMessages(msgs ...Message) Opt {
+	return func(o *Options) { o.InitialMessages = msgs }
+}
+
+// WithCheckpoint sets Options.Checkpoint, the per-round checkpoint sink
+// (see internal/store, Store.Sink).
+func WithCheckpoint(sink CheckpointSink) Opt {
+	return func(o *Options) { o.Checkpoint = sink }
+}
+
+// WithResume sets Options.Resume, priming the run with a previous run's
+// stored rounds (see internal/store, Store.Resume).
+func WithResume(src ResumeSource) Opt {
+	return func(o *Options) { o.Resume = src }
+}

@@ -1,0 +1,140 @@
+package lmc_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"lmc"
+	"lmc/internal/protocols/paxos"
+	"lmc/internal/protocols/randtree"
+)
+
+// comparableInvariant and comparableLocal are DeepEqual-friendly doubles:
+// the InvariantFunc adapters carry func values, which reflect.DeepEqual
+// always reports unequal.
+type comparableInvariant struct{ name string }
+
+func (c comparableInvariant) Name() string                         { return c.name }
+func (c comparableInvariant) Check(lmc.SystemState) *lmc.Violation { return nil }
+
+type comparableLocal struct{ name string }
+
+func (c comparableLocal) Name() string                           { return c.name }
+func (c comparableLocal) CheckNode(lmc.NodeID, lmc.State) string { return "" }
+
+// TestNewOptionsFieldEquivalence pins the documented contract: every Opt
+// helper sets exactly the Options field of the same name, so the
+// functional-options style and a struct literal are interchangeable.
+func TestNewOptionsFieldEquivalence(t *testing.T) {
+	inv := comparableInvariant{"inv"}
+	locals := []lmc.LocalInvariant{comparableLocal{"local"}}
+	red := lmc.Reductions{Symmetry: true, PartialOrder: true}
+	ob := &lmc.EventRecorder{}
+	sink := &recordingSink{}
+
+	got := lmc.NewOptions(
+		lmc.WithInvariant(inv),
+		lmc.WithLocalInvariants(locals...),
+		lmc.WithReduce(red),
+		lmc.WithWorkers(4),
+		lmc.WithShards(3),
+		lmc.WithObserver(ob),
+		lmc.WithBudget(2*time.Second),
+		lmc.WithMaxTransitions(100),
+		lmc.WithStopAtFirstBug(),
+		lmc.WithCheckpoint(sink),
+	)
+	want := lmc.Options{
+		Invariant:       inv,
+		LocalInvariants: locals,
+		Reduce:          red,
+		Workers:         4,
+		Shards:          3,
+		Observer:        ob,
+		Budget:          2 * time.Second,
+		MaxTransitions:  100,
+		StopAtFirstBug:  true,
+		Checkpoint:      sink,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("NewOptions diverged from the equivalent literal:\n got %+v\nwant %+v", got, want)
+	}
+	if !reflect.DeepEqual(lmc.NewOptions(), lmc.Options{}) {
+		t.Fatal("NewOptions() is not the zero Options")
+	}
+}
+
+func TestNewOptionsRuns(t *testing.T) {
+	m := paxos.New(3, paxos.NoBug, paxos.OnceAt{Node: 0, Index: 0, Value: 7})
+	lit := lmc.Check(m, lmc.InitialSystem(m), lmc.Options{Invariant: paxos.Agreement()})
+	fn := lmc.Check(m, lmc.InitialSystem(m), lmc.NewOptions(lmc.WithInvariant(paxos.Agreement())))
+	if lit.Stats.Transitions != fn.Stats.Transitions || lit.Stats.SystemStates != fn.Stats.SystemStates {
+		t.Fatalf("literal and functional options ran differently: %+v vs %+v", lit.Stats, fn.Stats)
+	}
+}
+
+// TestValidateRejections covers each rejection case of the uniform
+// Validate contract across the three option surfaces.
+func TestValidateRejections(t *testing.T) {
+	m := paxos.New(3, paxos.NoBug, paxos.OnceAt{Node: 0, Index: 0, Value: 7})
+	inv := paxos.Agreement()
+
+	t.Run("core", func(t *testing.T) {
+		cases := []lmc.Options{
+			{},                                  // nothing to check
+			{Invariant: inv, SoundnessShare: 2}, // share > 1
+		}
+		for i, opt := range cases {
+			if err := opt.Validate(); err == nil {
+				t.Fatalf("case %d accepted: %+v", i, opt)
+			}
+		}
+		ok := []lmc.Options{
+			{Invariant: inv},
+			{DisableSystemStates: true},
+			{LocalInvariants: []lmc.LocalInvariant{randtree.Structure()}},
+		}
+		for i, opt := range ok {
+			if err := opt.Validate(); err != nil {
+				t.Fatalf("valid case %d rejected: %v", i, err)
+			}
+		}
+	})
+
+	t.Run("global", func(t *testing.T) {
+		cases := []lmc.GlobalOptions{
+			{},                                     // no invariant
+			{Invariant: inv, Strategy: 7},          // unknown strategy
+			{Invariant: inv, MaxDepth: -1},         // negative depth
+			{Invariant: inv, MaxTransitions: -1},   // negative transitions
+			{Invariant: inv, Budget: -time.Second}, // negative budget
+		}
+		for i, opt := range cases {
+			if err := opt.Validate(); err == nil {
+				t.Fatalf("case %d accepted: %+v", i, opt)
+			}
+		}
+		if err := (&lmc.GlobalOptions{Invariant: inv, Strategy: lmc.BFS, MaxDepth: 5}).Validate(); err != nil {
+			t.Fatalf("valid options rejected: %v", err)
+		}
+	})
+
+	t.Run("online", func(t *testing.T) {
+		cases := []lmc.OnlineConfig{
+			{},                           // no machine
+			{Machine: m, Interval: -1},   // negative interval
+			{Machine: m, MaxSimTime: -1}, // negative sim time
+			{Machine: m},                 // checker unrunnable (no invariant)
+		}
+		for i, cfg := range cases {
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("case %d accepted: %+v", i, cfg)
+			}
+		}
+		good := lmc.OnlineConfig{Machine: m, Checker: lmc.Options{Invariant: inv}}
+		if err := good.Validate(); err != nil {
+			t.Fatalf("valid config rejected: %v", err)
+		}
+	})
+}
