@@ -23,6 +23,11 @@
 //	                                           # fail when the LMC-OPT seq
 //	                                           # throughput drops below half
 //	                                           # the baseline's states/sec
+//	benchjson -cpus 1,2,4 -shardgate           # multi-core sweep: seq vs
+//	                                           # sharded paxos-gen at each
+//	                                           # GOMAXPROCS value, gating
+//	                                           # shard2 < seq where the host
+//	                                           # has the cores
 package main
 
 import (
@@ -38,6 +43,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -80,10 +87,21 @@ type Entry struct {
 	Shards  int `json:"shards,omitempty"`
 }
 
-// stampCPU records the measuring process's parallelism into an entry.
+// stampCPU records the measuring process's parallelism into an entry. The
+// values are read at measurement time, so entries produced inside the -cpus
+// sweep carry the GOMAXPROCS that actually governed their run.
 func stampCPU(e Entry) Entry {
 	e.NumCPU = runtime.NumCPU()
 	e.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	return e
+}
+
+// withWallClock derives the millisecond wall clock from NsPerOp — the one
+// place the two fields are tied together. Schema 2 keeps both: ns_per_op
+// for tooling that joins on benchmark conventions, wall_clock_ms for the
+// experiment tables; they are never computed independently.
+func (e Entry) withWallClock() Entry {
+	e.WallClockMS = e.NsPerOp / 1e6
 	return e
 }
 
@@ -192,10 +210,12 @@ func measureExplore(name string, reps, workers int, s space) Entry {
 }
 
 // measureShardExplore measures a sharded run: the same configuration, with
-// exploration split across a re-exec'd worker fleet resolving spec. A run
-// that degrades mid-measurement would silently time the in-process path, so
-// degradation fails the suite.
-func measureShardExplore(name string, reps, shards int, s space, spec string) Entry {
+// exploration split across a re-exec'd worker fleet resolving spec. env
+// entries are passed to the worker processes (the -cpus sweep uses it to
+// cap worker GOMAXPROCS to the swept value). A run that degrades
+// mid-measurement would silently time the in-process path, so degradation
+// fails the suite.
+func measureShardExplore(name string, reps, shards int, s space, spec string, env []string) Entry {
 	return measure(name, reps, -1, shards, s, func(opt core.Options) *core.Result {
 		m, start, o := s()
 		o.Workers = opt.Workers
@@ -209,7 +229,7 @@ func measureShardExplore(name string, reps, shards int, s space, spec string) En
 		o.Observer = obs.Multi(o.Observer, opt.Observer, degraded)
 		res, err := shard.Check(context.Background(), m, start, o, shard.Config{
 			Shards:  shards,
-			Spawner: shard.SelfExec{Args: []string{"-shard-worker"}},
+			Spawner: shard.SelfExec{Args: []string{"-shard-worker"}, Env: env},
 			Spec:    spec,
 		})
 		if err != nil {
@@ -253,10 +273,9 @@ func measure(name string, reps, workers, shards int, s space, run func(core.Opti
 		AllocsPerOp:  float64(allocs),
 		BytesPerOp:   float64(bytes),
 		StatesPerSec: float64(states) / best.Seconds(),
-		WallClockMS:  float64(best.Nanoseconds()) / 1e6,
 		Workers:      effectiveWorkers(workers),
 		Shards:       shards,
-	})
+	}.withWallClock())
 }
 
 // fpState is the micro-benchmark encoding shape: a handful of scalars and a
@@ -304,6 +323,134 @@ func entriesByName(r Report) map[string]Entry {
 		byName[e.Name] = e
 	}
 	return byName
+}
+
+// writeReport marshals a report to the output file ("-" for stdout),
+// exiting on failure — both the normal suite and the -cpus sweep end here.
+func writeReport(rep Report, out string) {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if out == "-" {
+		os.Stdout.Write(raw)
+	} else if err := os.WriteFile(out, raw, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseCPUs parses the -cpus list: positive GOMAXPROCS values, deduplicated,
+// ascending, so the sweep's entry order is deterministic regardless of how
+// the flag was spelled.
+func parseCPUs(s string) ([]int, error) {
+	seen := map[int]bool{}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-cpus: %q is not a positive integer", f)
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-cpus: empty list")
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// multicoreReport runs the multi-core shard sweep: for each requested
+// GOMAXPROCS value n, the sequential paxos-gen run and the 2-process sharded
+// run (plus 4-process when n >= 4), with the coordinator pinned via
+// runtime.GOMAXPROCS and the worker processes capped through their
+// environment. stampCPU runs inside the pin, so every entry records the
+// GOMAXPROCS that actually governed it. The seq/shard pairs at each n are
+// the honest speedup measurement: shard2_over_seq@cN below 1.0x means the
+// fleet beat the sequential engine with n cores.
+func multicoreReport(reps int, cpus []int, short bool, notes noteFlags) Report {
+	rep := Report{
+		Schema:     2,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Short:      short,
+		Derived:    map[string]string{},
+		Notes:      append([]string{"multi-core shard sweep (-cpus): seq vs sharded paxos-gen per GOMAXPROCS value"}, notes...),
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	paxosSpec := bench.ShardSpec("paxos")
+	ratio := func(num, den Entry) string { return fmt.Sprintf("%.2fx", num.NsPerOp/den.NsPerOp) }
+	for _, n := range cpus {
+		if n > rep.NumCPU {
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"c%d entries ran with GOMAXPROCS=%d on a %d-CPU host: oversubscribed, not a real %d-core measurement",
+				n, n, rep.NumCPU, n))
+		}
+		runtime.GOMAXPROCS(n)
+		env := []string{fmt.Sprintf("GOMAXPROCS=%d", n)}
+		seq := measureExplore(fmt.Sprintf("explore/paxos-gen/seq@c%d", n), reps, -1, paxosGen)
+		sh2 := measureShardExplore(fmt.Sprintf("explore/paxos-gen/shard2@c%d", n), reps, 2, paxosGen, paxosSpec, env)
+		rep.Entries = append(rep.Entries, seq, sh2)
+		rep.Derived[fmt.Sprintf("shard2_over_seq@c%d", n)] = ratio(sh2, seq)
+		if n >= 4 {
+			sh4 := measureShardExplore(fmt.Sprintf("explore/paxos-gen/shard4@c%d", n), reps, 4, paxosGen, paxosSpec, env)
+			rep.Entries = append(rep.Entries, sh4)
+			rep.Derived[fmt.Sprintf("shard4_over_seq@c%d", n)] = ratio(sh4, seq)
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+	if rep.NumCPU == 1 {
+		rep.Notes = append(rep.Notes,
+			"single-CPU host: every swept value above 1 is oversubscribed; sharded entries measure protocol overhead, not speedup")
+	}
+	return rep
+}
+
+// gateMulticoreSpeedup enforces the multi-core claim: at the largest swept
+// GOMAXPROCS value the host actually has cores for (2 <= n <= NumCPU), the
+// 2-process sharded run must beat the sequential run outright
+// (shard2_over_seq@cN < 1.0x). When no swept value qualifies — a single-CPU
+// host — the gate is vacuous and says so on stderr; the real exercise
+// happens on the multi-core CI runner.
+func gateMulticoreSpeedup(rep Report, cpus []int) error {
+	best := 0
+	for _, n := range cpus {
+		if n >= 2 && n <= rep.NumCPU && n > best {
+			best = n
+		}
+	}
+	if best == 0 {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: multicore gate vacuous: no swept GOMAXPROCS value in [2, NumCPU=%d]; speedup is not checkable on this host\n",
+			rep.NumCPU)
+		return nil
+	}
+	byName := entriesByName(rep)
+	seq, okSeq := byName[fmt.Sprintf("explore/paxos-gen/seq@c%d", best)]
+	sh2, okSh2 := byName[fmt.Sprintf("explore/paxos-gen/shard2@c%d", best)]
+	if !okSeq || !okSh2 || seq.NsPerOp <= 0 || sh2.NsPerOp <= 0 {
+		return fmt.Errorf("multicore gate: c%d entries missing from report", best)
+	}
+	if r := sh2.NsPerOp / seq.NsPerOp; r >= 1.0 {
+		return fmt.Errorf("multicore gate: shard2@c%d is %.3fx the sequential run (must be < 1.0x): %.1f ms vs %.1f ms",
+			best, r, sh2.WallClockMS, seq.WallClockMS)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: multicore gate ok: shard2@c%d at %.3fx of sequential (%.1f ms vs %.1f ms)\n",
+		best, sh2.NsPerOp/seq.NsPerOp, sh2.WallClockMS, seq.WallClockMS)
+	return nil
 }
 
 func gate(cur Report, baselinePath string, maxRatio float64) error {
@@ -419,6 +566,8 @@ func main() {
 		"fail unless a 2-shard multi-process paxos-gen run matches the in-process run bit-for-bit without degrading (same-run parity, needs no baseline)")
 	shardWorker := flag.Bool("shard-worker", false,
 		"serve as a shard worker on stdin/stdout (internal; spawned by sharded entries)")
+	cpusFlag := flag.String("cpus", "",
+		"comma-separated GOMAXPROCS values (e.g. 1,2,4): run ONLY the multi-core shard sweep — for each value, sequential and 2-process sharded paxos-gen with both coordinator and workers pinned to that many cores; with -shardgate also enforce shard2 < seq at the largest value the host has cores for")
 	var notes noteFlags
 	flag.Var(&notes, "note", "free-form note to embed in the report (repeatable)")
 	flag.Parse()
@@ -451,6 +600,33 @@ func main() {
 		reps = 1
 	}
 
+	if *cpusFlag != "" {
+		cpus, err := parseCPUs(*cpusFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		rep := multicoreReport(reps, cpus, *short, notes)
+		writeReport(rep, *out)
+		if *shardGate {
+			if err := gateShardParity(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			if err := gateMulticoreSpeedup(rep, cpus); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}
+		if *compare != "" {
+			if err := printCompare(rep, *compare); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
 	globalReduce, err := core.ParseReductions(*reduceFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -458,7 +634,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:     1,
+		Schema:     2,
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
@@ -500,10 +676,10 @@ func main() {
 	// the registry workload behind bench.ShardSpec.
 	paxosSpec := bench.ShardSpec("paxos")
 	rep.Entries = append(rep.Entries,
-		measureShardExplore("explore/paxos-gen/shard2", reps, 2, sp(paxosGen), paxosSpec),
-		measureShardExplore("explore/paxos-gen/shard4", reps, 4, sp(paxosGen), paxosSpec),
-		measureShardExplore("explore/paxos-opt/shard2", reps, 2, sp(paxosOpt), paxosSpec),
-		measureShardExplore("explore/paxos-opt/shard4", reps, 4, sp(paxosOpt), paxosSpec),
+		measureShardExplore("explore/paxos-gen/shard2", reps, 2, sp(paxosGen), paxosSpec, nil),
+		measureShardExplore("explore/paxos-gen/shard4", reps, 4, sp(paxosGen), paxosSpec, nil),
+		measureShardExplore("explore/paxos-opt/shard2", reps, 2, sp(paxosOpt), paxosSpec, nil),
+		measureShardExplore("explore/paxos-opt/shard4", reps, 4, sp(paxosOpt), paxosSpec, nil),
 	)
 
 	// Observer-overhead entries: the same sequential Paxos GEN run with a
@@ -572,23 +748,17 @@ func main() {
 	rep.Derived["gen_shard4_over_seq"] = ratio("explore/paxos-gen/shard4", "explore/paxos-gen/seq")
 	rep.Derived["opt_shard2_over_seq"] = ratio("explore/paxos-opt/shard2", "explore/paxos-opt/seq")
 	rep.Derived["opt_shard4_over_seq"] = ratio("explore/paxos-opt/shard4", "explore/paxos-opt/seq")
+	// The entry-based shard2_over_seq compares measurements taken a minute
+	// apart, which host-speed drift can skew either way; the paired variant
+	// is the drift-immune replication-tax number (same methodology as
+	// -actorgate and -storegate: median of back-to-back trials).
+	rep.Derived["shard2_over_seq_paired"] = fmt.Sprintf("%.2fx", pairedShardRatio(5))
 	if rep.NumCPU == 1 {
 		rep.Notes = append(rep.Notes,
 			"single-CPU host: worker-pool speedups are not observable; seq-over-w8 ratios reflect pool overhead only, and sharded entries pay process spawn plus protocol round-trips with no parallel win")
 	}
 
-	raw, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	raw = append(raw, '\n')
-	if *out == "-" {
-		os.Stdout.Write(raw)
-	} else if err := os.WriteFile(*out, raw, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	writeReport(rep, *out)
 
 	if *actorGate > 0 {
 		if err := gateActorOverhead(*actorGate); err != nil {
@@ -828,6 +998,28 @@ func gateStoreOverhead(maxRatio float64) error {
 	fmt.Fprintf(os.Stderr, "benchjson: storegate ok: checkpointing at %.3fx of plain run time (budget %.3fx, median of %d paired trials)\n",
 		median, maxRatio, trials)
 	return nil
+}
+
+// pairedShardRatio measures the sharding machinery's replication tax the
+// drift-immune way: the median over paired back-to-back trials of (2-shard
+// paxos-gen elapsed / sequential elapsed), each side best-of-2 within the
+// pair so both see the same host state. Entry-based ratios compare runs
+// taken a minute apart, which host-speed drift skews either way; the
+// actor and store gates use this same pairing for the same reason.
+func pairedShardRatio(trials int) float64 {
+	paxosSpec := bench.ShardSpec("paxos")
+	ratios := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		seq := measureExplore("shardpair-seq", 2, -1, paxosGen)
+		sh2 := measureShardExplore("shardpair-shard2", 2, 2, paxosGen, paxosSpec, nil)
+		if seq.NsPerOp <= 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: shard pairing produced no timing")
+			os.Exit(1)
+		}
+		ratios = append(ratios, sh2.NsPerOp/seq.NsPerOp)
+	}
+	sort.Float64s(ratios)
+	return ratios[trials/2]
 }
 
 // gateShardParity enforces the sharding soundness bar end to end: a

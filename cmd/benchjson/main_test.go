@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestEntryRoundTrip pins the schema-2 entry contract: an entry survives a
+// JSON round trip field-for-field, and wall_clock_ms is derived from
+// ns_per_op in exactly one place (withWallClock), so the two can never
+// disagree in a written report.
+func TestEntryRoundTrip(t *testing.T) {
+	e := Entry{
+		Name:         "explore/paxos-gen/shard2@c4",
+		NsPerOp:      12_345_678,
+		AllocsPerOp:  901,
+		BytesPerOp:   23456,
+		StatesPerSec: 78901.5,
+		NumCPU:       4,
+		GOMAXPROCS:   4,
+		Workers:      1,
+		Shards:       2,
+	}.withWallClock()
+
+	if want := e.NsPerOp / 1e6; e.WallClockMS != want {
+		t.Fatalf("withWallClock: got %v ms, want %v ms", e.WallClockMS, want)
+	}
+
+	raw, err := json.Marshal(e)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Entry
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back != e {
+		t.Fatalf("entry mutated in round trip:\n got %+v\nwant %+v", back, e)
+	}
+
+	// Re-deriving on the decoded entry must be a no-op — the invariant a
+	// reader can rely on when joining on either field.
+	if again := back.withWallClock(); again != back {
+		t.Fatalf("withWallClock not idempotent: %+v vs %+v", again, back)
+	}
+}
+
+// TestParseCPUs pins the -cpus list semantics: dedup, ascending order, and
+// rejection of non-positive or malformed values.
+func TestParseCPUs(t *testing.T) {
+	got, err := parseCPUs("4, 1,2,4")
+	if err != nil {
+		t.Fatalf("parseCPUs: %v", err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("parseCPUs = %v, want [1 2 4]", got)
+	}
+	for _, bad := range []string{"", "0", "-2", "two", "1,,x"} {
+		if _, err := parseCPUs(bad); err == nil {
+			t.Errorf("parseCPUs(%q): want error, got none", bad)
+		}
+	}
+}

@@ -55,9 +55,10 @@ type checkConfig struct {
 	first    bool
 	deepen   int
 	maxBound int
-	workers  int
-	shards   int
-	verbose  bool
+	workers    int
+	shards     int
+	shardBatch int
+	verbose    bool
 }
 
 func (c *checkConfig) registerFlags() {
@@ -73,7 +74,9 @@ func (c *checkConfig) registerFlags() {
 	flag.IntVar(&c.workers, "workers", 0,
 		"in-process worker pool per job (0 = one per CPU, negative = sequential)")
 	flag.IntVar(&c.shards, "shards", 0,
-		"split exploration across N worker processes by fingerprint range (LMC checkers; <=1 = in-process)")
+		"split exploration across N processes (coordinator included) by fingerprint range (LMC checkers; <=1 = in-process)")
+	flag.IntVar(&c.shardBatch, "shard-batch", 0,
+		"sharded runs: rounds per replica-digest exchange (<=0 = default; never changes results)")
 	flag.BoolVar(&c.verbose, "v", false, "print witness schedules (run mode)")
 }
 
@@ -84,10 +87,11 @@ func (c *checkConfig) jobSpec() service.JobSpec {
 		Workload: c.workload,
 		Checker:  c.checker,
 		Reduce:   c.reduce,
-		Workers:  c.workers,
-		Shards:   c.shards,
-		Depth:    c.depth,
-		First:    c.first,
+		Workers:    c.workers,
+		Shards:     c.shards,
+		ShardBatch: c.shardBatch,
+		Depth:      c.depth,
+		First:      c.first,
 	}
 	if c.budget > 0 {
 		spec.Budget = c.budget.String()
@@ -214,6 +218,7 @@ func runOnce(cfg checkConfig) error {
 				Shards:  cfg.shards,
 				Spawner: shard.SelfExec{Args: []string{"-shard-worker"}},
 				Spec:    bench.ShardSpec(w.Name),
+				Batch:   cfg.shardBatch,
 			})
 			if err != nil {
 				return err

@@ -16,9 +16,10 @@ const shardSpecPrefix = "bench:"
 func ShardSpec(name string) string { return shardSpecPrefix + name }
 
 // ShardResolver resolves "bench:<name>" specs against the workload
-// registry. Only the machine and start state travel — a shard worker never
-// checks invariants or applies reductions, so the rest of the Workload is
-// deliberately dropped.
+// registry. The machine, start state, and system-wide invariant travel —
+// the invariant so the coordinator can shard the system-state sweeps across
+// the fleet. Reductions, local invariants, and budgets are deliberately
+// dropped: a shard worker runs the stripped replica engine.
 func ShardResolver() shard.Resolver {
 	return func(spec string) (shard.Workload, error) {
 		name, ok := strings.CutPrefix(spec, shardSpecPrefix)
@@ -33,6 +34,6 @@ func ShardResolver() shard.Resolver {
 		if err != nil {
 			return shard.Workload{}, err
 		}
-		return shard.Workload{Machine: w.Machine, Start: start}, nil
+		return shard.Workload{Machine: w.Machine, Start: start, Invariant: w.Invariant}, nil
 	}
 }

@@ -61,6 +61,48 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
+// ReadFrameInto is ReadFrame with a caller-owned reusable buffer: the
+// payload is read into *buf (grown and written back when too small) and
+// the returned slice aliases it, valid until the next call with the same
+// buffer. Long-lived frame consumers (the shard protocol reads thousands
+// of frames per run) use it to amortize the per-frame payload allocation
+// away; it is safe whenever every decoded value is consumed — or copied,
+// as codec.Reader's String and Bytes32 do — before the next read.
+func ReadFrameInto(r io.Reader, buf *[]byte, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > uint32(max) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	payload := (*buf)[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	var sum [8]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if binary.BigEndian.Uint64(sum[:]) != fnvBytes(fnvOffset64, payload) {
+		return nil, ErrFrameChecksum
+	}
+	return payload, nil
+}
+
 // ReadFrame reads one frame and returns its payload. max bounds the payload
 // length accepted (<= 0 means DefaultMaxFrame); an over-limit length prefix
 // fails with ErrFrameTooLarge before allocating. A truncated stream fails

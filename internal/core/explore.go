@@ -95,14 +95,30 @@ type checker struct {
 
 	// link is the shard-worker fleet of a sharded run (nil otherwise); it is
 	// dropped on degradation, after which the run finishes in-process.
-	// shardRecs is the current round's record table (hints for the delivery
-	// walk); shardObjs the worker-side object cache for owned pairs;
-	// shardTaint latches a detected determinism violation (a record's
-	// emissions disagreed with re-execution), which degrades at round end.
+	// shardRecs/actRecs/anchorReps are the current round's record tables
+	// (hints for the walks and the invariant sweeps); shardBatch the digest
+	// cadence cached from the link; shardTaint latches a detected
+	// determinism violation (a record's emissions disagreed with
+	// re-execution), which degrades at round end.
 	link       ShardLink
 	shardRecs  map[shardKey]*DeliveryRecord
-	shardObjs  map[shardKey]shardExec
+	actRecs    map[actKey]*ActionRecord
+	anchorReps map[anchorKey]*AnchorReport
+	shardBatch int
 	shardTaint error
+
+	// Worker-replica capture state (zero on the coordinator): capIdx/
+	// capCount partition the fingerprint space for record capture, and the
+	// cap* buffers collect one round's records for owned parents
+	// (capActsOff suppresses the action records). invShardIdx/invShardCount
+	// additionally partition the system-state sweeps when invariant
+	// sharding is on (zero otherwise).
+	capIdx, capCount           int
+	capActsOff                 bool
+	capActs                    []ActionRecord
+	capDels                    []DeliveryRecord
+	capAnchors                 []AnchorReport
+	invShardIdx, invShardCount int
 
 	// ckpt is the round-checkpoint sink (nil disables); ckptOn arms the
 	// per-round record capture in the delivery walk. resume supplies stored
@@ -253,6 +269,12 @@ func newChecker(ctx context.Context, m model.Machine, start model.SystemState, o
 func run(ctx context.Context, m model.Machine, start model.SystemState, opt Options, link ShardLink) *Result {
 	c := newChecker(ctx, m, start, opt)
 	c.link = link
+	if link != nil {
+		c.shardBatch = link.Batch()
+		if c.shardBatch < 1 {
+			c.shardBatch = 1
+		}
+	}
 	c.em.runStart()
 
 	// Iterative deepening on the local-event bound (§4.2, "Local events"):
@@ -427,16 +449,10 @@ func (c *checker) pass() bool {
 		// visited-list lengths, and prime the delivery walk with a resumed
 		// run's stored records for this round.
 		ckLens := c.beginRoundCheckpoint(round)
-		// Sharded runs: the workers replicate the action phase and sweep
-		// their delivery slices concurrently with the coordinator's own
-		// action phase. netBase marks the net length the round's
-		// action-phase delta extends.
-		netBase := c.net.Len()
-		if c.link != nil {
-			if err := c.link.BeginRound(c.em.pass, round); err != nil {
-				c.degradeShards(-1, err)
-			}
-		}
+		// Sharded runs: the workers ran this round on their replicas
+		// already (they stream rounds autonomously once the pass begins);
+		// pull their records so both phases below consult them as hints.
+		c.shardFetchRound(round)
 
 		// Internal events: execute the enabled actions of every node state
 		// that has not been processed yet (new states from the previous
@@ -457,9 +473,6 @@ func (c *checker) pass() bool {
 		// epoch snapshot), matching the paper's rounds.
 		var runsB []*nodeRun
 		if !c.stopped {
-			// Sharded runs: swap delivery records with the worker fleet
-			// before walking — the walk below consults them as hints.
-			c.shardExchange(round, netBase)
 			c.underPhase("delivery", func() { runsB = c.runDeliveryPhase(parallel) })
 			c.underPhase("sysstate", func() {
 				if c.mergeDeliveryPhase(runsB) {
@@ -485,7 +498,7 @@ func (c *checker) pass() bool {
 		if c.stopped {
 			break
 		}
-		c.shardEndRound(round)
+		c.shardEndBatch(round, progress)
 		if !progress {
 			// Exploration fixpoint: run every deferred witness search, then
 			// re-expand the recorded violating orbits so every arrangement

@@ -78,12 +78,15 @@ type emitBatch struct {
 }
 
 // lazyEmit is the deferred re-execution closure of a fingerprint-only
-// emission batch: the parent state and message whose handler produced it.
-// Node states are immutable once visited, so holding the state is safe.
+// emission batch: the parent state and the message (or internal action,
+// when isAct is set) whose handler produced it. Node states are immutable
+// once visited, so holding the state is safe.
 type lazyEmit struct {
 	node  model.NodeID
 	state model.State
 	msg   model.Message
+	act   model.Action
+	isAct bool
 }
 
 // discovery is one newly visited node state awaiting its deferred
@@ -144,7 +147,11 @@ func (r *nodeRun) sweepActions() {
 
 // runActions executes the internal actions enabled at s, subject to the
 // per-node, per-pass local-event budget of §4.2. It reports whether any
-// handler ran.
+// handler ran. On a sharded coordinator an ActionRecord shipped by the
+// owning worker stands in for the execution (after the canonical charge):
+// a recorded rejection or duplicate successor costs no handler call at
+// all. On a worker replica the execution additionally captures a record
+// when this replica owns the parent's fingerprint range.
 func (r *nodeRun) runActions(s *nodeState) bool {
 	c := r.c
 	acts := c.m.Actions(s.node, s.state)
@@ -152,7 +159,7 @@ func (r *nodeRun) runActions(s *nodeState) bool {
 		return false
 	}
 	ran := false
-	for _, a := range acts {
+	for ai, a := range acts {
 		if r.halted() {
 			break
 		}
@@ -165,14 +172,51 @@ func (r *nodeRun) runActions(s *nodeState) bool {
 			break
 		}
 		c.localExecuted[s.node]++
+		if rec := c.shardAct(int(s.node), s.fp, ai); rec != nil {
+			ran = true
+			if rec.Rejected {
+				r.rejections++
+				continue
+			}
+			if existing := c.spaces[s.node].lookup(rec.Succ); existing != nil {
+				// Sequential addNext buffers the emissions before the
+				// duplicate lookup, so the record's emission fingerprints
+				// must enter the merge even though the successor is known;
+				// they materialize lazily only if the network would admit
+				// one (mergeEmit).
+				ev := model.ActEvent(a)
+				if len(rec.Emitted) > 0 {
+					r.emits = append(r.emits, emitBatch{entry: -1, fps: rec.Emitted,
+						lazy: &lazyEmit{node: s.node, state: s.state, act: a, isAct: true}})
+				}
+				c.addPred(existing, pred{
+					prev:      s,
+					kind:      ev.Kind,
+					event:     ev,
+					eventFP:   ev.Fingerprint(),
+					generated: rec.Emitted,
+				})
+				continue
+			}
+			// New successor: the walk needs the real objects — one inline
+			// execution, exactly what an unsharded run pays.
+		}
 		next, emitted := c.m.HandleAction(s.node, s.state.Clone(), a)
 		ran = true
 		if next == nil {
 			r.rejections++
+			if c.capOwned(s.fp) && !c.capActsOff {
+				c.capActs = append(c.capActs, ActionRecord{
+					Node: int(s.node), Parent: s.fp, Action: ai, Rejected: true})
+			}
 			continue
 		}
 		ev := model.ActEvent(a)
-		r.addNext(s, ev, ev.Fingerprint(), 0, next, emitted, 0, -1)
+		fp, generated, _ := r.addNext(s, ev, ev.Fingerprint(), 0, next, emitted, 0, -1)
+		if c.capOwned(s.fp) && !c.capActsOff {
+			c.capActs = append(c.capActs, ActionRecord{
+				Node: int(s.node), Parent: s.fp, Action: ai, Succ: fp, Emitted: generated})
+		}
 	}
 	return ran
 }
@@ -244,6 +288,11 @@ func (r *nodeRun) deliver(e *netstate.Entry, s *nodeState, entry int) {
 	next, emitted := c.m.HandleMessage(s.node, s.state.Clone(), e.Msg)
 	if next == nil {
 		r.rejections++
+		// A worker replica records owned rejections too: the trusted
+		// rejection saves the coordinator the whole handler call.
+		if c.capOwned(s.fp) {
+			c.capDels = append(c.capDels, DeliveryRecord{Entry: entry, Parent: s.fp, Rejected: true})
+		}
 		return
 	}
 	ev := model.RecvEvent(e.Msg)
@@ -261,15 +310,22 @@ func (r *nodeRun) deliver(e *netstate.Entry, s *nodeState, entry int) {
 	if fresh {
 		r.capture(DeliveryRecord{Entry: entry, Parent: s.fp, Succ: fp, Emitted: generated})
 	}
+	// Shard capture is the opposite trade: ~85% of deliveries land on
+	// already-visited successors, and those records are exactly the ones
+	// that let the coordinator skip the handler call entirely, so a worker
+	// records every owned pair.
+	if c.capOwned(s.fp) {
+		c.capDels = append(c.capDels, DeliveryRecord{Entry: entry, Parent: s.fp, Succ: fp, Emitted: generated})
+	}
 }
 
 // deliverRecorded resolves one delivery pair from its shard record instead
 // of executing the handler. Three cases, in decreasing savings: a rejection
 // is trusted outright; a successor already in the visited set resolves to a
 // predecessor edge plus a fingerprint-only (lazy) emission batch, with no
-// execution at all; a new successor is materialized from the owner's sweep
-// cache, or by one inline re-execution on replicas that do not own the pair.
-// The transition was already charged by deliver — exactly the sequential
+// execution at all; a new successor is materialized by one inline
+// re-execution — exactly what an unsharded run pays for the pair. The
+// transition was already charged by deliver — exactly the sequential
 // charge for this pair — so counters match the unsharded run bit-for-bit.
 func (r *nodeRun) deliverRecorded(e *netstate.Entry, s *nodeState, entry int,
 	rec *DeliveryRecord, evfp codec.Fingerprint) {
@@ -288,12 +344,8 @@ func (r *nodeRun) deliverRecorded(e *netstate.Entry, s *nodeState, entry int,
 		// lookup, so the record's emission fingerprints must enter the merge
 		// even though the successor is already known.
 		if len(rec.Emitted) > 0 {
-			if obj, ok := c.shardObjs[shardKey{entry, s.fp}]; ok {
-				r.emits = append(r.emits, emitBatch{entry: entry, msgs: obj.emitted, fps: rec.Emitted})
-			} else {
-				r.emits = append(r.emits, emitBatch{entry: entry, fps: rec.Emitted,
-					lazy: &lazyEmit{node: s.node, state: s.state, msg: e.Msg}})
-			}
+			r.emits = append(r.emits, emitBatch{entry: entry, fps: rec.Emitted,
+				lazy: &lazyEmit{node: s.node, state: s.state, msg: e.Msg}})
 		}
 		c.addPred(existing, pred{
 			prev:      s,
@@ -306,13 +358,7 @@ func (r *nodeRun) deliverRecorded(e *netstate.Entry, s *nodeState, entry int,
 		return
 	}
 	// New successor: the walk needs the real objects.
-	var next model.State
-	var emitted []model.Message
-	if obj, ok := c.shardObjs[shardKey{entry, s.fp}]; ok {
-		next, emitted = obj.next, obj.emitted
-	} else {
-		next, emitted = c.m.HandleMessage(s.node, s.state.Clone(), e.Msg)
-	}
+	next, emitted := c.m.HandleMessage(s.node, s.state.Clone(), e.Msg)
 	if next == nil {
 		// Contradicts the record; trust the local execution (the digest
 		// exchange will catch a replica that trusted the record instead).
@@ -641,7 +687,11 @@ func (c *checker) mergeEmit(b emitBatch) {
 			return
 		}
 		var emitted []model.Message
-		_, emitted = c.m.HandleMessage(b.lazy.node, b.lazy.state.Clone(), b.lazy.msg)
+		if b.lazy.isAct {
+			_, emitted = c.m.HandleAction(b.lazy.node, b.lazy.state.Clone(), b.lazy.act)
+		} else {
+			_, emitted = c.m.HandleMessage(b.lazy.node, b.lazy.state.Clone(), b.lazy.msg)
+		}
 		real := fingerprintAll(emitted)
 		if !fpsEqual(real, fps) && c.shardTaint == nil {
 			c.shardTaint = errors.New("shard record emissions diverged from re-execution")

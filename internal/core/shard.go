@@ -6,46 +6,52 @@ import (
 
 	"lmc/internal/codec"
 	"lmc/internal/model"
-	"lmc/internal/netstate"
 	"lmc/internal/stats"
 )
 
 // Sharded multi-process exploration (the DSCMC direction): every process —
-// the coordinator and each of N shard workers — holds a full replica of the
-// run and executes the identical canonical engine, so control flow (round
+// the coordinator and each worker — holds a full replica of the run and
+// executes the identical canonical engine, so control flow (round
 // boundaries, delivery order, caps, stop criteria) never has to be
 // reconciled over the wire. What crosses processes is pure work-avoidance:
 //
-//   - Each round, after the replicated action phase, every worker
-//     speculatively executes the delivery pairs it owns — (network entry,
-//     parent state) pairs whose parent fingerprint falls in the worker's
-//     range — and ships fingerprint-only DeliveryRecords back.
-//   - The coordinator merges all records, broadcasts them (plus its
-//     action-phase net delta, an early divergence check) to every worker,
-//     and then every process runs the same canonical delivery walk. The
-//     walk consults the record table before executing a handler: a record
-//     whose successor is already visited resolves to a predecessor edge
-//     with no handler execution at all; a record discovering a new state is
-//     materialized from the worker's local object cache (the owner) or by
-//     one deterministic re-execution (everyone else). Pairs with no record
-//     — states discovered mid-phase, sweeps cut short by caps, records
-//     lost to a dead worker — simply execute inline.
+//   - Each worker runs its rounds autonomously the moment a pass begins,
+//     capturing fingerprint-only records for the work it owns while its
+//     canonical walk executes: ActionRecords for the internal-event phase,
+//     DeliveryRecords for the network-event phase, and AnchorReports for
+//     the system-state (invariant) sweeps of the node states whose
+//     fingerprints fall in the worker's range. One RECORDS message per
+//     round streams back to the coordinator.
+//   - The coordinator fetches a round's records before running the round
+//     and consults them as hints: a record whose successor is already
+//     visited resolves to a predecessor edge with no handler execution at
+//     all; a clean anchor report replaces the whole invariant sweep of
+//     that anchor with a counter merge. Pairs or anchors with no record —
+//     owned by the coordinator itself, or lost to a dead worker — simply
+//     execute inline.
 //
 // Records are hints, never authority: the walk IS the sequential
 // algorithm, so any record subset — including the empty set — yields the
 // bit-for-bit sequential result. That is what makes degradation trivial
-// (drop the link, keep walking) and what TestShardsParity enforces.
+// (drop the link, keep walking) and what TestShardsParity enforces. The
+// one nuance is the anchor reports: a clean report's combination count is
+// merged rather than re-derived (re-deriving would erase the savings), so
+// counter parity there rests on the replicas running the identical
+// canonical engine — which the digest exchange verifies.
 //
 // Correctness of a trusted record rests on the model.Machine determinism
 // contract (equal state + message in, equal successor + emissions out) that
 // fingerprint dedup and witness replay already rely on. Transport
 // corruption is caught by frame checksums (codec.ReadFrame); replica
 // divergence — a broken determinism contract or an engine bug — is caught
-// by the per-round digest exchange and degrades the run to in-process
-// exploration.
+// by the digest exchange at batch boundaries and degrades the run to
+// in-process exploration. Batching digests (Config.Batch rounds per
+// exchange) delays divergence detection by up to Batch-1 rounds, which is
+// benign for the same reason degradation is: the rounds in between
+// consumed records only as hints.
 
-// DeliveryRecord is one speculatively executed delivery pair, identified by
-// the network-entry index and the parent state's fingerprint (unique per
+// DeliveryRecord is one executed delivery pair, identified by the
+// network-entry index and the parent state's fingerprint (unique per
 // round: a node's visited states have distinct fingerprints and an entry
 // has a single destination).
 type DeliveryRecord struct {
@@ -59,18 +65,56 @@ type DeliveryRecord struct {
 	Emitted []codec.Fingerprint
 }
 
-// shardKey indexes the round's record table and the worker-side object
-// cache.
+// ActionRecord is one executed internal action: the acting node, the
+// parent state's fingerprint, and the index of the action in the
+// machine's Actions enumeration for that state (the enumeration is
+// deterministic, so the index identifies the action on every replica).
+type ActionRecord struct {
+	Node     int
+	Parent   codec.Fingerprint
+	Action   int
+	Rejected bool // the handler rejected the action (nil successor)
+	Succ     codec.Fingerprint
+	Emitted  []codec.Fingerprint
+}
+
+// AnchorReport is one completed system-state sweep on a worker replica:
+// the invariant was evaluated on every combination anchored at the node
+// state identified by (Node, Seq) — seq numbers are discovery-ordered and
+// identical across replicas. A clean report (Violated false) lets the
+// coordinator merge Combos into its SystemStates/InvariantChecks counters
+// and skip the sweep; a violated or missing report makes the coordinator
+// run the sweep inline, so violation handling (soundness confirmation,
+// StopAtFirstBug) stays exactly canonical.
+type AnchorReport struct {
+	Node     int
+	Seq      int
+	Violated bool
+	Combos   int
+	// MaxDepth is the replica's running Stats.MaxDepth after the sweep; the
+	// coordinator max-merges it. Each replica's running max covers its own
+	// check subset, and the subsets union to the sequential check set, so
+	// the final merged value is exact.
+	MaxDepth int
+}
+
+// shardKey indexes the round's delivery-record table.
 type shardKey struct {
 	entry  int
 	parent codec.Fingerprint
 }
 
-// shardExec is a worker's cached execution result for an owned pair, so the
-// owner's canonical walk reuses the sweep's objects instead of re-executing.
-type shardExec struct {
-	next    model.State
-	emitted []model.Message
+// actKey indexes the round's action-record table.
+type actKey struct {
+	node   int
+	parent codec.Fingerprint
+	action int
+}
+
+// anchorKey indexes the round's anchor-report table.
+type anchorKey struct {
+	node int
+	seq  int
 }
 
 // ShardDigest summarizes a replica after a round: network length and
@@ -84,32 +128,40 @@ type ShardDigest struct {
 	Spaces codec.Fingerprint
 }
 
+// RoundBatch is one worker's records for one round.
+type RoundBatch struct {
+	Acts    []ActionRecord
+	Dels    []DeliveryRecord
+	Anchors []AnchorReport
+}
+
 // ShardLink is the coordinator's view of its worker fleet; internal/shard
 // implements it over the wire protocol. Every method is called from the
-// sequential merge goroutine in lockstep with the round structure. An error
-// from any method makes the checker degrade: it drops the link and finishes
-// the run in-process (partial record batches returned alongside an error
-// are still used for the current round — records are only hints).
+// sequential merge goroutine. An error from any method makes the checker
+// degrade: it drops the link and finishes the run in-process (partial
+// record batches returned alongside an error are still used for the
+// current round — records are only hints).
 type ShardLink interface {
-	// Shards is the worker count (the fingerprint space is split N ways).
+	// Shards is the total process count, coordinator included (the
+	// fingerprint space is split N ways; range 0 is the coordinator's).
 	Shards() int
+	// Batch is the digest cadence: replica digests are exchanged every
+	// Batch rounds and at every pass fixpoint.
+	Batch() int
 	// BeginPass announces a fresh pass (iterative deepening restarts
-	// exploration from scratch) with its local-event bound.
+	// exploration from scratch) with its local-event bound; the workers
+	// then run the pass's rounds autonomously, streaming records.
 	BeginPass(pass, bound int) error
-	// BeginRound tells every worker to run its replicated action phase and
-	// speculative delivery sweep for the round.
-	BeginRound(pass, round int) error
-	// CollectRecords gathers each shard's delivery records for the round.
-	// On error the partial per-shard batches collected so far are returned.
-	CollectRecords(round int) ([][]DeliveryRecord, error)
-	// BroadcastApply ships the merged record table and the coordinator's
-	// action-phase net delta to every worker, which then runs its own
-	// canonical delivery walk.
-	BroadcastApply(round int, recs []DeliveryRecord, delta netstate.EpochDelta) error
-	// EndRound collects every worker's post-round digest and compares it
-	// against the coordinator's.
-	EndRound(round int, d ShardDigest) error
-	// Finish shuts the fleet down (best-effort DONE, then close).
+	// FetchRound returns every worker's records for the round, in worker
+	// order. On error the batches collected so far are returned.
+	FetchRound(round int) ([]RoundBatch, error)
+	// EndBatch closes a digest window after the given round: collect every
+	// worker's digest for the round and compare it against d. final marks
+	// the pass fixpoint, after which the workers park awaiting the next
+	// pass (or DONE).
+	EndBatch(round int, d ShardDigest, final bool) error
+	// Finish shuts the fleet down (best-effort DONE to parked workers,
+	// then close).
 	Finish()
 }
 
@@ -126,9 +178,9 @@ func ShardOwner(fp codec.Fingerprint, shards int) int {
 
 // CheckShardedContext runs the checker with a shard-worker fleet attached.
 // Results are bit-for-bit identical to Check/CheckContext for any shard
-// count; the link only redistributes handler executions. The caller owns
-// the link's transport setup; the checker calls Finish when the run ends
-// (including degraded runs).
+// count; the link only redistributes handler executions and invariant
+// sweeps. The caller owns the link's transport setup; the checker calls
+// Finish when the run ends (including degraded runs).
 func CheckShardedContext(ctx context.Context, m model.Machine, start model.SystemState,
 	opt Options, link ShardLink) (*Result, error) {
 
@@ -138,8 +190,19 @@ func CheckShardedContext(ctx context.Context, m model.Machine, start model.Syste
 	return run(ctx, m, start, opt, link), nil
 }
 
-// shardRec looks up the round's record for (entry, parent); nil outside
-// sharded rounds or on a sweep miss.
+// ShardInvariantsEligible reports whether a run's invariant sweeps can be
+// partitioned across the fleet: a plain LMC-GEN invariant run, with no
+// reduction, no symmetry, and system states enabled. Reduced runs prune
+// combinations through coordinator-resident caches (interest groups,
+// canonicalized orbits) whose evolution a worker cannot replicate
+// counter-exactly, so they keep invariant checking on the coordinator.
+func ShardInvariantsEligible(opt Options) bool {
+	return opt.Invariant != nil && opt.Reduction == nil &&
+		!opt.Reduce.Symmetry && !opt.DisableSystemStates
+}
+
+// shardRec looks up the round's delivery record for (entry, parent); nil
+// outside sharded rounds or on a miss.
 func (c *checker) shardRec(entry int, parent codec.Fingerprint) *DeliveryRecord {
 	if c.shardRecs == nil {
 		return nil
@@ -147,7 +210,25 @@ func (c *checker) shardRec(entry int, parent codec.Fingerprint) *DeliveryRecord 
 	return c.shardRecs[shardKey{entry, parent}]
 }
 
-// loadShardRecords indexes a round's merged record batch.
+// shardAct looks up the round's action record for (node, parent, action
+// index); nil outside sharded rounds or on a miss.
+func (c *checker) shardAct(node int, parent codec.Fingerprint, action int) *ActionRecord {
+	if c.actRecs == nil {
+		return nil
+	}
+	return c.actRecs[actKey{node, parent, action}]
+}
+
+// shardAnchor looks up the round's anchor report for a discovery; nil on a
+// miss (the coordinator then sweeps inline).
+func (c *checker) shardAnchor(node, seq int) *AnchorReport {
+	if c.anchorReps == nil {
+		return nil
+	}
+	return c.anchorReps[anchorKey{node, seq}]
+}
+
+// loadShardRecords indexes a round's delivery records.
 func (c *checker) loadShardRecords(recs []DeliveryRecord) {
 	if len(recs) == 0 {
 		return
@@ -161,73 +242,46 @@ func (c *checker) loadShardRecords(recs []DeliveryRecord) {
 	}
 }
 
-// clearShardRecords drops the round's record table and object cache; both
-// are meaningful for one delivery phase only.
-func (c *checker) clearShardRecords() {
-	c.shardRecs = nil
-	c.shardObjs = nil
+// loadActionRecords indexes a round's action records.
+func (c *checker) loadActionRecords(recs []ActionRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	if c.actRecs == nil {
+		c.actRecs = make(map[actKey]*ActionRecord, len(recs))
+	}
+	for i := range recs {
+		r := &recs[i]
+		c.actRecs[actKey{r.Node, r.Parent, r.Action}] = r
+	}
 }
 
-// sweepShardRecords is the worker-side speculative sweep: it replays the
-// canonical delivery traversal over the phase-start heads of every node's
-// visited list — without mutating anything — and executes only the pairs
-// this shard owns, caching the produced objects for the owner's walk.
-// States discovered mid-phase are invisible here by construction; their
-// pairs execute inline during the walk on every replica. The delivered
-// counter mirrors the walk's round cap, but only approximately (the walk
-// also charges mid-phase discoveries); an over- or under-shoot is harmless
-// because extra records are never queried and missing ones execute inline.
-func (c *checker) sweepShardRecords(idx, count int) []DeliveryRecord {
-	ep := c.net.Epoch()
-	nNodes := len(c.spaces)
-	startLen := make([]int, nNodes)
-	for n, sp := range c.spaces {
-		startLen[n] = len(sp.states)
+// loadAnchorReports indexes a round's anchor reports.
+func (c *checker) loadAnchorReports(reps []AnchorReport) {
+	if len(reps) == 0 {
+		return
 	}
-	delivered := make([]int, nNodes)
-	if c.shardObjs == nil {
-		c.shardObjs = make(map[shardKey]shardExec)
+	if c.anchorReps == nil {
+		c.anchorReps = make(map[anchorKey]*AnchorReport, len(reps))
 	}
-	var recs []DeliveryRecord
-	for i := 0; i < ep.Len(); i++ {
-		e := ep.Entry(i)
-		dst := int(e.Msg.Dst())
-		if dst < 0 || dst >= nNodes {
-			continue
-		}
-		if c.roundCap > 0 && delivered[dst] >= c.roundCap {
-			continue
-		}
-		sp := c.spaces[dst]
-		evfp := e.EventFingerprint()
-		for j := e.Applied; j < startLen[dst]; j++ {
-			if c.roundCap > 0 && delivered[dst] >= c.roundCap {
-				break
-			}
-			s := sp.states[j]
-			if c.opt.MaxPathDepth > 0 && s.depth >= c.opt.MaxPathDepth {
-				continue
-			}
-			if s.history.contains(evfp) {
-				continue
-			}
-			delivered[dst]++
-			if ShardOwner(s.fp, count) != idx {
-				continue
-			}
-			next, emitted := c.m.HandleMessage(s.node, s.state.Clone(), e.Msg)
-			rec := DeliveryRecord{Entry: i, Parent: s.fp}
-			if next == nil {
-				rec.Rejected = true
-			} else {
-				rec.Succ = model.StateFingerprint(next)
-				rec.Emitted = fingerprintAll(emitted)
-				c.shardObjs[shardKey{i, s.fp}] = shardExec{next: next, emitted: emitted}
-			}
-			recs = append(recs, rec)
-		}
+	for i := range reps {
+		r := &reps[i]
+		c.anchorReps[anchorKey{r.Node, r.Seq}] = r
 	}
-	return recs
+}
+
+// clearShardRecords drops the round's record tables; all are meaningful
+// for one round only.
+func (c *checker) clearShardRecords() {
+	c.shardRecs = nil
+	c.actRecs = nil
+	c.anchorReps = nil
+}
+
+// capOwned reports whether this replica captures records for the given
+// parent fingerprint (worker replicas only; capCount is 0 elsewhere).
+func (c *checker) capOwned(fp codec.Fingerprint) bool {
+	return c.capCount > 1 && ShardOwner(fp, c.capCount) == c.capIdx
 }
 
 func fingerprintAll(msgs []model.Message) []codec.Fingerprint {
@@ -279,39 +333,40 @@ func (c *checker) degradeShards(shard int, err error) {
 	c.em.shardDegraded(shard, n, detail)
 }
 
-// shardExchange is the coordinator's record exchange between the action
-// merge and the delivery walk: collect every worker's sweep records,
-// broadcast the merged table plus the action-phase net delta, and load the
-// table for the walk. Wait time is accounted to ShardWaitTime, never to the
-// exploration phases.
-func (c *checker) shardExchange(round, netBase int) {
+// shardFetchRound pulls every worker's records for the round — the workers
+// produced them autonomously, so in the steady state the frames are already
+// buffered in the transport — and loads them as hints for the round's
+// walks. Wait time is accounted to ShardWaitTime, never to the exploration
+// phases. A link error degrades, keeping whatever partial batches arrived.
+func (c *checker) shardFetchRound(round int) {
 	link := c.link
 	if link == nil {
 		return
 	}
 	var sw stats.Stopwatch
 	sw.Start()
-	perShard, err := link.CollectRecords(round)
+	batches, err := link.FetchRound(round)
 	c.res.Stats.ShardWaitTime += sw.Elapsed()
-	var all []DeliveryRecord
-	for i, recs := range perShard {
-		c.em.shardRound(i, link.Shards(), len(recs))
-		all = append(all, recs...)
+	for i, b := range batches {
+		c.em.shardRound(i+1, link.Shards(), len(b.Acts)+len(b.Dels)+len(b.Anchors))
 	}
 	if err != nil {
 		c.degradeShards(-1, err)
-	} else if berr := link.BroadcastApply(round, all, c.net.DeltaSince(netBase)); berr != nil {
-		c.degradeShards(-1, berr)
 	}
-	c.loadShardRecords(all)
+	for _, b := range batches {
+		c.loadActionRecords(b.Acts)
+		c.loadShardRecords(b.Dels)
+		c.loadAnchorReports(b.Anchors)
+	}
 }
 
-// shardEndRound compares every worker's post-round digest with the
-// coordinator's; a mismatch or link error degrades. Skipped once a stop
-// criterion fired — the pass is over and worker divergence past a stop is
-// expected (workers ignore coordinator-only criteria like the wall-clock
-// budget).
-func (c *checker) shardEndRound(round int) {
+// shardEndBatch closes the round on the link: a latched determinism taint
+// degrades immediately; otherwise digests are exchanged at the batch
+// cadence and at the pass fixpoint (progress false). A mismatch or link
+// error degrades. Not called once a stop criterion fired — the pass is
+// over and worker divergence past a stop is expected (workers ignore
+// coordinator-only criteria like the wall-clock budget).
+func (c *checker) shardEndBatch(round int, progress bool) {
 	if c.link == nil {
 		return
 	}
@@ -319,9 +374,12 @@ func (c *checker) shardEndRound(round int) {
 		c.degradeShards(-1, c.shardTaint)
 		return
 	}
+	if progress && round%c.shardBatch != 0 {
+		return
+	}
 	var sw stats.Stopwatch
 	sw.Start()
-	err := c.link.EndRound(round, c.shardDigest())
+	err := c.link.EndBatch(round, c.shardDigest(), !progress)
 	c.res.Stats.ShardWaitTime += sw.Elapsed()
 	if err != nil {
 		c.degradeShards(-1, err)
@@ -329,31 +387,35 @@ func (c *checker) shardEndRound(round int) {
 }
 
 // ShardWorker drives one worker process's replica. The zero value is not
-// usable; build with NewShardWorker. Calls arrive in the wire protocol's
-// lockstep order: BeginPass, then per round RunRound (replicated action
-// phase + speculative sweep) followed by Apply (canonical delivery walk
-// against the merged record table).
+// usable; build with NewShardWorker. BeginPass resets the replica; the
+// worker then calls RunRound repeatedly — no per-round coordination — and
+// ships each round's captured records to the coordinator.
 type ShardWorker struct {
 	c     *checker
 	idx   int
 	count int
 }
 
-// NewShardWorker builds a worker replica for shard idx of count. The
-// options must carry the exploration-relevant knobs of the coordinator's
-// run (DupLimit, LocalBound, MaxPathDepth, MaxPredecessors,
-// RoundDeliveryCap, InitialMessages); everything that does not shape the
-// explored spaces — invariants, reductions, soundness, budgets, observers —
-// is stripped here, so workers explore without checking.
-func NewShardWorker(m model.Machine, start model.SystemState, opt Options, idx, count int) *ShardWorker {
-	opt.Invariant = nil
+// NewShardWorker builds a worker replica for shard idx of count processes
+// (idx ≥ 1; index 0 is the coordinator). The options must carry the
+// exploration-shaping knobs of the coordinator's run (DupLimit,
+// LocalBound, MaxPathDepth, MaxPredecessors, RoundDeliveryCap,
+// MaxTransitions, MaxSystemDepth, InitialMessages). Reductions, soundness,
+// budgets and observers are stripped — they are coordinator work. The
+// invariant is kept only when shardInvariants is set (and opt.Invariant is
+// non-nil): the worker then sweeps the system-state combinations of the
+// anchors it owns and reports them, instead of exploring without checking.
+func NewShardWorker(m model.Machine, start model.SystemState, opt Options, idx, count int, shardInvariants bool) *ShardWorker {
+	shardInv := shardInvariants && opt.Invariant != nil
+	if !shardInv {
+		opt.Invariant = nil
+	}
 	opt.LocalInvariants = nil
 	opt.Reduction = nil
 	opt.Reduce = Reductions{}
-	opt.DisableSystemStates = true
+	opt.DisableSystemStates = !shardInv
 	opt.DisableSoundness = true
 	opt.Budget = 0
-	opt.MaxTransitions = 0
 	opt.StopAtFirstBug = false
 	opt.Workers = -1
 	opt.Observer = nil
@@ -362,8 +424,17 @@ func NewShardWorker(m model.Machine, start model.SystemState, opt Options, idx, 
 	opt.Resume = nil
 	opt.Shards = 0
 	c := newChecker(context.Background(), m, start, opt)
+	c.capIdx, c.capCount = idx, count
+	if shardInv {
+		c.invShardIdx, c.invShardCount = idx, count
+	}
 	return &ShardWorker{c: c, idx: idx, count: count}
 }
+
+// DisableActionRecords turns off action-record capture (delivery records
+// and anchor reports still flow). The coordinator's action phase then
+// executes inline — records are hints, so results are unchanged.
+func (w *ShardWorker) DisableActionRecords() { w.c.capActsOff = true }
 
 // BeginPass resets the replica for a fresh pass under the given local-event
 // bound.
@@ -372,29 +443,36 @@ func (w *ShardWorker) BeginPass(bound int) {
 	w.c.beginPass()
 }
 
-// RunRound executes the replicated action phase and the speculative
-// delivery sweep, returning this shard's records.
-func (w *ShardWorker) RunRound() []DeliveryRecord {
+// RunRound executes one full canonical round — internal-event phase, then
+// network-event phase, with the deferred system-state sweeps of owned
+// anchors — and returns the records captured for this shard's ranges plus
+// whether the round made progress (progress false is the pass fixpoint).
+// The returned slices are valid until the next RunRound call.
+func (w *ShardWorker) RunRound() (RoundBatch, bool) {
 	c := w.c
-	runs := c.runActionPhase(false)
-	c.mergeActionPhase(runs)
-	return c.sweepShardRecords(w.idx, w.count)
+	c.capActs = c.capActs[:0]
+	c.capDels = c.capDels[:0]
+	c.capAnchors = c.capAnchors[:0]
+	progress := false
+	runsA := c.runActionPhase(false)
+	if c.mergeActionPhase(runsA) {
+		progress = true
+	}
+	if !c.stopped {
+		runsB := c.runDeliveryPhase(false)
+		if c.mergeDeliveryPhase(runsB) {
+			progress = true
+		}
+	}
+	return RoundBatch{Acts: c.capActs, Dels: c.capDels, Anchors: c.capAnchors}, progress
 }
 
-// Apply verifies the coordinator's action-phase delta against the replica,
-// runs the canonical delivery walk with the merged record table, and
-// returns the post-round digest.
-func (w *ShardWorker) Apply(recs []DeliveryRecord, delta netstate.EpochDelta) (ShardDigest, error) {
-	c := w.c
-	if err := c.net.VerifyTail(delta); err != nil {
-		return ShardDigest{}, err
-	}
-	c.loadShardRecords(recs)
-	runs := c.runDeliveryPhase(false)
-	c.mergeDeliveryPhase(runs)
-	c.clearShardRecords()
-	if c.shardTaint != nil {
-		return ShardDigest{}, c.shardTaint
-	}
-	return c.shardDigest(), nil
-}
+// Stopped reports whether a replicated stop criterion (MaxTransitions,
+// shipped in the handshake) fired; the worker then parks without a digest,
+// mirroring the coordinator, whose round loop breaks before the digest
+// exchange.
+func (w *ShardWorker) Stopped() bool { return w.c.stopped }
+
+// Digest returns the replica's current digest for a batch-boundary
+// exchange.
+func (w *ShardWorker) Digest() ShardDigest { return w.c.shardDigest() }

@@ -81,6 +81,13 @@ func (c *checker) checkStartState() {
 	if c.opt.Invariant == nil || c.opt.DisableSystemStates {
 		return
 	}
+	if c.invShardIdx > 0 {
+		// Worker replica with sharded invariants: the start-state check is
+		// coordinator work (it is not anchored at a discovery, so it has no
+		// report slot). Defensive — workers drive rounds through RunRound
+		// and never reach the pass preamble.
+		return
+	}
 	combo := make([]*nodeState, len(c.spaces))
 	for n := range c.spaces {
 		combo[n] = c.spaces[n].states[0]
@@ -133,7 +140,48 @@ func (c *checker) checkNewState(ns *nodeState, view []int) {
 		return
 	}
 
-	// LMC-GEN: full Cartesian product over the other nodes' visited states.
+	// Sharded invariants, worker side: sweep only the anchors whose
+	// fingerprint falls in this replica's range, and report each sweep's
+	// outcome. Foreign anchors are the coordinator's (or another worker's)
+	// work.
+	if c.invShardCount > 1 {
+		if ShardOwner(ns.fp, c.invShardCount) != c.invShardIdx {
+			return
+		}
+		states0 := c.res.Stats.SystemStates
+		prelims0 := c.res.Stats.PreliminaryViolations
+		c.forEachComboGEN(ns, view)
+		c.capAnchors = append(c.capAnchors, AnchorReport{
+			Node:     int(ns.node),
+			Seq:      ns.seq,
+			Violated: c.res.Stats.PreliminaryViolations > prelims0,
+			Combos:   c.res.Stats.SystemStates - states0,
+			MaxDepth: c.res.Stats.MaxDepth,
+		})
+		return
+	}
+
+	// Sharded invariants, coordinator side: a clean report from the owning
+	// worker stands in for the whole sweep — its combination count merges
+	// into the counters (the worker enumerated the identical product). A
+	// violated or missing report falls through to the inline sweep, so
+	// violations are confirmed and reported exactly canonically.
+	if rep := c.shardAnchor(int(ns.node), ns.seq); rep != nil && !rep.Violated {
+		c.res.Stats.SystemStates += rep.Combos
+		c.res.Stats.InvariantChecks += rep.Combos
+		if rep.MaxDepth > c.res.Stats.MaxDepth {
+			c.res.Stats.MaxDepth = rep.MaxDepth
+		}
+		return
+	}
+
+	c.forEachComboGEN(ns, view)
+}
+
+// forEachComboGEN runs the LMC-GEN sweep anchored at ns: the full
+// Cartesian product of ns with the other nodes' visited states under the
+// discovery's view.
+func (c *checker) forEachComboGEN(ns *nodeState, view []int) {
 	lists := make([][]*nodeState, len(c.spaces))
 	for n := range c.spaces {
 		if n == int(ns.node) {

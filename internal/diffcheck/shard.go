@@ -47,7 +47,12 @@ func ShardResolver() shard.Resolver {
 		if err != nil {
 			return shard.Workload{}, err
 		}
-		return shard.Workload{Machine: inst.Machine, Start: start, InitialMessages: inflight}, nil
+		return shard.Workload{
+			Machine:         inst.Machine,
+			Start:           start,
+			InitialMessages: inflight,
+			Invariant:       inst.Invariant,
+		}, nil
 	}
 }
 

@@ -48,8 +48,13 @@ type JobSpec struct {
 	Reduce string `json:"reduce,omitempty"`
 	// Workers sets the in-process worker pool (0 = auto).
 	Workers int `json:"workers,omitempty"`
-	// Shards requests sharded multi-process exploration (<=1 = in-process).
+	// Shards requests sharded multi-process exploration: the total process
+	// count, coordinator included (<=1 = in-process).
 	Shards int `json:"shards,omitempty"`
+	// ShardBatch is the sharded run's digest cadence in rounds (<=0 =
+	// default). Like Shards it never changes results, only synchronization
+	// frequency, so it is excluded from Sig.
+	ShardBatch int `json:"shard_batch,omitempty"`
 	// Budget is a Go duration string bounding wall time ("30s"; empty =
 	// unbounded).
 	Budget string `json:"budget,omitempty"`
@@ -575,6 +580,7 @@ func (s *Service) runLocal(ctx context.Context, spec JobSpec, w bench.Workload,
 			Shards:  opt.Shards,
 			Spawner: s.spawner,
 			Spec:    bench.ShardSpec(w.Name),
+			Batch:   spec.ShardBatch,
 		})
 		return res, false, err
 	}

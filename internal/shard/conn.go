@@ -8,17 +8,23 @@ import (
 	"lmc/internal/codec"
 )
 
-// conn frames codec-encoded messages over a byte stream. Each send is one
-// flushed frame (the protocol is lockstep — nothing is ever batched behind a
-// flush the peer is waiting on); each recv is one whole frame, split into
-// its leading type byte and a reader over the body.
+// conn frames codec-encoded messages over a byte stream. Sends and receives
+// both run through per-conn pooled buffers: a send encodes the body, frames
+// it into the persistent write buffer, and hands the transport ONE Write
+// call (one syscall on an OS pipe, one pipe round on io.Pipe); a receive
+// reads the frame payload into the persistent read buffer. The pooling is
+// safe because each side fully decodes a frame before its next recv, and
+// every decoded value that outlives the frame (strings, record slices) is
+// copied by the decoder.
 type conn struct {
-	br *bufio.Reader
-	bw *bufio.Writer
+	br   *bufio.Reader
+	w    io.Writer
+	wbuf []byte
+	rbuf []byte
 }
 
 func newConn(rw io.ReadWriter) *conn {
-	return &conn{br: bufio.NewReader(rw), bw: bufio.NewWriter(rw)}
+	return &conn{br: bufio.NewReader(rw), w: rw}
 }
 
 func (c *conn) send(ft frameType, body func(*codec.Writer)) error {
@@ -28,14 +34,13 @@ func (c *conn) send(ft frameType, body func(*codec.Writer)) error {
 	if body != nil {
 		body(w)
 	}
-	if err := codec.WriteFrame(c.bw, w.Bytes()); err != nil {
-		return err
-	}
-	return c.bw.Flush()
+	c.wbuf = codec.AppendFrame(c.wbuf[:0], w.Bytes())
+	_, err := c.w.Write(c.wbuf)
+	return err
 }
 
 func (c *conn) recv() (frameType, *codec.Reader, error) {
-	payload, err := codec.ReadFrame(c.br, 0)
+	payload, err := codec.ReadFrameInto(c.br, &c.rbuf, 0)
 	if err != nil {
 		return 0, nil, err
 	}

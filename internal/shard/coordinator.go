@@ -6,15 +6,14 @@ import (
 
 	"lmc/internal/codec"
 	"lmc/internal/core"
-	"lmc/internal/netstate"
 )
 
 // remoteWorker is the coordinator's handle on one worker. parked tracks
-// whether the worker is known to be blocked in a receive (just handshaken,
-// or between sending its last frame of a step and our next broadcast): only
-// a parked worker can be handed a DONE frame without deadlocking an
-// unbuffered transport — everyone else is torn down by closing the stream,
-// which fails their blocked read or write.
+// whether the worker is known to be blocked in its top-level receive (just
+// handshaken, or parked at a pass fixpoint): only a parked worker can be
+// handed a DONE frame without deadlocking an unbuffered transport —
+// everyone else is torn down by closing the stream, which fails their
+// blocked read or write (workers treat both as a clean shutdown).
 type remoteWorker struct {
 	conn   *conn
 	rwc    io.ReadWriteCloser
@@ -24,18 +23,29 @@ type remoteWorker struct {
 // link implements core.ShardLink over the wire protocol. All methods run on
 // the checker's sequential merge goroutine; any error returned makes the
 // checker degrade (drop the link, Finish, continue in-process), so methods
-// never retry.
+// never retry. Frame order is deterministic on both sides — per pass, each
+// worker writes RECORDS(r) for every round r and DIGEST(r) exactly at batch
+// boundaries and the fixpoint, and the coordinator reads in the same order —
+// so replica divergence surfaces as a digest or frame-type mismatch, never
+// as a deadlock.
 type link struct {
-	ws []*remoteWorker
+	ws    []*remoteWorker
+	n     int // total process count, coordinator included
+	batch int
 }
 
-// dial spawns and handshakes the fleet. HELLOs go out to every worker
-// before any READY is collected, so workers build their replicas
+// dial spawns and handshakes the fleet: workers take shard indices
+// 1..cfg.Shards-1, the coordinator keeps shard 0. HELLOs go out to every
+// worker before any READY is collected, so workers build their replicas
 // concurrently. On any failure the already-spawned workers are torn down
 // and the error names the shard.
 func dial(cfg Config, opt core.Options) (*link, error) {
-	l := &link{}
-	for i := 0; i < cfg.Shards; i++ {
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	l := &link{n: cfg.Shards, batch: batch}
+	for i := 1; i < cfg.Shards; i++ {
 		rwc, err := cfg.Spawner.Spawn(i, cfg.Shards)
 		if err != nil {
 			l.Finish()
@@ -52,129 +62,125 @@ func dial(cfg Config, opt core.Options) (*link, error) {
 		MaxPathDepth:     opt.MaxPathDepth,
 		MaxPredecessors:  opt.MaxPredecessors,
 		RoundDeliveryCap: opt.RoundDeliveryCap,
+		MaxTransitions:   opt.MaxTransitions,
+		MaxSystemDepth:   opt.MaxSystemDepth,
+		Batch:            batch,
+		ActionRecords:    !cfg.DisableActionRecords,
+		ShardInvariants:  core.ShardInvariantsEligible(opt),
 	}
-	for i, w := range l.ws {
+	for wi, w := range l.ws {
 		hi := h
-		hi.Idx = i
+		hi.Idx = wi + 1
 		if err := w.conn.send(ftHello, hi.encode); err != nil {
 			l.Finish()
-			return nil, fmt.Errorf("shard %d: sending HELLO: %w", i, err)
+			return nil, fmt.Errorf("shard %d: sending HELLO: %w", wi+1, err)
 		}
 	}
-	for i, w := range l.ws {
+	for wi, w := range l.ws {
 		ft, r, err := w.conn.recv()
 		if err != nil {
 			l.Finish()
-			return nil, fmt.Errorf("shard %d: handshake: %w", i, err)
+			return nil, fmt.Errorf("shard %d: handshake: %w", wi+1, err)
 		}
 		switch ft {
 		case ftReady:
+			r.Bool() // invariant-sharding ack, informational
+			if r.Err() != nil {
+				l.Finish()
+				return nil, fmt.Errorf("shard %d: bad READY: %w", wi+1, r.Err())
+			}
 			w.parked = true
 		case ftError:
 			msg := r.String()
 			l.Finish()
-			return nil, fmt.Errorf("shard %d: %s", i, msg)
+			return nil, fmt.Errorf("shard %d: %s", wi+1, msg)
 		default:
 			l.Finish()
-			return nil, fmt.Errorf("shard %d: expected READY, got %s", i, ft)
+			return nil, fmt.Errorf("shard %d: expected READY, got %s", wi+1, ft)
 		}
 	}
 	return l, nil
 }
 
-func (l *link) Shards() int { return len(l.ws) }
+func (l *link) Shards() int { return l.n }
+func (l *link) Batch() int  { return l.batch }
 
+// BeginPass releases every worker into autonomous round streaming: after
+// this frame, the next coordinator I/O with each worker is FetchRound(1).
 func (l *link) BeginPass(pass, bound int) error {
-	for i, w := range l.ws {
+	for wi, w := range l.ws {
+		w.parked = false
 		err := w.conn.send(ftPass, func(cw *codec.Writer) {
 			cw.Int(pass)
 			cw.Int(bound)
 		})
 		if err != nil {
-			return fmt.Errorf("shard %d: sending PASS: %w", i, err)
+			return fmt.Errorf("shard %d: sending PASS: %w", wi+1, err)
 		}
 	}
 	return nil
 }
 
-func (l *link) BeginRound(pass, round int) error {
-	for i, w := range l.ws {
-		w.parked = false
-		err := w.conn.send(ftRound, func(cw *codec.Writer) { cw.Int(round) })
-		if err != nil {
-			return fmt.Errorf("shard %d: sending ROUND: %w", i, err)
-		}
-	}
-	return nil
-}
-
-func (l *link) CollectRecords(round int) ([][]core.DeliveryRecord, error) {
-	out := make([][]core.DeliveryRecord, 0, len(l.ws))
-	for i, w := range l.ws {
+// FetchRound reads each worker's RECORDS frame for round. The workers
+// computed the round on their own clock — often while the coordinator was
+// still walking the previous one — so this is usually a buffered read, not
+// a wait. Batches decoded before an error are returned with it, and the
+// checker consumes them: records are hints, so a partial fetch loses
+// speedup, not correctness.
+func (l *link) FetchRound(round int) ([]core.RoundBatch, error) {
+	out := make([]core.RoundBatch, 0, len(l.ws))
+	for wi, w := range l.ws {
 		ft, r, err := w.conn.recv()
 		if err != nil {
-			return out, fmt.Errorf("shard %d: collecting records: %w", i, err)
+			return out, fmt.Errorf("shard %d: fetching round %d: %w", wi+1, round, err)
 		}
 		if ft == ftError {
-			return out, fmt.Errorf("shard %d: %s", i, r.String())
+			return out, fmt.Errorf("shard %d: %s", wi+1, r.String())
 		}
 		if ft != ftRecords {
-			return out, fmt.Errorf("shard %d: expected RECORDS, got %s", i, ft)
+			return out, fmt.Errorf("shard %d: expected RECORDS, got %s", wi+1, ft)
 		}
-		gotRound := r.Int()
-		recs := decodeRecords(r)
+		gotRound, _, batch := decodeRoundBatch(r)
 		if r.Err() != nil {
-			return out, fmt.Errorf("shard %d: bad RECORDS: %w", i, r.Err())
+			return out, fmt.Errorf("shard %d: bad RECORDS: %w", wi+1, r.Err())
 		}
 		if gotRound != round {
-			return out, fmt.Errorf("shard %d: RECORDS for round %d, want %d", i, gotRound, round)
+			return out, fmt.Errorf("shard %d: RECORDS for round %d, want %d", wi+1, gotRound, round)
 		}
-		// The worker now blocks awaiting APPLY — a receive point, so DONE is
-		// deliverable if the run ends before the broadcast.
-		w.parked = true
-		out = append(out, recs)
+		out = append(out, batch)
 	}
 	return out, nil
 }
 
-func (l *link) BroadcastApply(round int, recs []core.DeliveryRecord, delta netstate.EpochDelta) error {
-	for i, w := range l.ws {
-		w.parked = false
-		err := w.conn.send(ftApply, func(cw *codec.Writer) {
-			cw.Int(round)
-			encodeRecords(cw, recs)
-			delta.Encode(cw)
-		})
-		if err != nil {
-			return fmt.Errorf("shard %d: sending APPLY: %w", i, err)
-		}
-	}
-	return nil
-}
-
-func (l *link) EndRound(round int, d core.ShardDigest) error {
-	for i, w := range l.ws {
+// EndBatch reads and checks each worker's DIGEST for the batch ending at
+// round. The checker calls it only at batch boundaries and at the pass
+// fixpoint (final), matching the workers' own send cadence. final means the
+// workers park after this digest, so they become DONE-deliverable.
+func (l *link) EndBatch(round int, d core.ShardDigest, final bool) error {
+	for wi, w := range l.ws {
 		ft, r, err := w.conn.recv()
 		if err != nil {
-			return fmt.Errorf("shard %d: collecting digest: %w", i, err)
+			return fmt.Errorf("shard %d: collecting digest: %w", wi+1, err)
 		}
 		if ft == ftError {
-			return fmt.Errorf("shard %d: %s", i, r.String())
+			return fmt.Errorf("shard %d: %s", wi+1, r.String())
 		}
 		if ft != ftDigest {
-			return fmt.Errorf("shard %d: expected DIGEST, got %s", i, ft)
+			return fmt.Errorf("shard %d: expected DIGEST, got %s", wi+1, ft)
 		}
 		gotRound, wd := decodeDigest(r)
 		if r.Err() != nil {
-			return fmt.Errorf("shard %d: bad DIGEST: %w", i, r.Err())
+			return fmt.Errorf("shard %d: bad DIGEST: %w", wi+1, r.Err())
 		}
 		if gotRound != round {
-			return fmt.Errorf("shard %d: DIGEST for round %d, want %d", i, gotRound, round)
+			return fmt.Errorf("shard %d: DIGEST for round %d, want %d", wi+1, gotRound, round)
 		}
-		w.parked = true
+		if final {
+			w.parked = true
+		}
 		if wd != d {
-			return fmt.Errorf("shard %d: replica diverged after round %d: worker %+v, coordinator %+v",
-				i, round, wd, d)
+			return fmt.Errorf("shard %d: replica diverged by round %d: worker %+v, coordinator %+v",
+				wi+1, round, wd, d)
 		}
 	}
 	return nil

@@ -29,6 +29,17 @@ func FuzzShardFrameRoundTrip(f *testing.F) {
 	})
 	f.Add(append([]byte(nil), w.Bytes()...))
 	w.Reset()
+	encodeActionRecords(w, []core.ActionRecord{
+		{Node: 2, Parent: 0xdead, Action: 1, Succ: 0xbeef, Emitted: []codec.Fingerprint{3}},
+		{Node: 0, Parent: 7, Action: 0, Rejected: true},
+	})
+	f.Add(append([]byte(nil), w.Bytes()...))
+	w.Reset()
+	encodeAnchorReports(w, []core.AnchorReport{
+		{Node: 1, Seq: 4, Violated: true, Combos: 6, MaxDepth: 3},
+	})
+	f.Add(append([]byte(nil), w.Bytes()...))
+	w.Reset()
 	encodeDigest(w, 9, core.ShardDigest{NetLen: 4, Net: 42, States: 17, Spaces: 99})
 	f.Add(append([]byte(nil), w.Bytes()...))
 	codec.PutWriter(w)
@@ -72,6 +83,30 @@ func FuzzShardFrameRoundTrip(f *testing.F) {
 			recs2 := decodeRecords(codec.NewReader(w.Bytes()))
 			if len(recs) != 0 && !reflect.DeepEqual(recs, recs2) {
 				t.Fatalf("records round trip diverged: %+v vs %+v", recs, recs2)
+			}
+			codec.PutWriter(w)
+		}
+
+		r = codec.NewReader(data)
+		acts := decodeActionRecords(r)
+		if r.Err() == nil {
+			w := codec.GetWriter()
+			encodeActionRecords(w, acts)
+			acts2 := decodeActionRecords(codec.NewReader(w.Bytes()))
+			if len(acts) != 0 && !reflect.DeepEqual(acts, acts2) {
+				t.Fatalf("action records round trip diverged: %+v vs %+v", acts, acts2)
+			}
+			codec.PutWriter(w)
+		}
+
+		r = codec.NewReader(data)
+		reps := decodeAnchorReports(r)
+		if r.Err() == nil {
+			w := codec.GetWriter()
+			encodeAnchorReports(w, reps)
+			reps2 := decodeAnchorReports(codec.NewReader(w.Bytes()))
+			if len(reps) != 0 && !reflect.DeepEqual(reps, reps2) {
+				t.Fatalf("anchor reports round trip diverged: %+v vs %+v", reps, reps2)
 			}
 			codec.PutWriter(w)
 		}

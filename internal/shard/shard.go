@@ -1,13 +1,17 @@
 // Package shard runs the checker's exploration across multiple OS
-// processes, split by fingerprint range. A coordinator process runs the
-// full canonical engine; each worker process holds a replica of the run and
-// speculatively executes the delivery pairs whose parent-state fingerprint
-// falls in its range, shipping fingerprint-only records back over a
-// length-prefixed wire protocol (stdin/stdout of re-exec'd children). The
-// records are hints consumed by the coordinator's canonical walk — any
-// subset yields the bit-for-bit sequential result — so a dead or diverging
-// worker degrades the run to in-process exploration instead of corrupting
-// or aborting it. See internal/core/shard.go for the engine-side contract.
+// processes, split by fingerprint range. Config.Shards names the TOTAL
+// process count: the coordinator owns shard 0 and runs the full canonical
+// engine; each worker process (shards 1..n-1) holds a replica of the run,
+// executes the action and delivery steps whose parent-state fingerprint
+// falls in its range while it walks, and streams fingerprint-only records
+// back over a length-prefixed wire protocol (stdin/stdout of re-exec'd
+// children). Workers run each pass's rounds autonomously — several rounds
+// ahead of the coordinator under Config.Batch — and exchange replica
+// digests only at batch boundaries. The records are hints consumed by the
+// coordinator's canonical walk — any subset yields the bit-for-bit
+// sequential result — so a dead or diverging worker degrades the run to
+// in-process exploration instead of corrupting or aborting it. See
+// internal/core/shard.go for the engine-side contract.
 package shard
 
 import (
@@ -18,9 +22,16 @@ import (
 	"lmc/internal/obs"
 )
 
+// DefaultBatch is the digest cadence used when Config.Batch is unset:
+// workers run this many rounds per digest exchange, which bounds how far a
+// diverged replica can run before the mismatch is caught while amortizing
+// the per-round synchronization.
+const DefaultBatch = 8
+
 // Config describes the fleet for one sharded run.
 type Config struct {
-	// Shards is the worker-process count. Values <= 1 mean no fleet: Check
+	// Shards is the total process count, the coordinator included: Shards=2
+	// is the coordinator plus one worker. Values <= 1 mean no fleet: Check
 	// runs the ordinary in-process checker.
 	Shards int
 	// Spawner produces worker transports (SelfExec in production,
@@ -30,6 +41,14 @@ type Config struct {
 	// It must reconstruct the same machine and start state the coordinator
 	// was given.
 	Spec string
+	// Batch is the digest cadence in rounds (<= 0 means DefaultBatch).
+	// Every value yields identical results; larger batches trade later
+	// divergence detection for fewer synchronization stalls.
+	Batch int
+	// DisableActionRecords stops workers from capturing action-phase
+	// records, restoring the delivery-only record stream. Results are
+	// identical either way; this exists for measurement and debugging.
+	DisableActionRecords bool
 }
 
 // Check runs a sharded exploration: identical results to core.Check for any

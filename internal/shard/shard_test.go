@@ -72,9 +72,9 @@ func benchCase(t *testing.T, name string) (model.Machine, model.SystemState, cor
 
 // shardedRun checks a workload through a PipeSpawner fleet and asserts the
 // sharded path actually engaged: no degradation, and at least one
-// per-shard record exchange observed.
+// per-shard record exchange observed. cfg.Spawner is filled in here.
 func shardedRun(t *testing.T, m model.Machine, start model.SystemState,
-	opt core.Options, shards int, spec string) *core.Result {
+	opt core.Options, cfg shard.Config) *core.Result {
 	t.Helper()
 	var rounds, degraded int
 	var lastDegrade string
@@ -87,20 +87,17 @@ func shardedRun(t *testing.T, m model.Machine, start model.SystemState,
 			lastDegrade = e.Detail
 		}
 	})
-	res, err := shard.Check(context.Background(), m, start, opt, shard.Config{
-		Shards:  shards,
-		Spawner: shard.PipeSpawner{Resolve: testResolver()},
-		Spec:    spec,
-	})
+	cfg.Spawner = shard.PipeSpawner{Resolve: testResolver()}
+	res, err := shard.Check(context.Background(), m, start, opt, cfg)
 	if err != nil {
-		t.Fatalf("shards=%d: %v", shards, err)
+		t.Fatalf("shards=%d: %v", cfg.Shards, err)
 	}
-	if shards > 1 {
+	if cfg.Shards > 1 {
 		if degraded != 0 {
-			t.Fatalf("shards=%d: degraded %d times (last: %s)", shards, degraded, lastDegrade)
+			t.Fatalf("shards=%d: degraded %d times (last: %s)", cfg.Shards, degraded, lastDegrade)
 		}
 		if rounds == 0 {
-			t.Fatalf("shards=%d: no shard record exchanges observed", shards)
+			t.Fatalf("shards=%d: no shard record exchanges observed", cfg.Shards)
 		}
 	}
 	return res
@@ -110,7 +107,9 @@ func shardedRun(t *testing.T, m model.Machine, start model.SystemState,
 // six bench protocols plus the actorcheck 2PC adapter — a sharded run is
 // bit-for-bit identical to the sequential checker, for generative and
 // reduction-backed configurations, with and without the fingerprint-layer
-// reductions, and under a transition cap the workers don't know about.
+// reductions, and under a transition cap (which every replica hits at the
+// same canonical transition). shards counts total processes: 1 covers the
+// no-fleet path, 2 is coordinator + one worker, 4 is coordinator + three.
 func TestShardsParity(t *testing.T) {
 	type tcase struct {
 		name   string
@@ -175,10 +174,33 @@ func TestShardsParity(t *testing.T) {
 			}
 			base := core.Check(m, start, opt)
 			for _, shards := range tc.shards {
-				got := shardedRun(t, m, start, opt, shards, spec)
+				got := shardedRun(t, m, start, opt, shard.Config{Shards: shards, Spec: spec})
 				assertSameResult(t, shards, base, got)
 			}
 		})
+	}
+}
+
+// TestShardsBatchAndActionRecordParity sweeps the two protocol knobs that
+// must never change results: the digest batch window and action-record
+// capture. Every combination must reproduce the sequential run bit-for-bit
+// — records are hints, and digests only detect divergence, so neither knob
+// may influence the walk.
+func TestShardsBatchAndActionRecordParity(t *testing.T) {
+	m, start, opt := benchCase(t, "paxos")
+	base := core.Check(m, start, opt)
+	for _, batch := range []int{1, 2, 8} {
+		for _, noActs := range []bool{false, true} {
+			t.Run(fmt.Sprintf("batch=%d,acts=%v", batch, !noActs), func(t *testing.T) {
+				got := shardedRun(t, m, start, opt, shard.Config{
+					Shards:               2,
+					Spec:                 bench.ShardSpec("paxos"),
+					Batch:                batch,
+					DisableActionRecords: noActs,
+				})
+				assertSameResult(t, 2, base, got)
+			})
+		}
 	}
 }
 

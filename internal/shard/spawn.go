@@ -26,12 +26,19 @@ type SelfExec struct {
 	Args []string
 	// Env entries are appended to the current environment.
 	Env []string
+	// Exe overrides the binary to execute (default os.Executable). It
+	// exists for tests that need a spawn to fail deterministically.
+	Exe string
 }
 
 func (s SelfExec) Spawn(idx, count int) (io.ReadWriteCloser, error) {
-	exe, err := os.Executable()
-	if err != nil {
-		return nil, fmt.Errorf("locating own binary: %w", err)
+	exe := s.Exe
+	if exe == "" {
+		var err error
+		exe, err = os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("locating own binary: %w", err)
+		}
 	}
 	cmd := exec.Command(exe, s.Args...)
 	cmd.Env = append(os.Environ(), s.Env...)
@@ -42,9 +49,14 @@ func (s SelfExec) Spawn(idx, count int) (io.ReadWriteCloser, error) {
 	}
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
+		// The stdin pipe was already created; close our end so a failed
+		// spawn doesn't leak a descriptor per attempt.
+		_ = stdin.Close()
 		return nil, err
 	}
 	if err := cmd.Start(); err != nil {
+		_ = stdin.Close()
+		_ = stdout.Close()
 		return nil, fmt.Errorf("starting worker %d: %w", idx, err)
 	}
 	return &procConn{in: stdin, out: stdout, cmd: cmd}, nil
@@ -77,9 +89,9 @@ func (p *procConn) Close() error {
 }
 
 // PipeSpawner runs workers as goroutines over in-memory pipes — same
-// protocol, same lockstep, no processes. It exists for tests: parity runs
-// under the race detector, and DieAfterRound exercises the degradation path
-// deterministically.
+// protocol, same frame order, no processes. It exists for tests: parity
+// runs under the race detector, and DieAfterRound exercises the degradation
+// path deterministically.
 type PipeSpawner struct {
 	// Resolve is the worker-side resolver (required).
 	Resolve Resolver

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 
 	"lmc/internal/codec"
@@ -9,35 +10,42 @@ import (
 
 // Version is the wire-protocol version. A worker refuses a HELLO carrying a
 // different version, so mixed-build coordinator/worker pairs fail fast at
-// the handshake instead of diverging mid-run.
-const Version = 1
+// the handshake instead of diverging mid-run. Version 2 is the streaming
+// protocol: workers run rounds autonomously after PASS, each round's
+// action/delivery/anchor records travel in one RECORDS frame, and digests
+// are exchanged at batch boundaries instead of every round.
+const Version = 2
+
+// ErrVersionMismatch is the typed refusal a worker returns for a HELLO
+// whose protocol version differs from its own; the coordinator sees the
+// refusal as an ERROR frame during the handshake and degrades in-process.
+var ErrVersionMismatch = errors.New("shard: wire protocol version mismatch")
 
 // frameType is the first payload byte of every frame (the rest is the
-// codec-encoded body). The protocol is strict lockstep — each side always
-// knows which frame types are acceptable next — so a type outside the
-// expected set is a protocol error, not a dispatch choice.
+// codec-encoded body). Each side always knows which frame types are
+// acceptable next — so a type outside the expected set is a protocol
+// error, not a dispatch choice.
 type frameType byte
 
 const (
 	// ftHello (C→W) opens the session: protocol version, workload spec, the
-	// worker's shard index/count, and the exploration-shaping options.
+	// worker's shard index/count, the digest batch window, and the
+	// exploration-shaping options.
 	ftHello frameType = 1 + iota
-	// ftReady (W→C) acknowledges a HELLO after the replica is built.
+	// ftReady (W→C) acknowledges a HELLO after the replica is built; it
+	// carries whether the worker accepted the invariant-sharding request.
 	ftReady
 	// ftError (W→C) reports a worker-side failure with a message; the
 	// worker exits after sending it.
 	ftError
-	// ftPass (C→W) announces a fresh exploration pass and its local bound.
+	// ftPass (C→W) announces a fresh exploration pass and its local bound;
+	// the worker then streams the pass's rounds autonomously.
 	ftPass
-	// ftRound (C→W) starts one round: the worker runs its replicated action
-	// phase and speculative delivery sweep.
-	ftRound
-	// ftRecords (W→C) carries the worker's delivery records for a round.
+	// ftRecords (W→C) carries one round's captured records: action records,
+	// delivery records, and anchor reports, plus the round's progress flag.
 	ftRecords
-	// ftApply (C→W) ships the merged record table and the coordinator's
-	// action-phase net delta; the worker runs its canonical delivery walk.
-	ftApply
-	// ftDigest (W→C) carries the worker's post-round replica digest.
+	// ftDigest (W→C) carries the worker's replica digest; sent after the
+	// last round of every digest batch and at the pass fixpoint.
 	ftDigest
 	// ftDone (C→W) ends the session cleanly; accepted at every worker
 	// receive point.
@@ -55,12 +63,8 @@ func (t frameType) String() string {
 		return "ERROR"
 	case ftPass:
 		return "PASS"
-	case ftRound:
-		return "ROUND"
 	case ftRecords:
 		return "RECORDS"
-	case ftApply:
-		return "APPLY"
 	case ftDigest:
 		return "DIGEST"
 	case ftDone:
@@ -77,14 +81,28 @@ func (t frameType) String() string {
 type hello struct {
 	Version int
 	Spec    string
-	Idx     int
-	Count   int
+	Idx     int // 1..Count-1; shard 0 is the coordinator
+	Count   int // total process count, coordinator included
 
 	DupLimit         int
 	LocalBound       int
 	MaxPathDepth     int
 	MaxPredecessors  int
 	RoundDeliveryCap int
+	// MaxTransitions travels because it is a replicated stop criterion:
+	// charged in the canonical order, it cuts every replica off at the
+	// same transition. MaxSystemDepth travels because it filters the
+	// combination sweeps whose counts anchor reports carry.
+	MaxTransitions int
+	MaxSystemDepth int
+
+	// Batch is the digest cadence (rounds per digest exchange).
+	Batch int
+	// ActionRecords asks the worker to capture action-phase records;
+	// ShardInvariants asks it to sweep and report the system-state
+	// combinations of the anchors it owns.
+	ActionRecords   bool
+	ShardInvariants bool
 }
 
 func (h hello) encode(w *codec.Writer) {
@@ -97,6 +115,11 @@ func (h hello) encode(w *codec.Writer) {
 	w.Int(h.MaxPathDepth)
 	w.Int(h.MaxPredecessors)
 	w.Int(h.RoundDeliveryCap)
+	w.Int(h.MaxTransitions)
+	w.Int(h.MaxSystemDepth)
+	w.Int(h.Batch)
+	w.Bool(h.ActionRecords)
+	w.Bool(h.ShardInvariants)
 }
 
 func decodeHello(r *codec.Reader) hello {
@@ -110,13 +133,21 @@ func decodeHello(r *codec.Reader) hello {
 		MaxPathDepth:     r.Int(),
 		MaxPredecessors:  r.Int(),
 		RoundDeliveryCap: r.Int(),
+		MaxTransitions:   r.Int(),
+		MaxSystemDepth:   r.Int(),
+		Batch:            r.Int(),
+		ActionRecords:    r.Bool(),
+		ShardInvariants:  r.Bool(),
 	}
 }
 
-// recordWireMin is the minimum encoded size of one DeliveryRecord (entry +
-// parent + rejected flag); decode guards element counts against it so a
-// corrupted count cannot force a giant allocation.
-const recordWireMin = 17
+// Minimum encoded sizes of the record kinds; decode guards element counts
+// against them so a corrupted count cannot force a giant allocation.
+const (
+	recordWireMin       = 17 // entry + parent + rejected flag
+	actionRecordWireMin = 25 // node + parent + action + rejected flag
+	anchorReportWireMin = 33 // node + seq + violated + combos + maxdepth
+)
 
 func encodeRecords(w *codec.Writer, recs []core.DeliveryRecord) {
 	w.Int(len(recs))
@@ -136,9 +167,10 @@ func encodeRecords(w *codec.Writer, recs []core.DeliveryRecord) {
 	}
 }
 
-// decodeRecords reads a record batch. Malformed input never panics or
-// over-allocates: counts are clamped against the bytes actually remaining,
-// and truncation sticks an error on the reader (checked by the caller).
+// decodeRecords reads a delivery-record batch. Malformed input never panics
+// or over-allocates: counts are clamped against the bytes actually
+// remaining, and truncation sticks an error on the reader (checked by the
+// caller).
 func decodeRecords(r *codec.Reader) []core.DeliveryRecord {
 	n := r.Int()
 	if n <= 0 || n > r.Remaining()/recordWireMin+1 {
@@ -172,6 +204,115 @@ func decodeRecords(r *codec.Reader) []core.DeliveryRecord {
 		recs = append(recs, rec)
 	}
 	return recs
+}
+
+func encodeActionRecords(w *codec.Writer, recs []core.ActionRecord) {
+	w.Int(len(recs))
+	for i := range recs {
+		r := &recs[i]
+		w.Int(r.Node)
+		w.Uint64(uint64(r.Parent))
+		w.Int(r.Action)
+		w.Bool(r.Rejected)
+		if r.Rejected {
+			continue
+		}
+		w.Uint64(uint64(r.Succ))
+		w.Int(len(r.Emitted))
+		for _, fp := range r.Emitted {
+			w.Uint64(uint64(fp))
+		}
+	}
+}
+
+// decodeActionRecords mirrors decodeRecords' hostile-input hardening for
+// the action-record kind.
+func decodeActionRecords(r *codec.Reader) []core.ActionRecord {
+	n := r.Int()
+	if n <= 0 || n > r.Remaining()/actionRecordWireMin+1 {
+		if n != 0 {
+			r.Int() // provoke a sticky error on short input
+		}
+		return nil
+	}
+	recs := make([]core.ActionRecord, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		rec := core.ActionRecord{
+			Node:     r.Int(),
+			Parent:   codec.Fingerprint(r.Uint64()),
+			Action:   r.Int(),
+			Rejected: r.Bool(),
+		}
+		if !rec.Rejected {
+			rec.Succ = codec.Fingerprint(r.Uint64())
+			ne := r.Int()
+			if ne < 0 || ne > r.Remaining()/8+1 {
+				return recs
+			}
+			if ne > 0 {
+				rec.Emitted = make([]codec.Fingerprint, 0, ne)
+				for j := 0; j < ne && r.Err() == nil; j++ {
+					rec.Emitted = append(rec.Emitted, codec.Fingerprint(r.Uint64()))
+				}
+			}
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func encodeAnchorReports(w *codec.Writer, reps []core.AnchorReport) {
+	w.Int(len(reps))
+	for i := range reps {
+		r := &reps[i]
+		w.Int(r.Node)
+		w.Int(r.Seq)
+		w.Bool(r.Violated)
+		w.Int(r.Combos)
+		w.Int(r.MaxDepth)
+	}
+}
+
+// decodeAnchorReports mirrors decodeRecords' hostile-input hardening for
+// the anchor-report kind.
+func decodeAnchorReports(r *codec.Reader) []core.AnchorReport {
+	n := r.Int()
+	if n <= 0 || n > r.Remaining()/anchorReportWireMin+1 {
+		if n != 0 {
+			r.Int() // provoke a sticky error on short input
+		}
+		return nil
+	}
+	reps := make([]core.AnchorReport, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		reps = append(reps, core.AnchorReport{
+			Node:     r.Int(),
+			Seq:      r.Int(),
+			Violated: r.Bool(),
+			Combos:   r.Int(),
+			MaxDepth: r.Int(),
+		})
+	}
+	return reps
+}
+
+// encodeRoundBatch is the RECORDS frame body: round, progress flag, then
+// the three record kinds.
+func encodeRoundBatch(w *codec.Writer, round int, progress bool, b core.RoundBatch) {
+	w.Int(round)
+	w.Bool(progress)
+	encodeActionRecords(w, b.Acts)
+	encodeRecords(w, b.Dels)
+	encodeAnchorReports(w, b.Anchors)
+}
+
+func decodeRoundBatch(r *codec.Reader) (round int, progress bool, b core.RoundBatch) {
+	round = r.Int()
+	progress = r.Bool()
+	b.Acts = decodeActionRecords(r)
+	b.Dels = decodeRecords(r)
+	b.Anchors = decodeAnchorReports(r)
+	return round, progress, b
 }
 
 func encodeDigest(w *codec.Writer, round int, d core.ShardDigest) {

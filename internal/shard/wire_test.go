@@ -13,6 +13,8 @@ func TestHelloRoundTrip(t *testing.T) {
 		Version: Version, Spec: "bench:paxos", Idx: 2, Count: 4,
 		DupLimit: 1, LocalBound: 3, MaxPathDepth: 9,
 		MaxPredecessors: 64, RoundDeliveryCap: -1,
+		MaxTransitions: 500, MaxSystemDepth: 7,
+		Batch: 8, ActionRecords: true, ShardInvariants: true,
 	}
 	w := codec.GetWriter()
 	defer codec.PutWriter(w)
@@ -47,6 +49,63 @@ func TestRecordsRoundTrip(t *testing.T) {
 	}
 }
 
+func TestActionRecordsRoundTrip(t *testing.T) {
+	in := []core.ActionRecord{
+		{Node: 0, Parent: 0xdead, Action: 2, Rejected: true},
+		{Node: 3, Parent: 0xbeef, Action: 0, Succ: 0xf00d,
+			Emitted: []codec.Fingerprint{4, 5}},
+		{Node: 1, Parent: 42, Action: 1, Succ: 43}, // no emissions
+	}
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+	encodeActionRecords(w, in)
+	r := codec.NewReader(w.Bytes())
+	out := decodeActionRecords(r)
+	if r.Err() != nil {
+		t.Fatalf("decode error: %v", r.Err())
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestAnchorReportsRoundTrip(t *testing.T) {
+	in := []core.AnchorReport{
+		{Node: 0, Seq: 3, Violated: true, Combos: 12, MaxDepth: 4},
+		{Node: 2, Seq: 0, Combos: 99, MaxDepth: 7},
+	}
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+	encodeAnchorReports(w, in)
+	r := codec.NewReader(w.Bytes())
+	out := decodeAnchorReports(r)
+	if r.Err() != nil {
+		t.Fatalf("decode error: %v", r.Err())
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestRoundBatchRoundTrip(t *testing.T) {
+	in := core.RoundBatch{
+		Acts:    []core.ActionRecord{{Node: 1, Parent: 2, Action: 0, Succ: 3}},
+		Dels:    []core.DeliveryRecord{{Entry: 4, Parent: 5, Succ: 6}},
+		Anchors: []core.AnchorReport{{Node: 0, Seq: 1, Combos: 2, MaxDepth: 3}},
+	}
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+	encodeRoundBatch(w, 7, true, in)
+	r := codec.NewReader(w.Bytes())
+	round, progress, out := decodeRoundBatch(r)
+	if r.Err() != nil {
+		t.Fatalf("decode error: %v", r.Err())
+	}
+	if round != 7 || !progress || !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch: round=%d progress=%v batch=%+v", round, progress, out)
+	}
+}
+
 func TestDecodeRecordsMalformed(t *testing.T) {
 	// A hostile record count far beyond the remaining bytes must not
 	// allocate or panic; it reports no records and a sticky reader error.
@@ -70,6 +129,50 @@ func TestDecodeRecordsMalformed(t *testing.T) {
 	for cut := 0; cut < len(whole); cut++ {
 		r := codec.NewReader(whole[:cut])
 		_ = decodeRecords(r)
+		if r.Err() == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded cleanly", cut, len(whole))
+		}
+	}
+}
+
+func TestDecodeActionRecordsMalformed(t *testing.T) {
+	w := codec.GetWriter()
+	w.Int(1 << 40)
+	r := codec.NewReader(w.Bytes())
+	if got := decodeActionRecords(r); got != nil {
+		t.Fatalf("hostile count decoded to %d records", len(got))
+	}
+	codec.PutWriter(w)
+
+	w2 := codec.GetWriter()
+	defer codec.PutWriter(w2)
+	encodeActionRecords(w2, []core.ActionRecord{{Node: 1, Parent: 2, Action: 0, Succ: 3}})
+	whole := w2.Bytes()
+	for cut := 0; cut < len(whole); cut++ {
+		r := codec.NewReader(whole[:cut])
+		_ = decodeActionRecords(r)
+		if r.Err() == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded cleanly", cut, len(whole))
+		}
+	}
+}
+
+func TestDecodeAnchorReportsMalformed(t *testing.T) {
+	w := codec.GetWriter()
+	w.Int(1 << 40)
+	r := codec.NewReader(w.Bytes())
+	if got := decodeAnchorReports(r); got != nil {
+		t.Fatalf("hostile count decoded to %d reports", len(got))
+	}
+	codec.PutWriter(w)
+
+	w2 := codec.GetWriter()
+	defer codec.PutWriter(w2)
+	encodeAnchorReports(w2, []core.AnchorReport{{Node: 1, Seq: 2, Combos: 3, MaxDepth: 4}})
+	whole := w2.Bytes()
+	for cut := 0; cut < len(whole); cut++ {
+		r := codec.NewReader(whole[:cut])
+		_ = decodeAnchorReports(r)
 		if r.Err() == nil {
 			t.Fatalf("truncation at %d/%d bytes decoded cleanly", cut, len(whole))
 		}

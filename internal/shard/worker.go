@@ -10,18 +10,22 @@ import (
 	"lmc/internal/codec"
 	"lmc/internal/core"
 	"lmc/internal/model"
-	"lmc/internal/netstate"
+	"lmc/internal/spec"
 )
 
 // Workload is what a worker needs to rebuild the coordinator's run: the
-// machine, the start state, and any seeded in-flight messages. Invariants,
-// reductions, and budgets deliberately do not travel — workers explore
-// without checking (core.NewShardWorker strips them), so the resolver only
-// reconstructs the explored system itself.
+// machine, the start state, any seeded in-flight messages, and the
+// system-wide invariant. The invariant travels (as resolver-reconstructed
+// code, not over the wire) because invariant sharding hands each worker the
+// combination sweeps of the anchors it owns; a nil Invariant just means the
+// worker explores without sweeping and the coordinator checks everything
+// inline. Reductions and budgets deliberately do not travel — workers run
+// the stripped replica core.NewShardWorker builds.
 type Workload struct {
 	Machine         model.Machine
 	Start           model.SystemState
 	InitialMessages []model.Message
+	Invariant       spec.Invariant
 }
 
 // Resolver turns the spec string from the coordinator's HELLO into a
@@ -31,8 +35,8 @@ type Workload struct {
 type Resolver func(spec string) (Workload, error)
 
 // dieAfterRoundEnv lets tests sever a re-exec'd worker mid-run: the worker
-// exits instead of answering the ROUND that starts the configured round,
-// which the coordinator sees as an EOF while collecting records.
+// exits instead of computing the round after the configured one, which the
+// coordinator sees as an EOF while fetching records.
 const dieAfterRoundEnv = "LMC_SHARD_DIE_AFTER_ROUND"
 
 // RunWorker serves the shard-worker protocol on stdin/stdout. This is the
@@ -51,12 +55,13 @@ func RunWorker(resolve Resolver) error {
 }
 
 // ServeConn runs the worker side of the protocol over rw: HELLO→READY
-// handshake, then the lockstep pass/round loop. A DONE frame, a clean EOF,
-// or a closed pipe at any receive point ends the session with nil — the
-// coordinator closes the transport without ceremony when it degrades or
-// stops early, and that must not look like a worker failure. dieAfterRound
-// > 0 makes the worker exit instead of answering that round (test hook for
-// the degradation path).
+// handshake, then one autonomous round stream per PASS. A DONE frame, a
+// clean EOF, or a closed pipe at any receive point ends the session with
+// nil; so does ANY send failure after the handshake — the only peer is the
+// coordinator, and a coordinator that stopped reading has stopped or
+// degraded, which must not look like a worker failure. dieAfterRound > 0
+// makes the worker exit instead of computing that round of each pass (test
+// hook for the degradation path).
 func ServeConn(rw io.ReadWriter, resolve Resolver, dieAfterRound int) error {
 	c := newConn(rw)
 
@@ -72,10 +77,16 @@ func ServeConn(rw io.ReadWriter, resolve Resolver, dieAfterRound int) error {
 		return fmt.Errorf("shard worker: bad HELLO: %w", r.Err())
 	}
 	if h.Version != Version {
-		return refuse(c, fmt.Sprintf("protocol version %d, worker speaks %d", h.Version, Version))
+		return refuseErr(c,
+			fmt.Sprintf("protocol version %d, worker speaks %d", h.Version, Version),
+			ErrVersionMismatch)
 	}
-	if h.Count < 2 || h.Idx < 0 || h.Idx >= h.Count {
+	if h.Count < 2 || h.Idx < 1 || h.Idx >= h.Count {
 		return refuse(c, fmt.Sprintf("bad shard coordinates %d/%d", h.Idx, h.Count))
+	}
+	batch := h.Batch
+	if batch < 1 {
+		batch = 1
 	}
 	wl, err := resolve(h.Spec)
 	if err != nil {
@@ -87,9 +98,16 @@ func ServeConn(rw io.ReadWriter, resolve Resolver, dieAfterRound int) error {
 		MaxPathDepth:     h.MaxPathDepth,
 		MaxPredecessors:  h.MaxPredecessors,
 		RoundDeliveryCap: h.RoundDeliveryCap,
+		MaxTransitions:   h.MaxTransitions,
+		MaxSystemDepth:   h.MaxSystemDepth,
 		InitialMessages:  wl.InitialMessages,
-	}, h.Idx, h.Count)
-	if err := c.send(ftReady, nil); err != nil {
+		Invariant:        wl.Invariant,
+	}, h.Idx, h.Count, h.ShardInvariants)
+	if !h.ActionRecords {
+		w.DisableActionRecords()
+	}
+	invOK := h.ShardInvariants && wl.Invariant != nil
+	if err := c.send(ftReady, func(cw *codec.Writer) { cw.Bool(invOK) }); err != nil {
 		return fmt.Errorf("shard worker: sending READY: %w", err)
 	}
 
@@ -111,56 +129,38 @@ func ServeConn(rw io.ReadWriter, resolve Resolver, dieAfterRound int) error {
 				return fmt.Errorf("shard worker: bad PASS: %w", r.Err())
 			}
 			w.BeginPass(bound)
-		case ftRound:
-			round := r.Int()
-			if r.Err() != nil {
-				return fmt.Errorf("shard worker: bad ROUND: %w", r.Err())
-			}
-			if dieAfterRound > 0 && round > dieAfterRound {
-				return fmt.Errorf("shard worker: dying before round %d (test hook)", round)
-			}
-			recs := w.RunRound()
-			err := c.send(ftRecords, func(cw *codec.Writer) {
-				cw.Int(round)
-				encodeRecords(cw, recs)
-			})
-			if err != nil {
-				return fmt.Errorf("shard worker: sending RECORDS: %w", err)
-			}
-			// Lockstep: the only frames that may follow our RECORDS are the
-			// APPLY for this round or a DONE (the coordinator stopped or
-			// degraded mid-round).
-			ft, r, err := c.recv()
-			if err != nil {
-				if cleanShutdown(err) {
-					return nil
+			// Stream the pass's rounds on our own clock; the coordinator
+			// reads RECORDS(r) at its round r and DIGEST(r) at each batch
+			// boundary, in exactly this order.
+			for round := 1; ; round++ {
+				if dieAfterRound > 0 && round > dieAfterRound {
+					return fmt.Errorf("shard worker: dying before round %d (test hook)", round)
 				}
-				return fmt.Errorf("shard worker: awaiting APPLY: %w", err)
-			}
-			if ft == ftDone {
-				return nil
-			}
-			if ft != ftApply {
-				return fmt.Errorf("shard worker: expected APPLY, got %s", ft)
-			}
-			gotRound := r.Int()
-			merged := decodeRecords(r)
-			delta := netstate.DecodeEpochDelta(r)
-			if r.Err() != nil {
-				return fmt.Errorf("shard worker: bad APPLY: %w", r.Err())
-			}
-			if gotRound != round {
-				return fmt.Errorf("shard worker: APPLY for round %d during round %d", gotRound, round)
-			}
-			digest, err := w.Apply(merged, delta)
-			if err != nil {
-				return refuse(c, fmt.Sprintf("round %d: %v", round, err))
-			}
-			err = c.send(ftDigest, func(cw *codec.Writer) {
-				encodeDigest(cw, round, digest)
-			})
-			if err != nil {
-				return fmt.Errorf("shard worker: sending DIGEST: %w", err)
+				rb, progress := w.RunRound()
+				err := c.send(ftRecords, func(cw *codec.Writer) {
+					encodeRoundBatch(cw, round, progress, rb)
+				})
+				if err != nil {
+					return nil // coordinator gone: clean shutdown
+				}
+				if w.Stopped() {
+					// The transition budget ran out mid-round; the
+					// coordinator hits the same budget at the same
+					// transition and stops without a digest exchange.
+					break
+				}
+				if round%batch == 0 || !progress {
+					digest := w.Digest()
+					err := c.send(ftDigest, func(cw *codec.Writer) {
+						encodeDigest(cw, round, digest)
+					})
+					if err != nil {
+						return nil // coordinator gone: clean shutdown
+					}
+				}
+				if !progress {
+					break // pass fixpoint: park for the next PASS or DONE
+				}
 			}
 		default:
 			return fmt.Errorf("shard worker: unexpected %s", ft)
@@ -173,6 +173,13 @@ func ServeConn(rw io.ReadWriter, resolve Resolver, dieAfterRound int) error {
 func refuse(c *conn, msg string) error {
 	_ = c.send(ftError, func(w *codec.Writer) { w.String(msg) })
 	return errors.New("shard worker: " + msg)
+}
+
+// refuseErr is refuse with a typed cause, so callers can errors.Is the
+// serve error (used for ErrVersionMismatch).
+func refuseErr(c *conn, msg string, cause error) error {
+	_ = c.send(ftError, func(w *codec.Writer) { w.String(msg) })
+	return fmt.Errorf("shard worker: %s: %w", msg, cause)
 }
 
 // cleanShutdown reports whether a receive error means the coordinator closed
